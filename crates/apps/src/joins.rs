@@ -1,0 +1,230 @@
+//! Natural join queries as FAQ instances (Table 1, row "Joins").
+//!
+//! A natural join is the quantifier-free FAQ over the Boolean semiring — or,
+//! more usefully for benchmarking, over the counting semiring where the output
+//! values are join multiplicities. InsideOut with all variables free runs the
+//! guard phase and the final OutsideIn join within the fractional-hypertree
+//! bound `O~(N^{fhtw} + ‖ϕ‖)`; the classic triangle query exhibits the
+//! `N^{3/2}` AGM bound against the `N²` of any pairwise join plan.
+
+use faq_core::{insideout_with_order, FaqError, FaqOutput, FaqQuery};
+use faq_factor::{Domains, Factor};
+use faq_hypergraph::Var;
+use faq_semiring::{CountSumProd, SingleSemiringDomain};
+use rand::Rng;
+
+/// A named relation: a list of tuples over a variable schema.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// The schema (join variables).
+    pub vars: Vec<Var>,
+    /// The tuples (distinct).
+    pub tuples: Vec<Vec<u32>>,
+}
+
+impl Relation {
+    /// Build a relation, deduplicating tuples.
+    pub fn new(vars: Vec<Var>, mut tuples: Vec<Vec<u32>>) -> Relation {
+        tuples.sort();
+        tuples.dedup();
+        Relation { vars, tuples }
+    }
+
+    /// Convert to a counting factor (every tuple has multiplicity 1).
+    pub fn to_factor(&self) -> Factor<u64> {
+        Factor::new(
+            self.vars.clone(),
+            self.tuples.iter().map(|t| (t.clone(), 1u64)).collect(),
+        )
+        .expect("relation tuples are distinct")
+    }
+}
+
+/// A natural join query over a set of relations.
+#[derive(Debug, Clone)]
+pub struct NaturalJoin {
+    /// Per-variable domain sizes.
+    pub domains: Domains,
+    /// The relations.
+    pub relations: Vec<Relation>,
+    /// Output variable order (the union of the schemas).
+    pub output_order: Vec<Var>,
+}
+
+impl NaturalJoin {
+    /// Build the FAQ instance: all variables free, counting semiring.
+    pub fn to_faq(&self) -> Result<FaqQuery<SingleSemiringDomain<CountSumProd>>, FaqError> {
+        FaqQuery::new(
+            SingleSemiringDomain::new(CountSumProd),
+            self.domains.clone(),
+            self.output_order.clone(),
+            vec![],
+            self.relations.iter().map(|r| r.to_factor()).collect(),
+        )
+    }
+
+    /// Evaluate with InsideOut (worst-case-optimal join + guards).
+    pub fn evaluate(&self) -> Result<FaqOutput<u64>, FaqError> {
+        let q = self.to_faq()?;
+        let sigma = q.ordering();
+        insideout_with_order(&q, &sigma)
+    }
+
+    /// The join size (number of output tuples).
+    pub fn count(&self) -> Result<u64, FaqError> {
+        Ok(self.evaluate()?.factor.len() as u64)
+    }
+}
+
+/// The triangle query `R(a,b) ⋈ S(b,c) ⋈ T(a,c)` over a single edge list.
+pub fn triangle_query(edges: &[(u32, u32)], num_nodes: u32) -> NaturalJoin {
+    let a = Var(0);
+    let b = Var(1);
+    let c = Var(2);
+    let tuples: Vec<Vec<u32>> = edges.iter().map(|&(x, y)| vec![x, y]).collect();
+    NaturalJoin {
+        domains: Domains::uniform(3, num_nodes),
+        relations: vec![
+            Relation::new(vec![a, b], tuples.clone()),
+            Relation::new(vec![b, c], tuples.clone()),
+            Relation::new(vec![a, c], tuples),
+        ],
+        output_order: vec![a, b, c],
+    }
+}
+
+/// The length-`k` path join `R(x0,x1) ⋈ R(x1,x2) ⋈ … ⋈ R(x_{k−1},x_k)`.
+pub fn path_query(edges: &[(u32, u32)], num_nodes: u32, k: usize) -> NaturalJoin {
+    assert!(k >= 1);
+    let tuples: Vec<Vec<u32>> = edges.iter().map(|&(x, y)| vec![x, y]).collect();
+    let relations: Vec<Relation> = (0..k)
+        .map(|i| Relation::new(vec![Var(i as u32), Var(i as u32 + 1)], tuples.clone()))
+        .collect();
+    NaturalJoin {
+        domains: Domains::uniform(k + 1, num_nodes),
+        relations,
+        output_order: (0..=k as u32).map(Var).collect(),
+    }
+}
+
+/// The 4-cycle join `R(a,b) ⋈ S(b,c) ⋈ T(c,d) ⋈ U(d,a)`.
+pub fn four_cycle_query(edges: &[(u32, u32)], num_nodes: u32) -> NaturalJoin {
+    let tuples: Vec<Vec<u32>> = edges.iter().map(|&(x, y)| vec![x, y]).collect();
+    let mk = |i: u32, j: u32| Relation::new(vec![Var(i), Var(j)], tuples.clone());
+    NaturalJoin {
+        domains: Domains::uniform(4, num_nodes),
+        relations: vec![mk(0, 1), mk(1, 2), mk(2, 3), mk(3, 0)],
+        output_order: (0..4).map(Var).collect(),
+    }
+}
+
+/// A random graph with `n` nodes and `m` distinct directed edges.
+pub fn random_graph<R: Rng>(n: u32, m: usize, rng: &mut R) -> Vec<(u32, u32)> {
+    let mut edges = std::collections::BTreeSet::new();
+    let cap = (n as u64 * (n as u64 - 1)).min(m as u64);
+    while (edges.len() as u64) < cap {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            edges.insert((a, b));
+        }
+    }
+    edges.into_iter().collect()
+}
+
+/// The AGM-hard "lollipop" instance for the triangle query: `N/2` edges out
+/// of a hub plus a matching, keeping every pairwise join of size `Θ(N²)`
+/// while the triangle output stays tiny.
+pub fn skewed_triangle_instance(n: u32) -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    // A hub (node 0) connected both ways to everyone: pairwise R ⋈ S blows up.
+    for i in 1..n {
+        edges.push((0, i));
+        edges.push((i, 0));
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faq_join::pairwise_hash_join;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn triangle_on_k4() {
+        // K4 with both edge directions: each unordered triangle appears 6
+        // ways; K4 has 4 triangles ⇒ 24 output tuples.
+        let mut edges = Vec::new();
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let q = triangle_query(&edges, 4);
+        assert_eq!(q.count().unwrap(), 24);
+    }
+
+    #[test]
+    fn triangle_matches_hash_join_baseline() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let edges = random_graph(8, 20, &mut rng);
+            let q = triangle_query(&edges, 8);
+            let ours = q.evaluate().unwrap().factor;
+            let factors: Vec<Factor<u64>> =
+                q.relations.iter().map(|r| r.to_factor()).collect();
+            let refs: Vec<&Factor<u64>> = factors.iter().collect();
+            let hj = pairwise_hash_join(&refs, |a, b| a * b, |&x| x == 0);
+            let aligned = hj.align_to(&[Var(0), Var(1), Var(2)]);
+            assert_eq!(ours, aligned);
+        }
+    }
+
+    #[test]
+    fn path_join_counts() {
+        // Path graph 0->1->2: 2-paths = {(0,1,2)}.
+        let q = path_query(&[(0, 1), (1, 2)], 3, 2);
+        let out = q.evaluate().unwrap().factor;
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.get(&[0, 1, 2]), Some(&1));
+    }
+
+    #[test]
+    fn four_cycle_on_square() {
+        // The 4-cycle 0->1->2->3->0 contains exactly one directed 4-cycle per
+        // rotation: bindings (0,1,2,3), (1,2,3,0), (2,3,0,1), (3,0,1,2).
+        let q = four_cycle_query(&[(0, 1), (1, 2), (2, 3), (3, 0)], 4);
+        assert_eq!(q.count().unwrap(), 4);
+    }
+
+    #[test]
+    fn skewed_instance_has_no_triangles_through_pairs() {
+        // The hub instance has no directed triangle with distinct nodes other
+        // than via the hub twice — LFTJ output stays small.
+        let edges = skewed_triangle_instance(64);
+        let q = triangle_query(&edges, 64);
+        let out = q.evaluate().unwrap();
+        // Every triangle needs 3 edges among {a,b,c}; only pairs (0,i) exist,
+        // so a triangle must use 0 twice — impossible with distinct roles? No:
+        // (a,b,c) = (0,i,0) is excluded since (c,a)=(0,0) is no edge, but
+        // (i,0,j)? needs (i,0),(0,j),(i,j): (i,j) missing. Triangles: only
+        // those with a repeated node value, e.g. a=c: needs (a,b),(b,a),(a,a)—
+        // (a,a) missing. Hence zero.
+        assert_eq!(out.factor.len(), 0);
+        // ... while R ⋈ S alone (through the hub) has ~N² tuples — that is
+        // exactly the pairwise-join blow-up the AGM bound avoids.
+        let r = q.relations[0].to_factor();
+        let s = q.relations[1].to_factor();
+        let rs = faq_join::baseline::hash_join_pair(&r, &s, |a, b| a * b, |&x| x == 0);
+        assert!(rs.len() as u64 >= 63 * 63);
+    }
+
+    #[test]
+    fn empty_relation_empty_join() {
+        let q = triangle_query(&[], 4);
+        assert_eq!(q.count().unwrap(), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! FAQ applications — the problems of Table 1 and Appendix A as FAQ instances.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`joins`] | natural joins / worst-case-optimal join (Table 1, "Joins") |
+//! | [`cq`] | Boolean CQ, CQ evaluation, #CQ (Table 1, "#CQ") |
+//! | [`qcq`] | QCQ and #QCQ with quantifier alternation (Table 1 rows 1–2) |
+//! | [`pgm`] | probabilistic graphical models: marginals & MAP (rows 5–6) |
+//! | [`junction`] | junction-tree message passing over tree decompositions (§8.4) |
+//! | [`matrix`] | matrix chain multiplication & the DFT (rows 7–8) |
+//! | [`csp`] | CSPs: k-coloring, triangle counting, the permanent (App. A) |
+//! | [`coding`] | list recovery for block codes (Example A.7) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coding;
+pub mod cq;
+pub mod csp;
+pub mod joins;
+pub mod junction;
+pub mod matrix;
+pub mod pgm;
+pub mod qcq;

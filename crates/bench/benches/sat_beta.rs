@@ -1,0 +1,32 @@
+//! §8.3 (Theorems 8.3, 8.4): β-acyclic SAT and #SAT.
+//!
+//! Davis–Putnam along a nested elimination order and the weighted-clause
+//! counting elimination scale polynomially while brute force is `2^n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faq_bench::rng;
+use faq_cnf::{brute_force_count, count_beta_acyclic, gen::random_interval_cnf, sat_beta_acyclic};
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_beta");
+    group.sample_size(10);
+    for &n in &[12u32, 16, 20] {
+        let mut r = rng(n as u64);
+        let cnf = random_interval_cnf(n, (2 * n) as usize, 4, &mut r);
+        group.bench_with_input(BenchmarkId::new("dp_sat", n), &n, |b, _| {
+            b.iter(|| sat_beta_acyclic(&cnf).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("wsat_count", n), &n, |b, _| {
+            b.iter(|| count_beta_acyclic(&cnf).unwrap())
+        });
+        if n <= 16 {
+            group.bench_with_input(BenchmarkId::new("brute_count", n), &n, |b, _| {
+                b.iter(|| brute_force_count(&cnf))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table 1, row DFT: the FAQ factorization of the Fourier transform.
+//!
+//! InsideOut over the digit decomposition (= FFT, `O(N log N)`) vs the naive
+//! `O(N²)` transform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faq_apps::matrix::{dft_faq, naive_dft};
+use faq_bench::rng;
+use faq_semiring::Complex64;
+use rand::Rng;
+
+fn bench_dft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_dft/p2");
+    group.sample_size(10);
+    for &m in &[6usize, 8, 10] {
+        let n = 1usize << m;
+        let mut r = rng(m as u64);
+        let input: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(r.gen_range(-1.0..1.0), r.gen_range(-1.0..1.0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("faq_fft", n), &n, |b, _| {
+            b.iter(|| dft_faq(2, m, &input).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| naive_dft(&input))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dft);
+criterion_main!(benches);

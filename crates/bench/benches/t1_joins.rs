@@ -1,0 +1,47 @@
+//! Table 1, row "Joins": triangle and 4-cycle joins.
+//!
+//! InsideOut (OutsideIn = worst-case-optimal join) stays within the AGM bound
+//! `N^{3/2}` on the skewed triangle instance, while the pairwise hash-join
+//! baseline materializes a `Θ(N²)` intermediate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faq_apps::joins;
+use faq_bench::rng;
+use faq_join::pairwise_hash_join;
+
+fn bench_triangle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_joins/triangle_skewed");
+    group.sample_size(10);
+    for &n in &[256u32, 512, 1024] {
+        let edges = joins::skewed_triangle_instance(n);
+        let q = joins::triangle_query(&edges, n);
+        let factors: Vec<_> = q.relations.iter().map(|r| r.to_factor()).collect();
+        group.bench_with_input(BenchmarkId::new("insideout", n), &n, |b, _| {
+            b.iter(|| q.evaluate().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("hash_join", n), &n, |b, _| {
+            b.iter(|| {
+                let refs: Vec<&_> = factors.iter().collect();
+                pairwise_hash_join(&refs, |a, b| a * b, |&x| x == 0)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_four_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_joins/four_cycle_random");
+    group.sample_size(10);
+    let mut r = rng(1);
+    for &m in &[500usize, 2000] {
+        let edges = joins::random_graph(64, m, &mut r);
+        let q = joins::four_cycle_query(&edges, 64);
+        group.bench_with_input(BenchmarkId::new("insideout", m), &m, |b, _| {
+            b.iter(|| q.evaluate().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triangle, bench_four_cycle);
+criterion_main!(benches);

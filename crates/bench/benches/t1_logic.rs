@@ -1,0 +1,84 @@
+//! Table 1, rows #QCQ / QCQ / #CQ: quantified and counting queries.
+//!
+//! InsideOut with the faqw-optimized ordering vs naive quantifier evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faq_apps::{cq, qcq};
+use faq_bench::rng;
+use faq_factor::Domains;
+use faq_hypergraph::Var;
+use rand::Rng;
+
+fn chain_atoms(len: usize, d: u32, tuples_per_atom: usize, seed: u64) -> Vec<cq::Atom> {
+    let mut r = rng(seed);
+    (0..len - 1)
+        .map(|i| {
+            let mut tuples: Vec<Vec<u32>> = Vec::new();
+            for _ in 0..tuples_per_atom {
+                tuples.push(vec![r.gen_range(0..d), r.gen_range(0..d)]);
+            }
+            tuples.sort();
+            tuples.dedup();
+            cq::Atom { vars: vec![Var(i as u32), Var(i as u32 + 1)], tuples }
+        })
+        .collect()
+}
+
+fn bench_sharp_qcq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_logic/sharp_qcq_chain");
+    group.sample_size(10);
+    for &len in &[6usize, 8, 10] {
+        let d = 3u32;
+        let atoms = chain_atoms(len, d, 8, len as u64);
+        let prefix: Vec<(Var, qcq::Quantifier)> = (1..len as u32)
+            .map(|i| {
+                (
+                    Var(i),
+                    if i % 2 == 1 { qcq::Quantifier::Exists } else { qcq::Quantifier::ForAll },
+                )
+            })
+            .collect();
+        let q = qcq::QuantifiedCq {
+            domains: Domains::uniform(len, d),
+            free: vec![Var(0)],
+            prefix,
+            atoms,
+        };
+        group.bench_with_input(BenchmarkId::new("insideout", len), &len, |b, _| {
+            b.iter(|| q.count().unwrap())
+        });
+        if len <= 8 {
+            group.bench_with_input(BenchmarkId::new("naive", len), &len, |b, _| {
+                b.iter(|| q.count_naive().unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sharp_cq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_logic/sharp_cq_chain");
+    group.sample_size(10);
+    for &len in &[6usize, 10] {
+        let d = 4u32;
+        let atoms = chain_atoms(len, d, 12, 100 + len as u64);
+        let q = cq::ConjunctiveQuery {
+            domains: Domains::uniform(len, d),
+            free: vec![Var(0), Var(len as u32 - 1)],
+            exists: (1..len as u32 - 1).map(Var).collect(),
+            atoms,
+        };
+        group.bench_with_input(BenchmarkId::new("insideout", len), &len, |b, _| {
+            b.iter(|| q.count_answers().unwrap())
+        });
+        if len <= 6 {
+            group.bench_with_input(BenchmarkId::new("naive", len), &len, |b, _| {
+                b.iter(|| q.count_answers_naive().unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharp_qcq, bench_sharp_cq);
+criterion_main!(benches);

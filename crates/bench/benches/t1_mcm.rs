@@ -1,0 +1,41 @@
+//! Table 1, row MCM: matrix chain multiplication.
+//!
+//! The DP-optimal FAQ variable ordering vs the input ordering on a skewed
+//! `1 × n × 1 × n × 1` chain, plus the dense textbook evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faq_apps::matrix::{Matrix, MatrixChain};
+use faq_bench::rng;
+
+fn bench_mcm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_mcm/skewed_chain");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let mut r = rng(n as u64);
+        let chain = MatrixChain {
+            matrices: vec![
+                Matrix::random(1, n, &mut r),
+                Matrix::random(n, 1, &mut r),
+                Matrix::random(1, n, &mut r),
+                Matrix::random(n, 1, &mut r),
+            ],
+        };
+        let dp_order = chain.dp_variable_ordering();
+        group.bench_with_input(BenchmarkId::new("insideout_dp_order", n), &n, |b, _| {
+            b.iter(|| chain.evaluate_insideout(&dp_order).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("insideout_input_order", n), &n, |b, _| {
+            b.iter(|| chain.evaluate().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dense_dp", n), &n, |b, _| {
+            b.iter(|| chain.evaluate_dp())
+        });
+        group.bench_with_input(BenchmarkId::new("dense_left_to_right", n), &n, |b, _| {
+            b.iter(|| chain.evaluate_left_to_right())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcm);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Table 1, rows "Marginal" and "MAP": graphical-model inference.
+//!
+//! InsideOut with a width-optimized ordering vs brute-force enumeration: the
+//! chain has treewidth 1 so elimination is linear in `n·d²` while brute force
+//! is `d^n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faq_apps::pgm;
+use faq_bench::rng;
+
+fn bench_marginal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_pgm/marginal_chain");
+    group.sample_size(10);
+    let mut r = rng(2);
+    for &n in &[8usize, 12, 16] {
+        let model = pgm::random_chain(n, 4, &mut r);
+        group.bench_with_input(BenchmarkId::new("insideout", n), &n, |b, _| {
+            b.iter(|| model.partition_function().unwrap())
+        });
+        if n <= 10 {
+            group.bench_with_input(BenchmarkId::new("bruteforce", n), &n, |b, _| {
+                b.iter(|| model.marginal_naive(&[]).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_pgm/map_grid");
+    group.sample_size(10);
+    let mut r = rng(3);
+    for &cols in &[3usize, 4, 5] {
+        let model = pgm::random_grid(3, cols, 3, &mut r);
+        group.bench_with_input(BenchmarkId::new("insideout", cols), &cols, |b, _| {
+            b.iter(|| model.map_value().unwrap())
+        });
+        if cols <= 4 {
+            group.bench_with_input(BenchmarkId::new("bruteforce", cols), &cols, |b, _| {
+                b.iter(|| model.map_value_naive().unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_marginal, bench_map);
+criterion_main!(benches);

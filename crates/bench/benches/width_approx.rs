@@ -1,0 +1,51 @@
+//! §7: the faqw optimizer — exact LinEx search vs the Theorem 7.5
+//! approximation, on the Example 6.2 query family and random shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faq_core::width::{faqw_approx, faqw_exact};
+use faq_core::{QueryShape, Tag};
+use faq_hypergraph::{Var, VarSet};
+use faq_semiring::AggId;
+
+fn example_6_2_shape() -> QueryShape {
+    let sum = Tag::Semiring(AggId(0));
+    let max = Tag::Semiring(AggId(1));
+    let vs = |ids: &[u32]| ids.iter().map(|&i| Var(i)).collect::<VarSet>();
+    QueryShape {
+        seq: vec![
+            (Var(1), sum),
+            (Var(2), sum),
+            (Var(3), max),
+            (Var(4), sum),
+            (Var(5), sum),
+            (Var(6), max),
+            (Var(7), max),
+        ],
+        edges: vec![
+            vs(&[1, 2]),
+            vs(&[1, 3, 5]),
+            vs(&[1, 4]),
+            vs(&[2, 4, 6]),
+            vs(&[2, 7]),
+            vs(&[3, 7]),
+        ],
+        mul_idempotent: false,
+            closed_ops: Default::default(),
+    }
+}
+
+fn bench_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("width_approx");
+    group.sample_size(10);
+    let shape = example_6_2_shape();
+    group.bench_with_input(BenchmarkId::new("exact_linex", "ex6.2"), &(), |b, _| {
+        b.iter(|| faqw_exact(&shape, 1_000_000))
+    });
+    group.bench_with_input(BenchmarkId::new("approx_thm7.5", "ex6.2"), &(), |b, _| {
+        b.iter(|| faqw_approx(&shape, 14))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_width);
+criterion_main!(benches);

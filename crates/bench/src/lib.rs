@@ -1,0 +1,155 @@
+//! Shared workloads and measurement helpers for the paper-reproduction
+//! benchmarks.
+//!
+//! Every table and figure of the FAQ paper maps to a generator here plus a
+//! criterion bench (`benches/`) and a row printed by the `paper_tables`
+//! binary (recorded in `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use faq_core::{FaqQuery, VarAgg};
+use faq_factor::{Domains, Factor};
+use faq_hypergraph::Var;
+use faq_semiring::RealDomain;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Deterministic RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Median wall-clock time of `iters` runs of `f`, in seconds.
+pub fn time_median<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(iters >= 1);
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = f();
+        samples.push(t0.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Fit the slope of `log(y)` against `log(x)` — the empirical scaling
+/// exponent of a series of `(size, time)` measurements.
+pub fn scaling_exponent(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2);
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// The Example 5.6 query at scale `n`:
+/// `ϕ = max_{x1} max_{x2} Π_{x3} Σ_{x4} max_{x5} max_{x6} ψ15 ψ25 ψ134 ψ236`
+/// with `{0,1}`-valued factors of `Θ(n)` tuples (so that the idempotent
+/// machinery applies and the orderings `(1..6)` vs `(5,1,2,3,4,6)` cost
+/// `O(N²)` vs `O(N)`).
+pub fn example_5_6_query(n: u32, seed: u64) -> FaqQuery<RealDomain> {
+    let mut r = rng(seed);
+    let dom3 = 2u32; // keep the product variable's domain small
+    let domains = Domains::new(vec![2, n, n, dom3, n, n, n]);
+    // Variables are 1-indexed as in the paper; Var(0) is unused filler with
+    // domain 2 (the engine never touches it since it's not in the query).
+    let v = Var;
+
+    // ψ15, ψ25: n random pairs each. ψ134, ψ236: n random triples, with the
+    // x3 column *complete* per (x1, x4) group often enough to survive Π_{x3}.
+    let mut pairs = |a: u32, b: u32| {
+        let mut tuples = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            tuples.insert(vec![r.gen_range(0..n), r.gen_range(0..n)]);
+        }
+        Factor::new(
+            vec![v(a), v(b)],
+            tuples.into_iter().map(|t| (t, 1.0f64)).collect(),
+        )
+        .unwrap()
+    };
+    let psi15 = pairs(1, 5);
+    let psi25 = pairs(2, 5);
+    let mut triples = |a: u32, b: u32, c: u32| {
+        // For each of ~n (x_a, x_b) pairs, include BOTH x3 values so the
+        // product aggregate keeps the group.
+        let mut tuples = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            let xa = r.gen_range(0..n);
+            let xb = r.gen_range(0..n);
+            for x3 in 0..dom3 {
+                tuples.insert(vec![xa, x3, xb]);
+            }
+        }
+        Factor::new(
+            vec![v(a), v(b), v(c)],
+            tuples.into_iter().map(|t| (t, 1.0f64)).collect(),
+        )
+        .unwrap()
+    };
+    let psi134 = triples(1, 3, 4);
+    let psi236 = triples(2, 3, 6);
+
+    FaqQuery::new(
+        RealDomain,
+        domains,
+        vec![],
+        vec![
+            (v(1), VarAgg::Semiring(RealDomain::MAX)),
+            (v(2), VarAgg::Semiring(RealDomain::MAX)),
+            (v(3), VarAgg::Product),
+            (v(4), VarAgg::Semiring(RealDomain::SUM)),
+            (v(5), VarAgg::Semiring(RealDomain::MAX)),
+            (v(6), VarAgg::Semiring(RealDomain::MAX)),
+        ],
+        vec![psi15, psi25, psi134, psi236],
+    )
+    .unwrap()
+}
+
+/// The paper's good ordering for Example 5.6: `(5, 1, 2, 3, 4, 6)`.
+pub fn example_5_6_good_order() -> Vec<Var> {
+    [5u32, 1, 2, 3, 4, 6].iter().map(|&i| Var(i)).collect()
+}
+
+/// The input ordering for Example 5.6: `(1, 2, 3, 4, 5, 6)`.
+pub fn example_5_6_input_order() -> Vec<Var> {
+    (1..=6u32).map(Var).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faq_core::{insideout_with_order, naive_eval};
+
+    #[test]
+    fn scaling_exponent_of_square_law() {
+        let pts: Vec<(f64, f64)> = (1..6).map(|i| (i as f64, (i * i) as f64)).collect();
+        let e = scaling_exponent(&pts);
+        assert!((e - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn example_5_6_orders_agree() {
+        let q = example_5_6_query(6, 1);
+        let a = insideout_with_order(&q, &example_5_6_input_order()).unwrap();
+        let b = insideout_with_order(&q, &example_5_6_good_order()).unwrap();
+        assert_eq!(a.factor, b.factor);
+        let n = naive_eval(&q);
+        assert_eq!(a.factor, n);
+    }
+
+    #[test]
+    fn example_5_6_good_order_is_equivalent() {
+        let q = example_5_6_query(5, 2);
+        let shape = q.shape_promising_idempotent_inputs();
+        assert!(faq_core::evo::is_equivalent_ordering(&shape, &example_5_6_good_order()));
+        assert!(faq_core::evo::is_equivalent_ordering(&shape, &example_5_6_input_order()));
+    }
+}

@@ -1,0 +1,633 @@
+//! InsideOut — Algorithm 1 of the paper.
+//!
+//! Variable elimination, innermost aggregate first. For a semiring aggregate
+//! `⊕⁽ᵏ⁾` the intermediate factor
+//!
+//! ```text
+//! ψ'_{U_k−{k}} = ⊕⁽ᵏ⁾_{x_k} ( ⊗_{S∈∂(k)} ψ_S ) ⊗ ( ⊗_{S∉∂(k), S∩U_k≠∅} ψ_{S/U_k} )
+//! ```
+//!
+//! (paper eq. (7)) is computed by one OutsideIn multiway join over `U_k` with
+//! the eliminated variable placed last, so the `⊕⁽ᵏ⁾`-fold streams over
+//! consecutive join outputs. The indicator projections `ψ_{S/U_k}` join as
+//! filters, giving the simultaneous-semijoin effect that caps the intermediate
+//! at the AGM bound of `U_k`.
+//!
+//! Product aggregates follow eq. (8): factors containing the variable are
+//! product-marginalized individually; the rest are powered point-wise by
+//! `|Dom(X_k)|` via repeated squaring, skipping `⊗`-idempotent values
+//! (Definition 5.2).
+//!
+//! Free variables are then eliminated under the `01-OR` output semiring
+//! (paper §5.2.3, eqs. (10)–(12)): each step records a *guard* `ψ_{U_k}` — the
+//! join of the indicator projections of everything touching `U_k` — and the
+//! final OutsideIn joins the surviving value factors with all guards, so every
+//! backtracking branch extends to a real output tuple (Yannakakis' algorithm
+//! re-emerges; the output phase costs `O~(‖ϕ‖)`).
+
+use crate::query::{FaqError, FaqQuery, VarAgg};
+use faq_factor::Factor;
+use faq_hypergraph::{Var, VarSet};
+use faq_join::{multiway_join, JoinInput, JoinStats};
+use faq_semiring::{AggDomain, AggId};
+
+/// Per-elimination-step statistics.
+#[derive(Debug, Clone)]
+pub struct StepStat {
+    /// The eliminated variable.
+    pub var: Var,
+    /// Whether the step was a semiring (fold) or product (shrink) step; free
+    /// variables report as semiring (they run under the 01-OR semiring).
+    pub semiring: bool,
+    /// `|U_k|` — the number of variables in the step's sub-join.
+    pub u_size: usize,
+    /// Rows of the intermediate factor produced.
+    pub rows_out: usize,
+    /// Join statistics when a sub-join ran (semiring / free steps).
+    pub join: Option<JoinStats>,
+}
+
+/// Statistics of a full InsideOut run.
+#[derive(Debug, Clone, Default)]
+pub struct ElimStats {
+    /// One entry per eliminated variable, in elimination order.
+    pub steps: Vec<StepStat>,
+    /// Statistics of the final output join.
+    pub output_join: Option<JoinStats>,
+    /// The largest intermediate factor produced (rows).
+    pub max_intermediate: usize,
+}
+
+impl ElimStats {
+    fn record(&mut self, s: StepStat) {
+        self.max_intermediate = self.max_intermediate.max(s.rows_out);
+        self.steps.push(s);
+    }
+
+    /// Total `seek` conditional queries across all sub-joins.
+    pub fn total_seeks(&self) -> u64 {
+        self.steps.iter().filter_map(|s| s.join.map(|j| j.seeks)).sum::<u64>()
+            + self.output_join.map(|j| j.seeks).unwrap_or(0)
+    }
+}
+
+/// The result of an InsideOut run.
+#[derive(Debug, Clone)]
+pub struct FaqOutput<E: faq_semiring::SemiringElem> {
+    /// The output function over the free variables, in listing representation
+    /// (nullary when the query has no free variables).
+    pub factor: Factor<E>,
+    /// Run statistics.
+    pub stats: ElimStats,
+}
+
+impl<E: faq_semiring::SemiringElem> FaqOutput<E> {
+    /// The scalar value of a query with no free variables. `None` encodes the
+    /// semiring zero (empty listing).
+    pub fn scalar(&self) -> Option<&E> {
+        assert_eq!(self.factor.arity(), 0, "scalar() requires a free-variable-free query");
+        if self.factor.is_empty() {
+            None
+        } else {
+            Some(self.factor.value(0))
+        }
+    }
+}
+
+/// Run InsideOut with the query's own variable ordering.
+pub fn insideout<D: AggDomain>(q: &FaqQuery<D>) -> Result<FaqOutput<D::E>, FaqError> {
+    let sigma = q.ordering();
+    insideout_with_order(q, &sigma)
+}
+
+/// Everything InsideOut has computed after the bound- and free-variable
+/// elimination phases, i.e. the factorized form of the output (paper §8.4):
+/// the surviving value factors `E_f` plus the guard factors `ψ_{U_k}`.
+#[derive(Debug, Clone)]
+pub struct EliminationArtifacts<E: faq_semiring::SemiringElem> {
+    /// The free variables in output order.
+    pub free_order: Vec<Var>,
+    /// The value factors remaining after bound-variable elimination.
+    pub ef_edges: Vec<Factor<E>>,
+    /// The guard factors recorded while eliminating the free variables.
+    pub guards: Vec<Factor<E>>,
+    /// Elimination statistics so far.
+    pub stats: ElimStats,
+}
+
+/// Run InsideOut along a caller-chosen variable ordering `sigma`.
+///
+/// `sigma` must be a permutation of the query's variables with the free
+/// variables first. **Semantic** equivalence of the ordering (membership in
+/// `EVO(ϕ)`, paper §5.4) is the caller's contract — validate with
+/// [`crate::evo::is_equivalent_ordering`] or obtain orderings from
+/// [`crate::width`].
+pub fn insideout_with_order<D: AggDomain>(
+    q: &FaqQuery<D>,
+    sigma: &[Var],
+) -> Result<FaqOutput<D::E>, FaqError> {
+    let art = run_elimination(q, sigma)?;
+    let dom = &q.domain;
+    let mut stats = art.stats;
+
+    // ---- Phase 3: final OutsideIn over expression (12): value factors of E_f
+    // joined with all guards (filters).
+    let mut inputs: Vec<JoinInput<'_, D::E>> = Vec::new();
+    for e in &art.ef_edges {
+        inputs.push(JoinInput::value(e));
+    }
+    for g in &art.guards {
+        inputs.push(JoinInput::filter(g));
+    }
+    let mut rows: Vec<(Vec<u32>, D::E)> = Vec::new();
+    let join_stats = multiway_join(
+        &q.domains,
+        &art.free_order,
+        &inputs,
+        dom.one(),
+        |a, b| dom.mul(a, b),
+        |binding, val| {
+            if !dom.is_zero(&val) {
+                rows.push((binding.to_vec(), val));
+            }
+        },
+    );
+    stats.output_join = Some(join_stats);
+    let factor = Factor::new(art.free_order, rows).expect("join emits distinct bindings");
+    Ok(FaqOutput { factor, stats })
+}
+
+/// Run phases 1–2 of InsideOut: eliminate bound variables, then free
+/// variables under the 01-OR semiring, returning the factorized artifacts.
+pub fn run_elimination<D: AggDomain>(
+    q: &FaqQuery<D>,
+    sigma: &[Var],
+) -> Result<EliminationArtifacts<D::E>, FaqError> {
+    q.validate()?;
+    q.check_ordering(sigma)?;
+    let f = q.free.len();
+    let dom = &q.domain;
+    let mut stats = ElimStats::default();
+
+    let sigma_pos =
+        |v: Var| -> usize { sigma.iter().position(|&s| s == v).expect("var in sigma") };
+
+    // Current edge set: one factor per live hyperedge.
+    let mut edges: Vec<Factor<D::E>> = q.factors.clone();
+
+    // ---- Phase 1: eliminate bound variables, innermost (last in sigma) first.
+    for k in (f..sigma.len()).rev() {
+        let var = sigma[k];
+        let agg = q.agg_of(var).expect("bound variable has an aggregate");
+        match agg {
+            VarAgg::Semiring(op) => {
+                let step = eliminate_semiring(q, sigma, &mut edges, var, op, &sigma_pos);
+                stats.record(step);
+            }
+            VarAgg::Product => {
+                let step = eliminate_product(q, &mut edges, var);
+                stats.record(step);
+            }
+        }
+    }
+
+    // ---- Phase 2: eliminate free variables under the 01-OR semiring,
+    // recording guards (paper eqs. (10)–(11)).
+    let ef_edges: Vec<Factor<D::E>> = edges.clone();
+    let mut guards: Vec<Factor<D::E>> = Vec::new();
+    for k in (0..f).rev() {
+        let var = sigma[k];
+        let incident: Vec<usize> = (0..edges.len())
+            .filter(|&i| edges[i].schema().contains(&var))
+            .collect();
+        if incident.is_empty() {
+            continue; // free variable constrained by nothing
+        }
+        let mut u: VarSet = VarSet::new();
+        for &i in &incident {
+            u.extend(edges[i].schema().iter().copied());
+        }
+        let mut join_order: Vec<Var> = u.iter().copied().collect();
+        join_order.sort_by_key(|&v| sigma_pos(v));
+
+        // ψ_{U_k}: join of the indicator projections of every edge touching U.
+        let projections: Vec<Factor<D::E>> = edges
+            .iter()
+            .filter(|e| e.schema().iter().any(|v| u.contains(v)))
+            .map(|e| e.indicator_projection(&join_order, dom.one()))
+            .collect();
+        let inputs: Vec<JoinInput<'_, D::E>> =
+            projections.iter().map(JoinInput::filter).collect();
+        let mut rows: Vec<(Vec<u32>, D::E)> = Vec::new();
+        let join_stats = multiway_join(
+            &q.domains,
+            &join_order,
+            &inputs,
+            dom.one(),
+            |a, b| dom.mul(a, b),
+            |binding, _| rows.push((binding.to_vec(), dom.one())),
+        );
+        let guard =
+            Factor::new(join_order.clone(), rows).expect("join emits distinct bindings");
+        let reduced: Vec<Var> = join_order.iter().copied().filter(|&x| x != var).collect();
+        let new_edge = guard.indicator_projection(&reduced, dom.one());
+        stats.record(StepStat {
+            var,
+            semiring: true,
+            u_size: u.len(),
+            rows_out: guard.len(),
+            join: Some(join_stats),
+        });
+        guards.push(guard);
+
+        // E_{k−1} = (E_k − ∂(k)) ∪ {U_k − {k}}.
+        let mut kept: Vec<Factor<D::E>> = Vec::with_capacity(edges.len());
+        for (i, e) in edges.drain(..).enumerate() {
+            if !incident.contains(&i) {
+                kept.push(e);
+            }
+        }
+        kept.push(new_edge);
+        edges = kept;
+    }
+
+    Ok(EliminationArtifacts { free_order: sigma[..f].to_vec(), ef_edges, guards, stats })
+}
+
+/// Eliminate a semiring-aggregated variable (paper eq. (7)).
+fn eliminate_semiring<D: AggDomain>(
+    q: &FaqQuery<D>,
+    _sigma: &[Var],
+    edges: &mut Vec<Factor<D::E>>,
+    var: Var,
+    op: AggId,
+    sigma_pos: &dyn Fn(Var) -> usize,
+) -> StepStat {
+    let dom = &q.domain;
+    let (incident, rest): (Vec<Factor<D::E>>, Vec<Factor<D::E>>) =
+        edges.drain(..).partition(|e| e.schema().contains(&var));
+
+    if incident.is_empty() {
+        // ⊕⁽ᵏ⁾ over x_k of an expression not involving x_k multiplies the
+        // query by the |Dom|-fold ⊕-sum of 1.
+        let size = q.domains.size(var);
+        let mut acc = dom.one();
+        for _ in 1..size {
+            acc = dom.add(op, &acc, &dom.one());
+        }
+        let scalar = if dom.is_zero(&acc) || size == 0 {
+            Factor::nullary(None)
+        } else {
+            Factor::nullary(Some(acc))
+        };
+        *edges = rest;
+        edges.push(scalar);
+        return StepStat { var, semiring: true, u_size: 0, rows_out: 1, join: None };
+    }
+
+    let mut u: VarSet = VarSet::new();
+    for e in &incident {
+        u.extend(e.schema().iter().copied());
+    }
+    // Join order: U − {var} by sigma position, the eliminated variable last.
+    let mut join_order: Vec<Var> = u.iter().copied().filter(|&x| x != var).collect();
+    join_order.sort_by_key(|&v| sigma_pos(v));
+    let group_arity = join_order.len();
+    join_order.push(var);
+
+    // Indicator projections of surviving edges that overlap U (eq. (7)).
+    let projections: Vec<Factor<D::E>> = rest
+        .iter()
+        .filter(|e| e.arity() > 0 && e.schema().iter().any(|v| u.contains(v)))
+        .map(|e| e.indicator_projection(&join_order, dom.one()))
+        .collect();
+
+    let mut inputs: Vec<JoinInput<'_, D::E>> = Vec::new();
+    for e in &incident {
+        inputs.push(JoinInput::value(e));
+    }
+    for p in &projections {
+        inputs.push(JoinInput::filter(p));
+    }
+
+    // Stream-aggregate over the innermost variable: the join emits bindings in
+    // lexicographic order of `join_order`, so rows sharing the group prefix
+    // are consecutive.
+    let mut out_rows: Vec<(Vec<u32>, D::E)> = Vec::new();
+    let mut cur_key: Option<Vec<u32>> = None;
+    let mut cur_acc: Option<D::E> = None;
+    let join_stats = multiway_join(
+        &q.domains,
+        &join_order,
+        &inputs,
+        dom.one(),
+        |a, b| dom.mul(a, b),
+        |binding, val| {
+            let key = &binding[..group_arity];
+            match (&mut cur_key, &mut cur_acc) {
+                (Some(k), Some(acc)) if k.as_slice() == key => {
+                    *acc = dom.add(op, acc, &val);
+                }
+                _ => {
+                    if let (Some(k), Some(acc)) = (cur_key.take(), cur_acc.take()) {
+                        if !dom.is_zero(&acc) {
+                            out_rows.push((k, acc));
+                        }
+                    }
+                    cur_key = Some(key.to_vec());
+                    cur_acc = Some(val);
+                }
+            }
+        },
+    );
+    if let (Some(k), Some(acc)) = (cur_key.take(), cur_acc.take()) {
+        if !dom.is_zero(&acc) {
+            out_rows.push((k, acc));
+        }
+    }
+
+    let new_schema: Vec<Var> = join_order[..group_arity].to_vec();
+    let rows_out = out_rows.len();
+    let new_factor = Factor::new(new_schema, out_rows).expect("grouped keys are distinct");
+
+    *edges = rest;
+    edges.push(new_factor);
+    StepStat { var, semiring: true, u_size: u.len(), rows_out, join: Some(join_stats) }
+}
+
+/// Eliminate a product-aggregated variable (paper eq. (8)).
+fn eliminate_product<D: AggDomain>(
+    q: &FaqQuery<D>,
+    edges: &mut Vec<Factor<D::E>>,
+    var: Var,
+) -> StepStat {
+    let dom = &q.domain;
+    let size = q.domains.size(var) as u64;
+    let mut u_size = 0usize;
+    let mut rows_out = 0usize;
+    let old = std::mem::take(edges);
+    for e in old {
+        if e.schema().contains(&var) {
+            u_size = u_size.max(e.arity());
+            let m = e.marginalize_product(
+                var,
+                q.domains.size(var),
+                |a, b| dom.mul(a, b),
+                |x| dom.is_zero(x),
+            );
+            rows_out = rows_out.max(m.len());
+            edges.push(m);
+        } else {
+            // ψ_S ← ψ_S^{|Dom(X_k)|}, point-wise, skipping ⊗-idempotent values
+            // (Definition 5.2 / Algorithm 1 line 17).
+            let powered = e.map_values(
+                |v| {
+                    if dom.is_mul_idempotent(v) {
+                        v.clone()
+                    } else {
+                        dom.pow(v, size)
+                    }
+                },
+                |x| dom.is_zero(x),
+            );
+            edges.push(powered);
+        }
+    }
+    StepStat { var, semiring: false, u_size, rows_out, join: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faq_factor::Domains;
+    use faq_hypergraph::v;
+    use faq_semiring::{BoolDomain, CountDomain, RealDomain};
+
+    fn fac_u(schema: &[u32], rows: &[(&[u32], u64)]) -> Factor<u64> {
+        Factor::new(
+            schema.iter().map(|&i| v(i)).collect(),
+            rows.iter().map(|(r, val)| (r.to_vec(), *val)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chain_sum_product() {
+        // ϕ = Σ_{x0,x1,x2} ψ01 ψ12 over counting.
+        let q = FaqQuery::new(
+            CountDomain,
+            Domains::uniform(3, 2),
+            vec![],
+            vec![
+                (v(0), VarAgg::Semiring(CountDomain::SUM)),
+                (v(1), VarAgg::Semiring(CountDomain::SUM)),
+                (v(2), VarAgg::Semiring(CountDomain::SUM)),
+            ],
+            vec![
+                fac_u(&[0, 1], &[(&[0, 0], 1), (&[0, 1], 2), (&[1, 1], 3)]),
+                fac_u(&[1, 2], &[(&[0, 0], 1), (&[1, 0], 5), (&[1, 1], 1)]),
+            ],
+        )
+        .unwrap();
+        let expect = crate::naive::naive_eval(&q);
+        let got = insideout(&q).unwrap();
+        assert_eq!(got.factor, expect);
+    }
+
+    #[test]
+    fn free_variables_match_naive() {
+        // ϕ(x0) = Σ_{x1} max_{x2} ψ01 ψ12.
+        let q = FaqQuery::new(
+            CountDomain,
+            Domains::uniform(3, 3),
+            vec![v(0)],
+            vec![
+                (v(1), VarAgg::Semiring(CountDomain::SUM)),
+                (v(2), VarAgg::Semiring(CountDomain::MAX)),
+            ],
+            vec![
+                fac_u(&[0, 1], &[(&[0, 0], 1), (&[1, 2], 2), (&[2, 1], 3), (&[2, 2], 4)]),
+                fac_u(&[1, 2], &[(&[0, 0], 7), (&[2, 1], 5), (&[1, 2], 2), (&[2, 2], 1)]),
+            ],
+        )
+        .unwrap();
+        let expect = crate::naive::naive_eval(&q);
+        let got = insideout(&q).unwrap();
+        assert_eq!(got.factor, expect);
+    }
+
+    #[test]
+    fn product_aggregate_matches_naive() {
+        // ϕ = Σ_{x0} Π_{x1} ψ01 with a full x1-column (no implicit zeros).
+        let q = FaqQuery::new(
+            CountDomain,
+            Domains::uniform(2, 2),
+            vec![],
+            vec![
+                (v(0), VarAgg::Semiring(CountDomain::SUM)),
+                (v(1), VarAgg::Product),
+            ],
+            vec![fac_u(
+                &[0, 1],
+                &[(&[0, 0], 2), (&[0, 1], 3), (&[1, 0], 4), (&[1, 1], 1)],
+            )],
+        )
+        .unwrap();
+        // x0=0: 2*3=6 ; x0=1: 4*1=4 ⇒ Σ = 10.
+        let got = insideout(&q).unwrap();
+        assert_eq!(got.scalar(), Some(&10));
+        assert_eq!(got.factor, crate::naive::naive_eval(&q));
+    }
+
+    #[test]
+    fn product_powers_unrelated_factors() {
+        // ϕ = Σ_{x0} Π_{x1} ψ0(x0): powering ψ0 by |Dom(x1)| = 3.
+        let q = FaqQuery::new(
+            CountDomain,
+            Domains::new(vec![2, 3]),
+            vec![],
+            vec![
+                (v(0), VarAgg::Semiring(CountDomain::SUM)),
+                (v(1), VarAgg::Product),
+            ],
+            vec![fac_u(&[0], &[(&[0], 2), (&[1], 1)])],
+        )
+        .unwrap();
+        // Σ_x0 ψ0(x0)^3 = 8 + 1 = 9.
+        let got = insideout(&q).unwrap();
+        assert_eq!(got.scalar(), Some(&9));
+        assert_eq!(got.factor, crate::naive::naive_eval(&q));
+    }
+
+    #[test]
+    fn boolean_conjunctive_query() {
+        // BCQ: ∃x0 ∃x1 (R(x0) ∧ S(x0, x1)).
+        let r = Factor::new(vec![v(0)], vec![(vec![1], true)]).unwrap();
+        let s = Factor::new(vec![v(0), v(1)], vec![(vec![1, 0], true)]).unwrap();
+        let q = FaqQuery::new(
+            BoolDomain,
+            Domains::uniform(2, 2),
+            vec![],
+            vec![
+                (v(0), VarAgg::Semiring(BoolDomain::OR)),
+                (v(1), VarAgg::Semiring(BoolDomain::OR)),
+            ],
+            vec![r, s],
+        )
+        .unwrap();
+        assert_eq!(insideout(&q).unwrap().scalar(), Some(&true));
+    }
+
+    #[test]
+    fn empty_join_yields_zero_scalar() {
+        let r = Factor::new(vec![v(0)], vec![(vec![0], true)]).unwrap();
+        let s = Factor::new(vec![v(0)], vec![(vec![1], true)]).unwrap();
+        let q = FaqQuery::new(
+            BoolDomain,
+            Domains::uniform(1, 2),
+            vec![],
+            vec![(v(0), VarAgg::Semiring(BoolDomain::OR))],
+            vec![r, s],
+        )
+        .unwrap();
+        let out = insideout(&q).unwrap();
+        assert_eq!(out.scalar(), None);
+    }
+
+    #[test]
+    fn variable_in_no_factor_scales() {
+        let q = FaqQuery::new(
+            CountDomain,
+            Domains::new(vec![2, 3]),
+            vec![],
+            vec![
+                (v(0), VarAgg::Semiring(CountDomain::SUM)),
+                (v(1), VarAgg::Semiring(CountDomain::SUM)),
+            ],
+            vec![fac_u(&[0], &[(&[0], 1), (&[1], 1)])],
+        )
+        .unwrap();
+        assert_eq!(insideout(&q).unwrap().scalar(), Some(&6));
+    }
+
+    #[test]
+    fn different_orders_same_result_for_faq_ss() {
+        let q = FaqQuery::new(
+            CountDomain,
+            Domains::uniform(3, 2),
+            vec![],
+            vec![
+                (v(0), VarAgg::Semiring(CountDomain::SUM)),
+                (v(1), VarAgg::Semiring(CountDomain::SUM)),
+                (v(2), VarAgg::Semiring(CountDomain::SUM)),
+            ],
+            vec![
+                fac_u(&[0, 1], &[(&[0, 0], 1), (&[1, 1], 2)]),
+                fac_u(&[1, 2], &[(&[0, 1], 3), (&[1, 0], 4)]),
+                fac_u(&[0, 2], &[(&[0, 1], 5), (&[1, 0], 6)]),
+            ],
+        )
+        .unwrap();
+        let expect = crate::naive::naive_eval(&q);
+        for order in [
+            [v(0), v(1), v(2)],
+            [v(2), v(0), v(1)],
+            [v(1), v(2), v(0)],
+        ] {
+            let got = insideout_with_order(&q, &order).unwrap();
+            assert_eq!(got.factor, expect, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn marginal_map_real_domain() {
+        // Mixed Σ then max with free variable, vs naive.
+        let f01 = Factor::new(
+            vec![v(0), v(1)],
+            vec![(vec![0, 0], 0.5), (vec![0, 1], 1.5), (vec![1, 0], 2.0)],
+        )
+        .unwrap();
+        let f12 = Factor::new(
+            vec![v(1), v(2)],
+            vec![(vec![0, 0], 1.0), (vec![0, 1], 3.0), (vec![1, 1], 2.0)],
+        )
+        .unwrap();
+        let q = FaqQuery::new(
+            RealDomain,
+            Domains::uniform(3, 2),
+            vec![v(0)],
+            vec![
+                (v(1), VarAgg::Semiring(RealDomain::SUM)),
+                (v(2), VarAgg::Semiring(RealDomain::MAX)),
+            ],
+            vec![f01, f12],
+        )
+        .unwrap();
+        let expect = crate::naive::naive_eval(&q);
+        let got = insideout(&q).unwrap();
+        assert_eq!(got.factor, expect);
+    }
+
+    #[test]
+    fn stats_track_intermediates() {
+        let q = FaqQuery::new(
+            CountDomain,
+            Domains::uniform(3, 2),
+            vec![],
+            vec![
+                (v(0), VarAgg::Semiring(CountDomain::SUM)),
+                (v(1), VarAgg::Semiring(CountDomain::SUM)),
+                (v(2), VarAgg::Semiring(CountDomain::SUM)),
+            ],
+            vec![
+                fac_u(&[0, 1], &[(&[0, 0], 1), (&[1, 1], 2)]),
+                fac_u(&[1, 2], &[(&[0, 1], 3), (&[1, 0], 4)]),
+            ],
+        )
+        .unwrap();
+        let out = insideout(&q).unwrap();
+        assert_eq!(out.stats.steps.len(), 3);
+        assert!(out.stats.total_seeks() > 0);
+        assert!(out.stats.max_intermediate >= 1);
+    }
+}

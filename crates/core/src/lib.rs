@@ -1,0 +1,39 @@
+//! The FAQ query model and the InsideOut engine (the paper's contribution).
+//!
+//! A Functional Aggregate Query (paper eq. (1)) is
+//!
+//! ```text
+//! ϕ(x_[f]) = ⊕^(f+1)_{x_{f+1}} … ⊕^(n)_{x_n}  ⊗_{S∈E} ψ_S(x_S)
+//! ```
+//!
+//! where each bound variable carries either a semiring aggregate `⊕⁽ⁱ⁾` (with
+//! `(D, ⊕⁽ⁱ⁾, ⊗)` a commutative semiring) or the product `⊗` itself.
+//!
+//! Modules:
+//! * [`query`] — [`FaqQuery`]: aggregates, free variables, factors, validation;
+//! * [`naive`] — brute-force evaluation of eq. (1), the test oracle;
+//! * [`mod@insideout`] — Algorithm 1: variable elimination with indicator
+//!   projections, product aggregates, and the free-variable guard phase;
+//! * [`exprtree`] — expression trees and the precedence poset (§6);
+//! * [`evo`] — equivalent variable orderings: LinEx enumeration and the
+//!   component-wise-equivalence membership test (§6);
+//! * [`width`] — `faqw(σ)`, exact `faqw(ϕ)` search, and the approximation
+//!   algorithm of §7;
+//! * [`output`] — factorized output representations (§8.4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evo;
+pub mod exprtree;
+pub mod insideout;
+pub mod naive;
+pub mod output;
+pub mod query;
+pub mod width;
+
+pub use exprtree::{ExprTree, QueryShape, Tag};
+pub use insideout::{insideout, insideout_with_order, ElimStats, FaqOutput, StepStat};
+pub use naive::naive_eval;
+pub use query::{FaqError, FaqQuery, VarAgg};
+pub use width::{faqw_approx, faqw_exact, faqw_of_ordering, FaqwResult};

@@ -1,0 +1,695 @@
+//! The [`Factor`] type: a sorted listing of non-zero entries.
+
+use faq_hypergraph::Var;
+use faq_semiring::SemiringElem;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Errors raised by factor constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactorError {
+    /// A tuple's arity does not match the schema.
+    ArityMismatch {
+        /// Expected arity (schema length).
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// The same tuple appeared twice in a constructor that forbids duplicates.
+    DuplicateTuple(Vec<u32>),
+    /// The schema lists the same variable twice.
+    DuplicateSchemaVar(Var),
+}
+
+impl fmt::Display for FactorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactorError::ArityMismatch { expected, got } => {
+                write!(f, "tuple arity {got} does not match schema arity {expected}")
+            }
+            FactorError::DuplicateTuple(t) => write!(f, "duplicate tuple {t:?}"),
+            FactorError::DuplicateSchemaVar(v) => write!(f, "schema lists {v} twice"),
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+/// A factor in the listing representation.
+///
+/// * `schema` — the variables of the factor, in column order;
+/// * rows — the non-zero tuples, stored row-major and sorted lexicographically;
+/// * one value of type `E` per row.
+///
+/// Invariants: distinct schema variables; rows sorted and distinct; values
+/// never equal to the semiring zero (constructors take an `is_zero` predicate
+/// where values can be combined).
+#[derive(Clone, PartialEq)]
+pub struct Factor<E> {
+    schema: Vec<Var>,
+    rows: Vec<u32>,
+    vals: Vec<E>,
+    len: usize,
+}
+
+impl<E: SemiringElem> fmt::Debug for Factor<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Factor{:?}[{} rows]", self.schema, self.len)?;
+        if self.len <= 16 {
+            write!(f, " {{")?;
+            for i in 0..self.len {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:?}→{:?}", self.row(i), self.vals[i])?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+fn cmp_rows(a: &[u32], b: &[u32]) -> Ordering {
+    a.cmp(b)
+}
+
+impl<E: SemiringElem> Factor<E> {
+    /// Build a factor from `(tuple, value)` pairs, rejecting duplicates.
+    ///
+    /// Zero values should already be absent; this constructor does not filter
+    /// them (use [`Factor::with_combine`] when zeros may arise).
+    pub fn new(schema: Vec<Var>, tuples: Vec<(Vec<u32>, E)>) -> Result<Self, FactorError> {
+        check_schema(&schema)?;
+        let arity = schema.len();
+        let mut pairs: Vec<(Vec<u32>, E)> = Vec::with_capacity(tuples.len());
+        for (t, v) in tuples {
+            if t.len() != arity {
+                return Err(FactorError::ArityMismatch { expected: arity, got: t.len() });
+            }
+            pairs.push((t, v));
+        }
+        pairs.sort_by(|a, b| cmp_rows(&a.0, &b.0));
+        for w in pairs.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(FactorError::DuplicateTuple(w[0].0.clone()));
+            }
+        }
+        Ok(Self::from_sorted_pairs(schema, pairs))
+    }
+
+    /// Build a factor combining duplicate tuples with `combine` and dropping
+    /// rows whose final value satisfies `is_zero`.
+    pub fn with_combine(
+        schema: Vec<Var>,
+        mut tuples: Vec<(Vec<u32>, E)>,
+        mut combine: impl FnMut(&E, &E) -> E,
+        mut is_zero: impl FnMut(&E) -> bool,
+    ) -> Result<Self, FactorError> {
+        check_schema(&schema)?;
+        let arity = schema.len();
+        for (t, _) in &tuples {
+            if t.len() != arity {
+                return Err(FactorError::ArityMismatch { expected: arity, got: t.len() });
+            }
+        }
+        tuples.sort_by(|a, b| cmp_rows(&a.0, &b.0));
+        let mut merged: Vec<(Vec<u32>, E)> = Vec::with_capacity(tuples.len());
+        for (t, v) in tuples {
+            match merged.last_mut() {
+                Some((lt, lv)) if *lt == t => {
+                    *lv = combine(lv, &v);
+                }
+                _ => merged.push((t, v)),
+            }
+        }
+        merged.retain(|(_, v)| !is_zero(v));
+        Ok(Self::from_sorted_pairs(schema, merged))
+    }
+
+    fn from_sorted_pairs(schema: Vec<Var>, pairs: Vec<(Vec<u32>, E)>) -> Self {
+        let arity = schema.len();
+        let len = pairs.len();
+        let mut rows = Vec::with_capacity(len * arity);
+        let mut vals = Vec::with_capacity(len);
+        for (t, v) in pairs {
+            rows.extend_from_slice(&t);
+            vals.push(v);
+        }
+        Factor { schema, rows, vals, len }
+    }
+
+    /// A nullary (constant) factor: `Some(v)` is the scalar `v`, `None` is the
+    /// empty factor (the constant zero).
+    pub fn nullary(value: Option<E>) -> Self {
+        match value {
+            Some(v) => Factor { schema: Vec::new(), rows: Vec::new(), vals: vec![v], len: 1 },
+            None => Factor { schema: Vec::new(), rows: Vec::new(), vals: Vec::new(), len: 0 },
+        }
+    }
+
+    /// Tabulate `f` over the full cross product of the schema's domains,
+    /// keeping only non-zero entries. `dom_sizes[i]` is the domain size of
+    /// `schema[i]`.
+    pub fn dense(
+        schema: Vec<Var>,
+        dom_sizes: &[u32],
+        mut f: impl FnMut(&[u32]) -> E,
+        mut is_zero: impl FnMut(&E) -> bool,
+    ) -> Result<Self, FactorError> {
+        check_schema(&schema)?;
+        assert_eq!(schema.len(), dom_sizes.len());
+        let arity = schema.len();
+        let mut pairs: Vec<(Vec<u32>, E)> = Vec::new();
+        let mut cur = vec![0u32; arity];
+        if dom_sizes.iter().any(|&s| s == 0) {
+            return Ok(Self::from_sorted_pairs(schema, pairs));
+        }
+        loop {
+            let v = f(&cur);
+            if !is_zero(&v) {
+                pairs.push((cur.clone(), v));
+            }
+            // Odometer increment; generates rows in sorted order already.
+            let mut i = arity;
+            loop {
+                if i == 0 {
+                    return Ok(Self::from_sorted_pairs(schema, pairs));
+                }
+                i -= 1;
+                cur[i] += 1;
+                if cur[i] < dom_sizes[i] {
+                    break;
+                }
+                cur[i] = 0;
+            }
+        }
+    }
+
+    /// The column order of this factor.
+    pub fn schema(&self) -> &[Var] {
+        &self.schema
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Number of non-zero rows — the factor size `‖ψ_S‖` of the paper.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the factor is identically zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th row.
+    pub fn row(&self, i: usize) -> &[u32] {
+        let a = self.arity();
+        &self.rows[i * a..(i + 1) * a]
+    }
+
+    /// The `i`-th value.
+    pub fn value(&self, i: usize) -> &E {
+        &self.vals[i]
+    }
+
+    /// Iterate `(row, value)` pairs in sorted row order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u32], &E)> + '_ {
+        (0..self.len).map(move |i| (self.row(i), self.value(i)))
+    }
+
+    /// Look up a tuple by binary search.
+    pub fn get(&self, tuple: &[u32]) -> Option<&E> {
+        assert_eq!(tuple.len(), self.arity());
+        if self.arity() == 0 {
+            return self.vals.first();
+        }
+        let mut lo = 0usize;
+        let mut hi = self.len;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match cmp_rows(self.row(mid), tuple) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return Some(&self.vals[mid]),
+            }
+        }
+        None
+    }
+
+    /// The half-open row range whose first `depth` columns equal `prefix`
+    /// within the given candidate range — the trie descent primitive used by
+    /// the OutsideIn join and by conditional queries (paper Assumption 1).
+    pub fn prefix_range(&self, range: (usize, usize), depth: usize, value: u32) -> (usize, usize) {
+        debug_assert!(depth < self.arity());
+        let (lo, hi) = range;
+        let start = lo + partition_point(hi - lo, |i| self.row(lo + i)[depth] < value);
+        let end = lo + partition_point(hi - lo, |i| self.row(lo + i)[depth] <= value);
+        (start, end)
+    }
+
+    /// The smallest value `≥ bound` in column `depth` within the row range, or
+    /// `None` — the "seek least upper bound" conditional query.
+    pub fn seek_column(&self, range: (usize, usize), depth: usize, bound: u32) -> Option<u32> {
+        let (lo, hi) = range;
+        let idx = lo + partition_point(hi - lo, |i| self.row(lo + i)[depth] < bound);
+        if idx < hi {
+            Some(self.row(idx)[depth])
+        } else {
+            None
+        }
+    }
+
+    /// Reorder columns to `new_schema` (a permutation of the current schema),
+    /// re-sorting rows.
+    pub fn reorder(&self, new_schema: &[Var]) -> Factor<E> {
+        assert_eq!(new_schema.len(), self.arity());
+        let perm: Vec<usize> = new_schema
+            .iter()
+            .map(|v| {
+                self.schema
+                    .iter()
+                    .position(|s| s == v)
+                    .unwrap_or_else(|| panic!("{v} not in schema {:?}", self.schema))
+            })
+            .collect();
+        if perm.iter().enumerate().all(|(i, &p)| i == p) {
+            return self.clone();
+        }
+        let mut pairs: Vec<(Vec<u32>, E)> = self
+            .iter()
+            .map(|(row, v)| (perm.iter().map(|&p| row[p]).collect(), v.clone()))
+            .collect();
+        pairs.sort_by(|a, b| cmp_rows(&a.0, &b.0));
+        Self::from_sorted_pairs(new_schema.to_vec(), pairs)
+    }
+
+    /// Reorder columns so the schema follows the relative order of `global`
+    /// (every schema variable must appear in `global`).
+    pub fn align_to(&self, global: &[Var]) -> Factor<E> {
+        let mut new_schema: Vec<Var> =
+            global.iter().copied().filter(|v| self.schema.contains(v)).collect();
+        assert_eq!(
+            new_schema.len(),
+            self.arity(),
+            "global order {:?} does not cover schema {:?}",
+            global,
+            self.schema
+        );
+        if new_schema == self.schema {
+            return self.clone();
+        }
+        let f = self.reorder(&new_schema);
+        new_schema.clear();
+        f
+    }
+
+    /// Project onto the schema variables contained in `keep`, combining the
+    /// values of collapsing rows with `combine` and dropping zeros.
+    ///
+    /// The result schema preserves this factor's column order.
+    pub fn project_combine(
+        &self,
+        keep: &[Var],
+        combine: impl FnMut(&E, &E) -> E,
+        is_zero: impl FnMut(&E) -> bool,
+    ) -> Factor<E> {
+        let positions: Vec<usize> =
+            (0..self.arity()).filter(|&i| keep.contains(&self.schema[i])).collect();
+        let new_schema: Vec<Var> = positions.iter().map(|&i| self.schema[i]).collect();
+        let tuples: Vec<(Vec<u32>, E)> = self
+            .iter()
+            .map(|(row, v)| (positions.iter().map(|&p| row[p]).collect(), v.clone()))
+            .collect();
+        Factor::with_combine(new_schema, tuples, combine, is_zero)
+            .expect("projection preserves arity")
+    }
+
+    /// The indicator projection `ψ_{S/T}` of paper Definition 4.2: project
+    /// onto `keep ∩ schema` and map every surviving tuple to `one`.
+    pub fn indicator_projection(&self, keep: &[Var], one: E) -> Factor<E> {
+        let positions: Vec<usize> =
+            (0..self.arity()).filter(|&i| keep.contains(&self.schema[i])).collect();
+        let new_schema: Vec<Var> = positions.iter().map(|&i| self.schema[i]).collect();
+        let tuples: Vec<(Vec<u32>, E)> = self
+            .iter()
+            .map(|(row, _)| (positions.iter().map(|&p| row[p]).collect::<Vec<u32>>(), one.clone()))
+            .collect();
+        Factor::with_combine(new_schema, tuples, |a, _| a.clone(), |_| false)
+            .expect("projection preserves arity")
+    }
+
+    /// Product marginalization (paper Assumption 2):
+    /// `ψ_{S−{v}}(x_{S−{v}}) = ⊗_{x_v ∈ Dom(X_v)} ψ_S(x_S)`.
+    ///
+    /// A group missing any of the `dom_size` values of `v` multiplies in an
+    /// (implicit) zero and is dropped; surviving groups multiply their listed
+    /// values. Rows whose product becomes zero are dropped too.
+    pub fn marginalize_product(
+        &self,
+        var: Var,
+        dom_size: u32,
+        mut mul: impl FnMut(&E, &E) -> E,
+        mut is_zero: impl FnMut(&E) -> bool,
+    ) -> Factor<E> {
+        let vpos = self
+            .schema
+            .iter()
+            .position(|&s| s == var)
+            .unwrap_or_else(|| panic!("{var} not in schema {:?}", self.schema));
+        let positions: Vec<usize> = (0..self.arity()).filter(|&i| i != vpos).collect();
+        let new_schema: Vec<Var> = positions.iter().map(|&i| self.schema[i]).collect();
+
+        // Group rows by the projected key. Rows are sorted by the full schema;
+        // after dropping one column they are not necessarily grouped, so sort.
+        let mut pairs: Vec<(Vec<u32>, E)> = self
+            .iter()
+            .map(|(row, v)| {
+                (positions.iter().map(|&p| row[p]).collect::<Vec<u32>>(), v.clone())
+            })
+            .collect();
+        pairs.sort_by(|a, b| cmp_rows(&a.0, &b.0));
+
+        let mut out: Vec<(Vec<u32>, E)> = Vec::new();
+        let mut i = 0;
+        while i < pairs.len() {
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+                j += 1;
+            }
+            if (j - i) as u64 == dom_size as u64 {
+                let mut acc = pairs[i].1.clone();
+                for item in &pairs[i + 1..j] {
+                    acc = mul(&acc, &item.1);
+                }
+                if !is_zero(&acc) {
+                    out.push((pairs[i].0.clone(), acc));
+                }
+            }
+            i = j;
+        }
+        Self::from_sorted_pairs(new_schema, out)
+    }
+
+    /// Apply `f` to every value, dropping rows that become zero.
+    pub fn map_values(
+        &self,
+        mut f: impl FnMut(&E) -> E,
+        mut is_zero: impl FnMut(&E) -> bool,
+    ) -> Factor<E> {
+        let pairs: Vec<(Vec<u32>, E)> = self
+            .iter()
+            .filter_map(|(row, v)| {
+                let nv = f(v);
+                if is_zero(&nv) {
+                    None
+                } else {
+                    Some((row.to_vec(), nv))
+                }
+            })
+            .collect();
+        Self::from_sorted_pairs(self.schema.clone(), pairs)
+    }
+
+    /// Restrict to rows where column `var` equals `value`, dropping the column —
+    /// the conditional factor `ψ_S(· | x_v)` used by naive evaluation.
+    pub fn condition(&self, var: Var, value: u32) -> Factor<E> {
+        let vpos = self
+            .schema
+            .iter()
+            .position(|&s| s == var)
+            .unwrap_or_else(|| panic!("{var} not in schema {:?}", self.schema));
+        let positions: Vec<usize> = (0..self.arity()).filter(|&i| i != vpos).collect();
+        let new_schema: Vec<Var> = positions.iter().map(|&i| self.schema[i]).collect();
+        let mut pairs: Vec<(Vec<u32>, E)> = self
+            .iter()
+            .filter(|(row, _)| row[vpos] == value)
+            .map(|(row, v)| {
+                (positions.iter().map(|&p| row[p]).collect::<Vec<u32>>(), v.clone())
+            })
+            .collect();
+        pairs.sort_by(|a, b| cmp_rows(&a.0, &b.0));
+        Self::from_sorted_pairs(new_schema, pairs)
+    }
+}
+
+fn check_schema(schema: &[Var]) -> Result<(), FactorError> {
+    for (i, v) in schema.iter().enumerate() {
+        if schema[..i].contains(v) {
+            return Err(FactorError::DuplicateSchemaVar(*v));
+        }
+    }
+    Ok(())
+}
+
+/// `partition_point` over an abstract index range `[0, len)`.
+fn partition_point(len: usize, mut pred: impl FnMut(usize) -> bool) -> usize {
+    let mut lo = 0;
+    let mut hi = len;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faq_hypergraph::v;
+
+    fn sample() -> Factor<u64> {
+        Factor::new(
+            vec![v(0), v(1)],
+            vec![
+                (vec![1, 0], 10),
+                (vec![0, 1], 5),
+                (vec![0, 0], 3),
+                (vec![2, 2], 7),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_sorts_rows() {
+        let f = sample();
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.row(0), &[0, 0]);
+        assert_eq!(f.row(1), &[0, 1]);
+        assert_eq!(f.row(2), &[1, 0]);
+        assert_eq!(f.row(3), &[2, 2]);
+        assert_eq!(*f.value(0), 3);
+    }
+
+    #[test]
+    fn duplicate_tuples_rejected() {
+        let err = Factor::new(vec![v(0)], vec![(vec![1], 1u64), (vec![1], 2)]).unwrap_err();
+        assert_eq!(err, FactorError::DuplicateTuple(vec![1]));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = Factor::new(vec![v(0), v(1)], vec![(vec![1], 1u64)]).unwrap_err();
+        assert!(matches!(err, FactorError::ArityMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn duplicate_schema_rejected() {
+        let err = Factor::<u64>::new(vec![v(0), v(0)], vec![]).unwrap_err();
+        assert_eq!(err, FactorError::DuplicateSchemaVar(v(0)));
+    }
+
+    #[test]
+    fn with_combine_merges_and_drops_zero() {
+        let f = Factor::with_combine(
+            vec![v(0)],
+            vec![(vec![1], 3i64), (vec![1], -3), (vec![2], 5)],
+            |a, b| a + b,
+            |x| *x == 0,
+        )
+        .unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.get(&[2]), Some(&5));
+        assert_eq!(f.get(&[1]), None);
+    }
+
+    #[test]
+    fn lookup() {
+        let f = sample();
+        assert_eq!(f.get(&[1, 0]), Some(&10));
+        assert_eq!(f.get(&[1, 1]), None);
+    }
+
+    #[test]
+    fn nullary_behaviour() {
+        let s = Factor::nullary(Some(42u64));
+        assert_eq!(s.arity(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&[]), Some(&42));
+        let z = Factor::<u64>::nullary(None);
+        assert!(z.is_empty());
+        assert_eq!(z.get(&[]), None);
+    }
+
+    #[test]
+    fn dense_tabulation() {
+        let f = Factor::dense(
+            vec![v(0), v(1)],
+            &[2, 3],
+            |row| (row[0] * 10 + row[1]) as u64,
+            |&x| x == 0,
+        )
+        .unwrap();
+        // (0,0) -> 0 dropped; 5 rows remain.
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.get(&[1, 2]), Some(&12));
+    }
+
+    #[test]
+    fn reorder_and_align() {
+        let f = sample();
+        let g = f.reorder(&[v(1), v(0)]);
+        assert_eq!(g.schema(), &[v(1), v(0)]);
+        assert_eq!(g.get(&[0, 1]), Some(&10)); // was (1,0)→10
+        assert_eq!(g.row(0), &[0, 0]);
+        let aligned = g.align_to(&[v(0), v(1), v(2)]);
+        assert_eq!(aligned.schema(), &[v(0), v(1)]);
+        assert_eq!(aligned, f);
+    }
+
+    #[test]
+    fn project_combine_sums_groups() {
+        let f = sample();
+        let p = f.project_combine(&[v(0)], |a, b| a + b, |&x| x == 0);
+        assert_eq!(p.schema(), &[v(0)]);
+        assert_eq!(p.get(&[0]), Some(&8)); // 3 + 5
+        assert_eq!(p.get(&[1]), Some(&10));
+        assert_eq!(p.get(&[2]), Some(&7));
+    }
+
+    #[test]
+    fn indicator_projection_is_support() {
+        let f = sample();
+        let p = f.indicator_projection(&[v(1)], 1u64);
+        assert_eq!(p.schema(), &[v(1)]);
+        assert_eq!(p.len(), 3); // column 1 values {0, 1, 2}
+        for i in 0..p.len() {
+            assert_eq!(*p.value(i), 1);
+        }
+    }
+
+    #[test]
+    fn indicator_projection_keeps_all_given_full_schema() {
+        let f = sample();
+        let p = f.indicator_projection(&[v(0), v(1)], 1u64);
+        assert_eq!(p.len(), f.len());
+    }
+
+    #[test]
+    fn marginalize_product_requires_full_groups() {
+        // Dom(v1) = 2. Group x0=0 has both v1-values; group x0=1 only one.
+        let f = Factor::new(
+            vec![v(0), v(1)],
+            vec![(vec![0, 0], 3u64), (vec![0, 1], 5), (vec![1, 0], 7)],
+        )
+        .unwrap();
+        let m = f.marginalize_product(v(1), 2, |a, b| a * b, |&x| x == 0);
+        assert_eq!(m.schema(), &[v(0)]);
+        assert_eq!(m.get(&[0]), Some(&15));
+        assert_eq!(m.get(&[1]), None); // implicit zero annihilated the product
+    }
+
+    #[test]
+    fn marginalize_product_to_scalar() {
+        let f = Factor::new(vec![v(0)], vec![(vec![0], 2u64), (vec![1], 3)]).unwrap();
+        let m = f.marginalize_product(v(0), 2, |a, b| a * b, |&x| x == 0);
+        assert_eq!(m.arity(), 0);
+        assert_eq!(m.get(&[]), Some(&6));
+    }
+
+    #[test]
+    fn map_values_drops_new_zeros() {
+        let f = Factor::new(vec![v(0)], vec![(vec![0], 1i64), (vec![1], 2)]).unwrap();
+        let g = f.map_values(|x| x - 1, |&x| x == 0);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.get(&[1]), Some(&1));
+    }
+
+    #[test]
+    fn condition_restricts_and_drops_column() {
+        let f = sample();
+        let c = f.condition(v(0), 0);
+        assert_eq!(c.schema(), &[v(1)]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&[0]), Some(&3));
+        assert_eq!(c.get(&[1]), Some(&5));
+    }
+
+    #[test]
+    fn prefix_range_and_seek() {
+        let f = sample(); // rows: (0,0) (0,1) (1,0) (2,2)
+        let full = (0, f.len());
+        let r0 = f.prefix_range(full, 0, 0);
+        assert_eq!(r0, (0, 2));
+        let r1 = f.prefix_range(r0, 1, 1);
+        assert_eq!(r1, (1, 2));
+        assert_eq!(f.seek_column(full, 0, 1), Some(1));
+        assert_eq!(f.seek_column(full, 0, 3), None);
+        assert_eq!(f.seek_column((2, 4), 0, 2), Some(2));
+    }
+
+    #[test]
+    fn prefix_range_respects_subranges() {
+        let f = Factor::new(
+            vec![v(0), v(1)],
+            vec![(vec![0, 0], 1u64), (vec![0, 2], 1), (vec![1, 2], 1)],
+        )
+        .unwrap();
+        let r = f.prefix_range((0, 3), 0, 0);
+        assert_eq!(r, (0, 2));
+        // Within x0 = 0 rows, seek column 1 for value >= 1.
+        assert_eq!(f.seek_column(r, 1, 1), Some(2));
+    }
+
+    #[test]
+    fn randomized_projection_equals_bruteforce() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            let n_rows = rng.gen_range(0..20);
+            let mut tuples = Vec::new();
+            for _ in 0..n_rows {
+                tuples.push((
+                    vec![rng.gen_range(0..4u32), rng.gen_range(0..4), rng.gen_range(0..4)],
+                    rng.gen_range(1..10u64),
+                ));
+            }
+            let f = Factor::with_combine(
+                vec![v(0), v(1), v(2)],
+                tuples.clone(),
+                |a, b| a + b,
+                |&x| x == 0,
+            )
+            .unwrap();
+            let p = f.project_combine(&[v(0), v(2)], |a, b| a + b, |&x| x == 0);
+            // Brute-force expected sums.
+            use std::collections::BTreeMap;
+            let mut expect: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+            for (t, val) in &tuples {
+                *expect.entry((t[0], t[2])).or_insert(0) += val;
+            }
+            assert_eq!(p.len(), expect.len());
+            for ((a, c), s) in expect {
+                assert_eq!(p.get(&[a, c]), Some(&s));
+            }
+        }
+    }
+}

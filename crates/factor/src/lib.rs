@@ -1,0 +1,25 @@
+//! Listing-representation factors over discrete domains.
+//!
+//! A *factor* `ψ_S : Π_{i∈S} Dom(X_i) → D` is stored as the table of its
+//! non-zero entries `⟨x_S, ψ_S(x_S)⟩` (paper Definition 4.1). Values live in a
+//! semiring carrier type `E`; the semiring itself is passed into operations as
+//! closures so factors stay decoupled from any particular algebra.
+//!
+//! Rows are kept sorted lexicographically under the factor's column order,
+//! which supplies the *conditional query* oracle of paper Assumption 1 via
+//! binary search, and gives the trie view that the OutsideIn join walks.
+//!
+//! Modules:
+//! * [`domains`] — per-variable domain sizes and assignment iteration;
+//! * [`factor`] — the [`Factor`] type and its algebra (projection, indicator
+//!   projection per Definition 4.2, product marginalization per Assumption 2,
+//!   point-wise maps, powering).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domains;
+pub mod factor;
+
+pub use domains::{AssignmentIter, Domains};
+pub use factor::{Factor, FactorError};

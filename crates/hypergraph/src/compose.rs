@@ -1,0 +1,133 @@
+//! Hypergraph composition and fhtw bounds (paper §8.5).
+//!
+//! Composition models FAQ instances whose input factors are themselves outputs
+//! of inner FAQ instances (succinct input representations, §8.2): an outer
+//! hypergraph `H⁰ = (V, E⁰)` where each edge `e ∈ E⁰` is replaced by the edge
+//! set of an inner hypergraph `H¹_e` over the vertices `e`.
+//!
+//! * Proposition 8.5: `fhtw(H⁰ ∘ H¹) ≤ fhtw(H⁰) · max_e ρ*(H¹_e)`.
+//! * Lemma 8.7: the bound cannot be improved to `fhtw(H⁰) · max_e fhtw(H¹_e)`
+//!   — the star-of-stars family has an `Ω(n)` gap ([`star_of_stars_gap`]).
+
+use crate::{Hypergraph, Var, VarSet};
+
+/// Compose an outer hypergraph with one inner hypergraph per outer edge.
+///
+/// `inner[i]` must be a hypergraph whose vertex set is contained in outer edge
+/// `i`. The result has the outer vertex set and the union of the inner edges.
+pub fn compose(outer: &Hypergraph, inner: &[Hypergraph]) -> Hypergraph {
+    assert_eq!(outer.num_edges(), inner.len(), "one inner hypergraph per outer edge");
+    let mut h = Hypergraph::new();
+    for &v in outer.vertices() {
+        h.add_vertex(v);
+    }
+    for (i, hi) in inner.iter().enumerate() {
+        let outer_edge: &VarSet = &outer.edges()[i];
+        assert!(
+            hi.vertices().is_subset(outer_edge),
+            "inner hypergraph {i} escapes its outer edge"
+        );
+        for e in hi.edges() {
+            h.add_edge(e.iter().copied());
+        }
+    }
+    h
+}
+
+/// The worst-case instance of Lemma 8.7 for a given `n`.
+///
+/// Outer: vertices `a₁..a_n, b₁..b_n` (encoded `a_i = Var(i)`,
+/// `b_i = Var(n + i)`), edges `e_i = {a₁..a_n, b_i}` — a "star" with
+/// `fhtw(H⁰) = 1`. Inner `H¹_{e_i}`: the star centered at `a_i` with leaves
+/// `a₁..a_{i−1}, a_{i+1}..a_n, b_i`, again `fhtw = 1`. The composition
+/// contains the clique `K_n` on `{a₁..a_n}`, so `fhtw(H⁰∘H¹) ≥ n/2` while
+/// `fhtw(H⁰) · max fhtw(H¹) = 1`.
+pub fn star_of_stars_gap(n: u32) -> (Hypergraph, Vec<Hypergraph>) {
+    assert!(n >= 2);
+    let a = |i: u32| Var(i);
+    let b = |i: u32| Var(n + i);
+    let mut outer = Hypergraph::new();
+    let mut inner = Vec::new();
+    for i in 0..n {
+        let mut edge: Vec<Var> = (0..n).map(a).collect();
+        edge.push(b(i));
+        outer.add_edge(edge);
+        // Inner star centered at a_i.
+        let mut hi = Hypergraph::new();
+        for j in 0..n {
+            if j != i {
+                hi.add_edge([a(i), a(j)]);
+            }
+        }
+        hi.add_edge([a(i), b(i)]);
+        inner.push(hi);
+    }
+    (outer, inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::fhtw;
+    use crate::widths::rho_star;
+
+    #[test]
+    fn compose_unions_edges() {
+        let outer = Hypergraph::from_edges(&[&[0, 1, 2], &[2, 3]]);
+        let inner0 = Hypergraph::from_edges(&[&[0, 1], &[1, 2]]);
+        let inner1 = Hypergraph::from_edges(&[&[2, 3]]);
+        let c = compose(&outer, &[inner0, inner1]);
+        assert_eq!(c.num_edges(), 3);
+        assert_eq!(c.num_vertices(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes")]
+    fn escaping_inner_rejected() {
+        let outer = Hypergraph::from_edges(&[&[0, 1]]);
+        let inner0 = Hypergraph::from_edges(&[&[0, 5]]);
+        compose(&outer, &[inner0]);
+    }
+
+    #[test]
+    fn proposition_8_5_bound_holds() {
+        // fhtw(H0 ∘ H1) ≤ fhtw(H0) · max_e ρ*(H1_e) on the gap family and on
+        // a hand-built instance.
+        for n in [2u32, 3, 4] {
+            let (outer, inner) = star_of_stars_gap(n);
+            let comp = compose(&outer, &inner);
+            let lhs = fhtw(&comp, 12).width;
+            let outer_w = fhtw(&outer, 12).width;
+            let max_rho: f64 = inner
+                .iter()
+                .map(|hi| rho_star(hi, &hi.vertices().clone()))
+                .fold(0.0, f64::max);
+            assert!(
+                lhs <= outer_w * max_rho + 1e-6,
+                "n={n}: {lhs} > {outer_w} * {max_rho}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_8_7_gap_grows() {
+        // fhtw(H0 ∘ H1) ≥ n/2 (the composition contains K_n), while
+        // fhtw(H0) · max fhtw(H1_e) = 1.
+        for n in [3u32, 4, 5] {
+            let (outer, inner) = star_of_stars_gap(n);
+            let outer_w = fhtw(&outer, 12).width;
+            assert!((outer_w - 1.0).abs() < 1e-6, "outer fhtw {outer_w}");
+            for hi in &inner {
+                let w = fhtw(hi, 12).width;
+                assert!((w - 1.0).abs() < 1e-6, "inner fhtw {w}");
+            }
+            let comp = compose(&outer, &inner);
+            let w = fhtw(&comp, 12).width;
+            assert!(
+                w >= n as f64 / 2.0 - 1e-6,
+                "n={n}: composed fhtw {w} below clique bound {}",
+                n as f64 / 2.0
+            );
+        }
+    }
+}

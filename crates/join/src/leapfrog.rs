@@ -1,0 +1,420 @@
+//! The LeapFrog-TrieJoin-style backtracking join (OutsideIn).
+
+use faq_factor::{Domains, Factor};
+use faq_hypergraph::Var;
+use faq_semiring::SemiringElem;
+
+/// One input to a multiway join.
+pub struct JoinInput<'a, E> {
+    /// The factor; its schema must be a subsequence of the join's variable
+    /// ordering restricted to its variables (call [`Factor::align_to`] first —
+    /// [`multiway_join`] does this automatically).
+    pub factor: &'a Factor<E>,
+    /// Whether the factor's values participate in the output product.
+    /// Indicator projections and guard factors set this to `false`: they
+    /// filter the search but contribute the multiplicative identity.
+    pub use_value: bool,
+}
+
+impl<'a, E> JoinInput<'a, E> {
+    /// A value-carrying input.
+    pub fn value(factor: &'a Factor<E>) -> Self {
+        JoinInput { factor, use_value: true }
+    }
+
+    /// A filter-only input (indicator projection / guard).
+    pub fn filter(factor: &'a Factor<E>) -> Self {
+        JoinInput { factor, use_value: false }
+    }
+}
+
+/// Counters reported by [`multiway_join`], used by the benchmark harness to
+/// verify the AGM-bound shape of Theorem 5.1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Number of complete output bindings produced.
+    pub matches: u64,
+    /// Number of `seek` conditional queries issued to factor tries.
+    pub seeks: u64,
+    /// Number of search-tree nodes visited (partial bindings).
+    pub nodes: u64,
+}
+
+/// Aligned per-factor state during the search.
+struct Cursor<E: SemiringElem> {
+    factor: Factor<E>,
+    /// `cols[d]` = which column of this factor binds at global depth `d`
+    /// (`usize::MAX` when the factor does not contain `order[d]`).
+    col_at_depth: Vec<usize>,
+    /// Stack of active row ranges; one entry per bound column, plus the root.
+    ranges: Vec<(usize, usize)>,
+    use_value: bool,
+}
+
+/// Enumerate all assignments to `order` consistent with every input factor, in
+/// lexicographic order of `order`. For each match, `on_match` receives the
+/// binding and the `⊗`-product of the values of the `use_value` inputs.
+///
+/// Variables of `order` not constrained by any factor iterate over their full
+/// domain (hence `domains`). Nullary factors act as global scalars: an empty
+/// one annihilates the join.
+///
+/// Returns search statistics.
+pub fn multiway_join<E: SemiringElem>(
+    domains: &Domains,
+    order: &[Var],
+    inputs: &[JoinInput<'_, E>],
+    one: E,
+    mut mul: impl FnMut(&E, &E) -> E,
+    mut on_match: impl FnMut(&[u32], E),
+) -> JoinStats {
+    let mut stats = JoinStats::default();
+
+    // Fold nullary factors into a constant prefix value.
+    let mut prefix = one.clone();
+    let mut cursors: Vec<Cursor<E>> = Vec::new();
+    for inp in inputs {
+        if inp.factor.arity() == 0 {
+            if inp.factor.is_empty() {
+                return stats; // join annihilated by a zero scalar
+            }
+            if inp.use_value {
+                prefix = mul(&prefix, inp.factor.value(0));
+            }
+            continue;
+        }
+        if inp.factor.is_empty() {
+            return stats;
+        }
+        let aligned = inp.factor.align_to(order);
+        let col_at_depth: Vec<usize> = order
+            .iter()
+            .map(|v| aligned.schema().iter().position(|s| s == v).unwrap_or(usize::MAX))
+            .collect();
+        // Every factor column must be bound by the ordering.
+        debug_assert_eq!(
+            col_at_depth.iter().filter(|&&c| c != usize::MAX).count(),
+            aligned.arity(),
+            "factor schema not covered by join order"
+        );
+        let len = aligned.len();
+        cursors.push(Cursor {
+            factor: aligned,
+            col_at_depth,
+            ranges: vec![(0, len)],
+            use_value: inp.use_value,
+        });
+    }
+
+    // participants[d] = cursor indices constrained at depth d.
+    let participants: Vec<Vec<usize>> = (0..order.len())
+        .map(|d| {
+            (0..cursors.len()).filter(|&c| cursors[c].col_at_depth[d] != usize::MAX).collect()
+        })
+        .collect();
+
+    let mut binding: Vec<u32> = Vec::with_capacity(order.len());
+    search(
+        domains,
+        order,
+        &participants,
+        &mut cursors,
+        &mut binding,
+        &prefix,
+        &one,
+        &mut mul,
+        &mut on_match,
+        &mut stats,
+    );
+    stats
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search<E: SemiringElem>(
+    domains: &Domains,
+    order: &[Var],
+    participants: &[Vec<usize>],
+    cursors: &mut [Cursor<E>],
+    binding: &mut Vec<u32>,
+    prefix: &E,
+    one: &E,
+    mul: &mut impl FnMut(&E, &E) -> E,
+    on_match: &mut impl FnMut(&[u32], E),
+    stats: &mut JoinStats,
+) {
+    let d = binding.len();
+    stats.nodes += 1;
+    if d == order.len() {
+        // All variables bound: every cursor's range is a single row.
+        let mut val = prefix.clone();
+        for c in cursors.iter() {
+            if c.use_value {
+                let (lo, hi) = *c.ranges.last().expect("range stack never empty");
+                debug_assert_eq!(hi - lo, 1);
+                val = mul(&val, c.factor.value(lo));
+            }
+        }
+        stats.matches += 1;
+        on_match(binding, val);
+        return;
+    }
+
+    let parts = &participants[d];
+    if parts.is_empty() {
+        // Unconstrained variable: iterate its whole domain.
+        for x in 0..domains.size(order[d]) {
+            binding.push(x);
+            search(domains, order, participants, cursors, binding, prefix, one, mul, on_match, stats);
+            binding.pop();
+        }
+        return;
+    }
+
+    // Leapfrog intersection of the participants' current column ranges.
+    let mut candidate: u32 = 0;
+    'candidates: loop {
+        // Raise `candidate` until all participants agree it is present.
+        let mut stable = false;
+        while !stable {
+            stable = true;
+            for &ci in parts {
+                let col = cursors[ci].col_at_depth[d];
+                let range = *cursors[ci].ranges.last().unwrap();
+                stats.seeks += 1;
+                match cursors[ci].factor.seek_column(range, col, candidate) {
+                    None => break 'candidates,
+                    Some(v) if v > candidate => {
+                        candidate = v;
+                        stable = false;
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+
+        // Descend: narrow every participant to rows with this column value.
+        for &ci in parts {
+            let col = cursors[ci].col_at_depth[d];
+            let range = *cursors[ci].ranges.last().unwrap();
+            let narrowed = cursors[ci].factor.prefix_range(range, col, candidate);
+            cursors[ci].ranges.push(narrowed);
+        }
+        binding.push(candidate);
+        search(domains, order, participants, cursors, binding, prefix, one, mul, on_match, stats);
+        binding.pop();
+        for &ci in parts {
+            cursors[ci].ranges.pop();
+        }
+
+        if candidate == u32::MAX {
+            break;
+        }
+        candidate += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faq_hypergraph::v;
+
+    fn fac(schema: &[u32], rows: &[(&[u32], u64)]) -> Factor<u64> {
+        Factor::new(
+            schema.iter().map(|&i| v(i)).collect(),
+            rows.iter().map(|(r, val)| (r.to_vec(), *val)).collect(),
+        )
+        .unwrap()
+    }
+
+    fn collect_join(
+        domains: &Domains,
+        order: &[Var],
+        inputs: &[JoinInput<'_, u64>],
+    ) -> Vec<(Vec<u32>, u64)> {
+        let mut out = Vec::new();
+        multiway_join(domains, order, inputs, 1u64, |a, b| a * b, |b, val| {
+            out.push((b.to_vec(), val));
+        });
+        out
+    }
+
+    #[test]
+    fn two_way_equijoin() {
+        let r = fac(&[0, 1], &[(&[0, 1], 2), (&[1, 2], 3)]);
+        let s = fac(&[1, 2], &[(&[1, 5], 0), (&[1, 3], 7), (&[2, 0], 11)]);
+        let d = Domains::new(vec![4, 6, 6]);
+        let out = collect_join(
+            &d,
+            &[v(0), v(1), v(2)],
+            &[JoinInput::value(&r), JoinInput::value(&s)],
+        );
+        // (0,1) joins with (1,5)->0 and (1,3)->7 ; (1,2) with (2,0)->11.
+        assert_eq!(
+            out,
+            vec![
+                (vec![0, 1, 3], 14),
+                (vec![0, 1, 5], 0),
+                (vec![1, 2, 0], 33),
+            ]
+        );
+        let _ = d;
+    }
+
+    #[test]
+    fn triangle_join_counts() {
+        // Triangle query R(a,b) ⋈ S(a,c) ⋈ T(b,c) on a 3-clique graph {0,1,2}.
+        let edges: Vec<(&[u32], u64)> = vec![
+            (&[0, 1], 1),
+            (&[0, 2], 1),
+            (&[1, 2], 1),
+            (&[1, 0], 1),
+            (&[2, 0], 1),
+            (&[2, 1], 1),
+        ];
+        let r = fac(&[0, 1], &edges);
+        let s = fac(&[0, 2], &edges);
+        let t = fac(&[1, 2], &edges);
+        let d = Domains::uniform(3, 3);
+        let out = collect_join(
+            &d,
+            &[v(0), v(1), v(2)],
+            &[JoinInput::value(&r), JoinInput::value(&s), JoinInput::value(&t)],
+        );
+        // Directed triangles in K3: 3! = 6 orderings.
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|(_, val)| *val == 1));
+    }
+
+    #[test]
+    fn outputs_in_lexicographic_order() {
+        let r = fac(&[0], &[(&[2], 1), (&[0], 1), (&[1], 1)]);
+        let s = fac(&[1], &[(&[1], 1), (&[0], 1)]);
+        let d = Domains::uniform(2, 3);
+        let out = collect_join(&d, &[v(0), v(1)], &[JoinInput::value(&r), JoinInput::value(&s)]);
+        let keys: Vec<Vec<u32>> = out.iter().map(|(k, _)| k.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn filter_inputs_do_not_contribute_values() {
+        let r = fac(&[0], &[(&[0], 5), (&[1], 7)]);
+        let g = fac(&[0], &[(&[1], 999)]); // guard: only x0=1 allowed
+        let d = Domains::uniform(1, 2);
+        let out = collect_join(&d, &[v(0)], &[JoinInput::value(&r), JoinInput::filter(&g)]);
+        assert_eq!(out, vec![(vec![1], 7)]);
+    }
+
+    #[test]
+    fn unconstrained_variable_iterates_domain() {
+        let r = fac(&[0], &[(&[1], 3)]);
+        let d = Domains::new(vec![2, 3]);
+        let out = collect_join(&d, &[v(0), v(1)], &[JoinInput::value(&r)]);
+        assert_eq!(out, vec![(vec![1, 0], 3), (vec![1, 1], 3), (vec![1, 2], 3)]);
+    }
+
+    #[test]
+    fn nullary_scalars_multiply_or_annihilate() {
+        let r = fac(&[0], &[(&[0], 3)]);
+        let scalar = Factor::nullary(Some(10u64));
+        let d = Domains::uniform(1, 2);
+        let out = collect_join(
+            &d,
+            &[v(0)],
+            &[JoinInput::value(&r), JoinInput::value(&scalar)],
+        );
+        assert_eq!(out, vec![(vec![0], 30)]);
+
+        let zero = Factor::<u64>::nullary(None);
+        let out = collect_join(&d, &[v(0)], &[JoinInput::value(&r), JoinInput::value(&zero)]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_factor_empties_join() {
+        let r = fac(&[0], &[]);
+        let s = fac(&[0], &[(&[0], 1)]);
+        let d = Domains::uniform(1, 2);
+        let out = collect_join(&d, &[v(0)], &[JoinInput::value(&r), JoinInput::value(&s)]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let r = fac(&[0, 1], &[(&[0, 0], 1), (&[1, 1], 1)]);
+        let d = Domains::uniform(2, 2);
+        let mut out = Vec::new();
+        let stats = multiway_join(
+            &d,
+            &[v(0), v(1)],
+            &[JoinInput::value(&r)],
+            1u64,
+            |a, b| a * b,
+            |b, val| out.push((b.to_vec(), val)),
+        );
+        assert_eq!(stats.matches, 2);
+        assert!(stats.seeks > 0);
+        assert!(stats.nodes >= 3);
+    }
+
+    #[test]
+    fn misordered_schema_is_aligned_automatically() {
+        // Factor declared with schema (1, 0); join order (0, 1).
+        let f = Factor::new(vec![v(1), v(0)], vec![(vec![5, 0], 2u64), (vec![3, 1], 4)]).unwrap();
+        let d = Domains::new(vec![2, 6]);
+        let out = collect_join(&d, &[v(0), v(1)], &[JoinInput::value(&f)]);
+        assert_eq!(out, vec![(vec![0, 5], 2), (vec![1, 3], 4)]);
+    }
+
+    #[test]
+    fn random_joins_match_nested_loop_semantics() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1234);
+        for _ in 0..30 {
+            let dsize = rng.gen_range(2..4u32);
+            let d = Domains::uniform(3, dsize);
+            let mk = |rng: &mut StdRng, vars: &[u32]| {
+                let mut tuples = Vec::new();
+                for _ in 0..rng.gen_range(0..8) {
+                    tuples.push((
+                        (0..vars.len()).map(|_| rng.gen_range(0..dsize)).collect::<Vec<u32>>(),
+                        rng.gen_range(1..5u64),
+                    ));
+                }
+                Factor::with_combine(
+                    vars.iter().map(|&i| v(i)).collect(),
+                    tuples,
+                    |a, b| a + b,
+                    |&x| x == 0,
+                )
+                .unwrap()
+            };
+            let f1 = mk(&mut rng, &[0, 1]);
+            let f2 = mk(&mut rng, &[1, 2]);
+            let f3 = mk(&mut rng, &[0, 2]);
+            let order = [v(0), v(1), v(2)];
+            let got = collect_join(
+                &d,
+                &order,
+                &[JoinInput::value(&f1), JoinInput::value(&f2), JoinInput::value(&f3)],
+            );
+            // Brute force.
+            let mut expect = Vec::new();
+            for a in 0..dsize {
+                for b in 0..dsize {
+                    for c in 0..dsize {
+                        let p = f1.get(&[a, b]).copied();
+                        let q = f2.get(&[b, c]).copied();
+                        let r = f3.get(&[a, c]).copied();
+                        if let (Some(p), Some(q), Some(r)) = (p, q, r) {
+                            expect.push((vec![a, b, c], p * q * r));
+                        }
+                    }
+                }
+            }
+            assert_eq!(got, expect);
+        }
+    }
+}

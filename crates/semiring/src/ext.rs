@@ -1,0 +1,158 @@
+//! Semiring combinators and "non-semiring aggregates as semirings" tricks.
+//!
+//! Paper Appendix B observes that several useful aggregates that are not
+//! semiring additions on their face become semiring additions after lifting
+//! the carrier. The classic example is `average`, which is a projection of the
+//! `(sum, count)` pair semiring. This module provides:
+//!
+//! * [`PairSemiring`] — the product of two semirings, component-wise;
+//! * [`AvgPair`] / [`avg_of`] — the average-as-semiring lifting;
+//! * [`LogProb`] — a numerically-stable log-space sum-product semiring.
+
+use crate::{Semiring, SemiringElem};
+
+/// The product semiring `S × T` with component-wise operations.
+///
+/// If `(D₁, ⊕₁, ⊗₁)` and `(D₂, ⊕₂, ⊗₂)` are commutative semirings then so is
+/// `(D₁ × D₂, ⊕, ⊗)` with both operations applied component-wise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairSemiring<S, T> {
+    /// Left component semiring.
+    pub left: S,
+    /// Right component semiring.
+    pub right: T,
+}
+
+impl<S: Semiring, T: Semiring> PairSemiring<S, T> {
+    /// Build the product of two semirings.
+    pub fn new(left: S, right: T) -> Self {
+        PairSemiring { left, right }
+    }
+}
+
+impl<S: Semiring, T: Semiring> Semiring for PairSemiring<S, T>
+where
+    (S::E, T::E): SemiringElem,
+{
+    type E = (S::E, T::E);
+
+    fn zero(&self) -> Self::E {
+        (self.left.zero(), self.right.zero())
+    }
+    fn one(&self) -> Self::E {
+        (self.left.one(), self.right.one())
+    }
+    fn add(&self, a: &Self::E, b: &Self::E) -> Self::E {
+        (self.left.add(&a.0, &b.0), self.right.add(&a.1, &b.1))
+    }
+    fn mul(&self, a: &Self::E, b: &Self::E) -> Self::E {
+        (self.left.mul(&a.0, &b.0), self.right.mul(&a.1, &b.1))
+    }
+}
+
+/// `(sum, count)` pairs: the lifting that turns `average` into a semiring
+/// aggregate (paper Appendix B).
+pub type AvgPair = (f64, f64);
+
+/// Project an accumulated `(sum, count)` pair to the average it represents.
+///
+/// Returns `None` for an empty aggregate (count 0).
+pub fn avg_of(pair: &AvgPair) -> Option<f64> {
+    if pair.1 == 0.0 {
+        None
+    } else {
+        Some(pair.0 / pair.1)
+    }
+}
+
+/// Log-space sum-product semiring over `ℝ ∪ {−∞}`: elements are `ln(p)`.
+///
+/// `⊕` is log-sum-exp (numerically stable), `⊗` is `+`. `zero = −∞`
+/// (representing probability 0) and `one = 0` (probability 1). Useful for PGM
+/// inference when probabilities underflow `f64`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LogProb;
+
+impl Semiring for LogProb {
+    type E = f64;
+
+    fn zero(&self) -> f64 {
+        f64::NEG_INFINITY
+    }
+    fn one(&self) -> f64 {
+        0.0
+    }
+    fn add(&self, a: &f64, b: &f64) -> f64 {
+        // log(e^a + e^b) computed stably.
+        if *a == f64::NEG_INFINITY {
+            return *b;
+        }
+        if *b == f64::NEG_INFINITY {
+            return *a;
+        }
+        let (hi, lo) = if a >= b { (*a, *b) } else { (*b, *a) };
+        hi + (lo - hi).exp().ln_1p()
+    }
+    fn mul(&self, a: &f64, b: &f64) -> f64 {
+        if *a == f64::NEG_INFINITY || *b == f64::NEG_INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            a + b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semirings::{CountSumProd, F64SumProd};
+
+    #[test]
+    fn pair_semiring_componentwise() {
+        let s = PairSemiring::new(F64SumProd, CountSumProd);
+        let a = (2.0, 3u64);
+        let b = (5.0, 7u64);
+        assert_eq!(s.add(&a, &b), (7.0, 10));
+        assert_eq!(s.mul(&a, &b), (10.0, 21));
+        assert_eq!(s.zero(), (0.0, 0));
+        assert_eq!(s.one(), (1.0, 1));
+    }
+
+    #[test]
+    fn average_via_pair() {
+        let s = PairSemiring::new(F64SumProd, F64SumProd);
+        // "average of {2, 4, 9}" accumulated as (sum, count) pairs.
+        let acc = [(2.0, 1.0), (4.0, 1.0), (9.0, 1.0)]
+            .iter()
+            .fold(s.zero(), |acc, x| s.add(&acc, x));
+        assert_eq!(avg_of(&acc), Some(5.0));
+        assert_eq!(avg_of(&s.zero()), None);
+    }
+
+    #[test]
+    fn log_prob_matches_linear_space() {
+        let lp = LogProb;
+        let lin = F64SumProd;
+        let probs = [0.1f64, 0.25, 0.5, 1.0];
+        for &p in &probs {
+            for &q in &probs {
+                let log_sum = lp.add(&p.ln(), &q.ln());
+                let log_prod = lp.mul(&p.ln(), &q.ln());
+                assert!((log_sum.exp() - lin.add(&p, &q)).abs() < 1e-12);
+                assert!((log_prod.exp() - lin.mul(&p, &q)).abs() < 1e-12);
+            }
+        }
+        // zero behaves as probability 0.
+        assert_eq!(lp.add(&lp.zero(), &0.5f64.ln()), 0.5f64.ln());
+        assert_eq!(lp.mul(&lp.zero(), &0.5f64.ln()), lp.zero());
+    }
+
+    #[test]
+    fn log_prob_sum_is_stable_for_tiny_probs() {
+        let lp = LogProb;
+        // p = e^-1000 twice: linear space underflows, log space must not.
+        let tiny = -1000.0;
+        let s = lp.add(&tiny, &tiny);
+        assert!((s - (tiny + 2f64.ln())).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,55 @@
+//! Matrix chain multiplication and the DFT as FAQ instances
+//! (Table 1 rows 7–8, paper Example 1.1 and Appendix E).
+//!
+//! Run with: `cargo run --example matrix_chain --release`
+
+use faq::apps::matrix::{dft_faq, naive_dft, Matrix, MatrixChain};
+use faq::semiring::Complex64;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn main() {
+    mcm();
+    dft();
+}
+
+fn mcm() {
+    println!("== Matrix chain multiplication ==");
+    let n = 48;
+    let mut rng = StdRng::seed_from_u64(1);
+    let chain = MatrixChain {
+        matrices: vec![
+            Matrix::random(1, n, &mut rng),
+            Matrix::random(n, 1, &mut rng),
+            Matrix::random(1, n, &mut rng),
+            Matrix::random(n, 1, &mut rng),
+        ],
+    };
+    let (cost, _) = chain.dp_optimal();
+    let order = chain.dp_variable_ordering();
+    println!("dims = 1×{n}×1×{n}×1");
+    println!("textbook DP optimal scalar-multiplication cost: {cost}");
+    println!("corresponding FAQ variable ordering: {order:?}");
+
+    let via_faq = chain.evaluate_insideout(&order).expect("insideout succeeds");
+    let direct = chain.evaluate_left_to_right();
+    println!("max |FAQ − direct| = {:.3e}", via_faq.max_diff(&direct));
+}
+
+fn dft() {
+    println!("\n== DFT over Z_2^8 via FAQ (the FFT in disguise) ==");
+    let m = 8usize;
+    let n = 1usize << m;
+    let mut rng = StdRng::seed_from_u64(2);
+    let input: Vec<Complex64> =
+        (0..n).map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+
+    let fast = dft_faq(2, m, &input).expect("dft succeeds");
+    let slow = naive_dft(&input);
+    let max_err = fast
+        .iter()
+        .zip(&slow)
+        .map(|(a, b)| (*a - *b).abs())
+        .fold(0.0f64, f64::max);
+    println!("N = {n}; max |FAQ-FFT − naive| = {max_err:.3e}");
+    println!("first three coefficients: {:?} {:?} {:?}", fast[0], fast[1], fast[2]);
+}

@@ -1,0 +1,39 @@
+//! Worst-case-optimal joins vs pairwise plans (Table 1 row "Joins").
+//!
+//! On the skewed hub instance the pairwise plan materializes Θ(N²)
+//! intermediates while OutsideIn (LeapFrog TrieJoin inside InsideOut) touches
+//! O(N^{3/2}) — here the output is empty, so the gap is stark.
+//!
+//! Run with: `cargo run --example worst_case_joins --release`
+
+use faq::apps::joins::{skewed_triangle_instance, triangle_query};
+use faq::join::pairwise_hash_join;
+use std::time::Instant;
+
+fn main() {
+    println!("  N (edges) | insideout ms | pairwise ms | intermediate rows");
+    for n in [200u32, 400, 800, 1600] {
+        let edges = skewed_triangle_instance(n);
+        let q = triangle_query(&edges, n);
+
+        let t0 = Instant::now();
+        let out = q.evaluate().expect("join succeeds");
+        let t_io = t0.elapsed().as_secs_f64() * 1e3;
+
+        let factors: Vec<_> = q.relations.iter().map(|r| r.to_factor()).collect();
+        let refs: Vec<&_> = factors.iter().collect();
+        let t0 = Instant::now();
+        let hj = pairwise_hash_join(&refs, |a, b| a * b, |&x| x == 0);
+        let t_hj = t0.elapsed().as_secs_f64() * 1e3;
+
+        // The Θ(N²) blow-up lives in the first binary step R ⋈ S.
+        let first_step = pairwise_hash_join(&refs[..2], |a, b| a * b, |&x| x == 0);
+        println!(
+            "  {:9} | {t_io:12.3} | {t_hj:11.3} | triangles={}, pairwise R⋈S rows={}",
+            edges.len(),
+            out.factor.len(),
+            first_step.len()
+        );
+        let _ = hj;
+    }
+}

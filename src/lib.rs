@@ -1,0 +1,25 @@
+//! `faq` — Functional Aggregate Queries (PODS 2016) in Rust.
+//!
+//! A facade crate re-exporting the whole FAQ stack. See the individual crates
+//! for documentation:
+//!
+//! * [`semiring`] — commutative semirings and multi-aggregate domains;
+//! * [`lp`] — the simplex solver behind fractional edge covers;
+//! * [`hypergraph`] — hypergraphs, acyclicity, tree decompositions, widths;
+//! * [`factor`] — listing-representation factors;
+//! * [`join`] — the OutsideIn worst-case-optimal join and baselines;
+//! * [`core`] — the FAQ query model, InsideOut, expression trees, EVO, faqw;
+//! * [`cnf`] — β-acyclic SAT/#SAT via variable elimination;
+//! * [`apps`] — joins, conjunctive queries, QCQ/#QCQ, graphical models,
+//!   matrix chains, the DFT and CSPs expressed as FAQ instances.
+
+#![forbid(unsafe_code)]
+
+pub use faq_apps as apps;
+pub use faq_cnf as cnf;
+pub use faq_core as core;
+pub use faq_factor as factor;
+pub use faq_hypergraph as hypergraph;
+pub use faq_join as join;
+pub use faq_lp as lp;
+pub use faq_semiring as semiring;

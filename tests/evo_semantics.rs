@@ -1,0 +1,221 @@
+//! Semantic validation of the EVO characterization (paper §6).
+//!
+//! * Soundness: orderings accepted by `is_equivalent_ordering` evaluate
+//!   identically to the original expression on randomized inputs.
+//! * Completeness of the *rejection*: for orderings the checker rejects, we
+//!   search for a witness input on which the two expressions differ — the
+//!   Proposition 6.7 style adversarial argument, realized by random search
+//!   over small factor tables.
+
+use faq::core::evo::is_equivalent_ordering;
+use faq::core::{naive_eval, FaqQuery, VarAgg};
+use faq::factor::{Domains, Factor};
+use faq::hypergraph::Var;
+use faq::semiring::CountDomain;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Evaluate the query with the aggregates *permuted along* an ordering `pi`
+/// (paper Definition 5.7(b)): the bound list is reordered so variable `v`
+/// keeps its own aggregate.
+fn eval_permuted(q: &FaqQuery<CountDomain>, pi: &[Var]) -> Factor<u64> {
+    let f = q.free.len();
+    let mut q2 = q.clone();
+    q2.bound = pi[f..]
+        .iter()
+        .map(|&v| (v, q.agg_of(v).expect("bound var")))
+        .collect();
+    naive_eval(&q2)
+}
+
+fn random_instance(
+    rng: &mut StdRng,
+    schemas: &[&[u32]],
+    bound: &[(u32, VarAgg)],
+    dom: u32,
+) -> FaqQuery<CountDomain> {
+    let n_vars = bound.len();
+    let factors: Vec<Factor<u64>> = schemas
+        .iter()
+        .map(|schema| {
+            let vars: Vec<Var> = schema.iter().map(|&i| Var(i)).collect();
+            let mut tuples = Vec::new();
+            let mut cur = vec![0u32; vars.len()];
+            loop {
+                if rng.gen_bool(0.65) {
+                    tuples.push((cur.clone(), rng.gen_range(1..4u64)));
+                }
+                let mut i = vars.len();
+                let done = loop {
+                    if i == 0 {
+                        break true;
+                    }
+                    i -= 1;
+                    cur[i] += 1;
+                    if cur[i] < dom {
+                        break false;
+                    }
+                    cur[i] = 0;
+                };
+                if done {
+                    break;
+                }
+            }
+            Factor::new(vars, tuples).unwrap()
+        })
+        .collect();
+    FaqQuery::new(
+        CountDomain,
+        Domains::uniform(n_vars, dom),
+        vec![],
+        bound.iter().map(|&(i, a)| (Var(i), a)).collect(),
+        factors,
+    )
+    .unwrap()
+}
+
+fn all_permutations(ids: &[u32]) -> Vec<Vec<Var>> {
+    fn rec(arr: &mut Vec<Var>, k: usize, out: &mut Vec<Vec<Var>>) {
+        if k == arr.len() {
+            out.push(arr.clone());
+            return;
+        }
+        for i in k..arr.len() {
+            arr.swap(k, i);
+            rec(arr, k + 1, out);
+            arr.swap(k, i);
+        }
+    }
+    let mut arr: Vec<Var> = ids.iter().map(|&i| Var(i)).collect();
+    let mut out = Vec::new();
+    rec(&mut arr, 0, &mut out);
+    out
+}
+
+/// For a fixed query structure, classify every permutation with the checker
+/// and verify the classification semantically over many random inputs.
+fn classify_and_verify(
+    schemas: &[&[u32]],
+    bound: &[(u32, VarAgg)],
+    rounds: usize,
+    seed: u64,
+) {
+    let ids: Vec<u32> = bound.iter().map(|&(i, _)| i).collect();
+    let perms = all_permutations(&ids);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Classify using the structural checker (shape is input-independent).
+    let proto = random_instance(&mut rng, schemas, bound, 2);
+    let shape = proto.shape();
+    let accepted: Vec<bool> =
+        perms.iter().map(|pi| is_equivalent_ordering(&shape, pi)).collect();
+    assert!(accepted.iter().any(|&a| a), "the input ordering itself must be accepted");
+
+    // Semantic check. Accepted orderings must agree on EVERY input; rejected
+    // orderings must disagree on SOME input.
+    let mut refuted = vec![false; perms.len()];
+    for _ in 0..rounds {
+        let q = random_instance(&mut rng, schemas, bound, 2);
+        let reference = naive_eval(&q);
+        for (idx, pi) in perms.iter().enumerate() {
+            let val = eval_permuted(&q, pi);
+            if accepted[idx] {
+                assert_eq!(
+                    val, reference,
+                    "accepted ordering {pi:?} differs on some input — unsound!"
+                );
+            } else if val != reference {
+                refuted[idx] = true;
+            }
+        }
+    }
+    for (idx, pi) in perms.iter().enumerate() {
+        if !accepted[idx] {
+            assert!(
+                refuted[idx],
+                "rejected ordering {pi:?} never differed across {rounds} random inputs — \
+                 the checker may be too conservative for this structure"
+            );
+        }
+    }
+}
+
+#[test]
+fn sum_max_chain_classification() {
+    // ϕ = Σ1 max2 Σ3 ψ12 ψ23 — the classic non-commuting pair.
+    classify_and_verify(
+        &[&[0, 1], &[1, 2]],
+        &[
+            (0, VarAgg::Semiring(CountDomain::SUM)),
+            (1, VarAgg::Semiring(CountDomain::MAX)),
+            (2, VarAgg::Semiring(CountDomain::SUM)),
+        ],
+        60,
+        1,
+    );
+}
+
+#[test]
+fn example_6_13_classification() {
+    // ϕ = Σ1 max2 Σ3 ψ12 ψ13: EVO = {(1,2,3),(1,3,2),(3,1,2)}.
+    classify_and_verify(
+        &[&[0, 1], &[0, 2]],
+        &[
+            (0, VarAgg::Semiring(CountDomain::SUM)),
+            (1, VarAgg::Semiring(CountDomain::MAX)),
+            (2, VarAgg::Semiring(CountDomain::SUM)),
+        ],
+        60,
+        2,
+    );
+}
+
+#[test]
+fn product_aggregate_classification() {
+    // ϕ = Σ1 Π2 Σ3 ψ12 ψ23 over ℕ (non-idempotent ⊗): the Definition 6.30
+    // relation applies; only orderings keeping Σ1 ≺ Π2 ≺ Σ3-ish structure
+    // survive.
+    classify_and_verify(
+        &[&[0, 1], &[1, 2]],
+        &[
+            (0, VarAgg::Semiring(CountDomain::SUM)),
+            (1, VarAgg::Product),
+            (2, VarAgg::Semiring(CountDomain::SUM)),
+        ],
+        80,
+        3,
+    );
+}
+
+#[test]
+fn disconnected_components_classification() {
+    // ϕ = Σ1 max2 Σ3 max4 ψ13 ψ24: two disconnected components — orderings
+    // interleave freely as long as each component keeps its relative order.
+    classify_and_verify(
+        &[&[0, 2], &[1, 3]],
+        &[
+            (0, VarAgg::Semiring(CountDomain::SUM)),
+            (1, VarAgg::Semiring(CountDomain::MAX)),
+            (2, VarAgg::Semiring(CountDomain::SUM)),
+            (3, VarAgg::Semiring(CountDomain::MAX)),
+        ],
+        40,
+        4,
+    );
+}
+
+#[test]
+fn faq_ss_accepts_everything() {
+    // Single semiring: all orderings are equivalent; none may be rejected.
+    let bound = [
+        (0u32, VarAgg::Semiring(CountDomain::SUM)),
+        (1, VarAgg::Semiring(CountDomain::SUM)),
+        (2, VarAgg::Semiring(CountDomain::SUM)),
+    ];
+    let mut rng = StdRng::seed_from_u64(5);
+    let proto = random_instance(&mut rng, &[&[0, 1], &[1, 2]], &bound, 2);
+    let shape = proto.shape();
+    for pi in all_permutations(&[0, 1, 2]) {
+        assert!(is_equivalent_ordering(&shape, &pi), "{pi:?}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Cross-validate the simplex solver against brute-force grid search on
+//! random covering LPs (the only LP family the width machinery emits).
+
+use faq::lp::{ConstraintOp, LinearProgram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Brute-force: minimize Σ λ over a fine grid of feasible points. Only an
+/// upper-accuracy reference — the simplex optimum must be ≤ grid optimum and
+/// feasible itself.
+fn grid_optimum(incidence: &[Vec<bool>], steps: u32) -> f64 {
+    let ne = incidence[0].len();
+    assert!(ne <= 3, "grid search limited to 3 edge variables");
+    let mut best = f64::INFINITY;
+    let step = 1.0 / steps as f64;
+    let mut lambda = vec![0.0f64; ne];
+    fn rec(
+        incidence: &[Vec<bool>],
+        lambda: &mut Vec<f64>,
+        i: usize,
+        steps: u32,
+        step: f64,
+        best: &mut f64,
+    ) {
+        if i == lambda.len() {
+            // Feasible?
+            for row in incidence {
+                let total: f64 =
+                    row.iter().zip(lambda.iter()).map(|(&b, &x)| if b { x } else { 0.0 }).sum();
+                if total < 1.0 - 1e-12 {
+                    return;
+                }
+            }
+            let obj: f64 = lambda.iter().sum();
+            if obj < *best {
+                *best = obj;
+            }
+            return;
+        }
+        for k in 0..=steps {
+            lambda[i] = k as f64 * step;
+            rec(incidence, lambda, i + 1, steps, step, best);
+        }
+    }
+    rec(incidence, &mut lambda, 0, steps, step, &mut best);
+    best
+}
+
+#[test]
+fn simplex_beats_or_matches_grid_on_random_covers() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut solved = 0;
+    for _ in 0..60 {
+        let nv = rng.gen_range(2..5usize);
+        let ne = rng.gen_range(2..4usize);
+        let mut incidence = vec![vec![false; ne]; nv];
+        for (v, row) in incidence.iter_mut().enumerate() {
+            row[v % ne] = true;
+            for cell in row.iter_mut() {
+                if rng.gen_bool(0.5) {
+                    *cell = true;
+                }
+            }
+        }
+        let mut lp = LinearProgram::minimize(vec![1.0; ne]);
+        for row in &incidence {
+            let coeffs: Vec<f64> = row.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+            lp = lp.constraint(coeffs, ConstraintOp::Ge, 1.0);
+        }
+        let sol = lp.solve().expect("covering LPs are feasible");
+        // Feasibility of the simplex point.
+        for row in &incidence {
+            let total: f64 =
+                row.iter().zip(&sol.x).map(|(&b, &x)| if b { x } else { 0.0 }).sum();
+            assert!(total >= 1.0 - 1e-6);
+        }
+        // Optimality vs the grid (grid is coarser, so simplex must be ≤ grid
+        // + tolerance; with steps = 4 the vertex solutions of covering LPs —
+        // multiples of 1/2 — are on the grid).
+        let grid = grid_optimum(&incidence, 4);
+        assert!(
+            sol.objective <= grid + 1e-6,
+            "simplex {} worse than grid {}",
+            sol.objective,
+            grid
+        );
+        solved += 1;
+    }
+    assert_eq!(solved, 60);
+}
+
+#[test]
+fn simplex_handles_degenerate_equalities() {
+    // min x s.t. a·x ≥ b  ⇒  x = b/a.
+    for (a, b) in [(1.0, 1.0), (2.0, 1.0), (1.0, 3.0), (4.0, 6.0)] {
+        let lp = LinearProgram::minimize(vec![1.0]).constraint(vec![a], ConstraintOp::Ge, b);
+        let s = lp.solve().unwrap();
+        assert!(
+            (s.objective - b / a).abs() < 1e-9,
+            "min x s.t. {a}x ≥ {b}: got {}",
+            s.objective
+        );
+        // Two independent equalities pin both coordinates.
+        let lp2 = LinearProgram::minimize(vec![1.0, 1.0])
+            .constraint(vec![a, 0.0], ConstraintOp::Eq, b)
+            .constraint(vec![0.0, a], ConstraintOp::Eq, b);
+        let s2 = lp2.solve().unwrap();
+        assert!((s2.objective - 2.0 * b / a).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,201 @@
+//! End-to-end reproductions of the paper's worked examples and named results,
+//! exercised through the public API only.
+
+use faq::core::evo::{is_equivalent_ordering, linear_extensions};
+use faq::core::width::{faqw_exact, faqw_of_ordering};
+use faq::core::{QueryShape, Tag};
+use faq::hypergraph::{Var, VarSet};
+use faq::semiring::AggId;
+
+const SUM: Tag = Tag::Semiring(AggId(0));
+const MAX: Tag = Tag::Semiring(AggId(1));
+
+fn vs(ids: &[u32]) -> VarSet {
+    ids.iter().map(|&i| Var(i)).collect()
+}
+
+fn vorder(ids: &[u32]) -> Vec<Var> {
+    ids.iter().map(|&i| Var(i)).collect()
+}
+
+/// Example 6.2 / Figures 2–3: the exact final tree shape.
+#[test]
+fn figure_2_3_expression_tree() {
+    let shape = QueryShape {
+        seq: vec![
+            (Var(1), SUM),
+            (Var(2), SUM),
+            (Var(3), MAX),
+            (Var(4), SUM),
+            (Var(5), SUM),
+            (Var(6), MAX),
+            (Var(7), MAX),
+        ],
+        edges: vec![vs(&[1, 2]), vs(&[1, 3, 5]), vs(&[1, 4]), vs(&[2, 4, 6]), vs(&[2, 7]), vs(&[3, 7])],
+        mul_idempotent: false,
+            closed_ops: Default::default(),
+    };
+    let t = shape.expr_tree();
+    let rendered = t.render();
+    // Root {} → {1,2,4}Σ → ({3,7}max → {5}Σ) and {6}max.
+    assert!(rendered.contains("{X1,X2,X4}"), "{rendered}");
+    assert!(rendered.contains("{X3,X7}"), "{rendered}");
+    assert!(rendered.contains("{X5}"), "{rendered}");
+    assert!(rendered.contains("{X6}"), "{rendered}");
+    // The original input ordering is equivalent; a max-before-Σ one is not.
+    assert!(is_equivalent_ordering(&shape, &vorder(&[1, 2, 3, 4, 5, 6, 7])));
+    assert!(!is_equivalent_ordering(&shape, &vorder(&[3, 1, 2, 4, 5, 6, 7])));
+}
+
+/// Example 6.19 / Figures 4–6: dangling node and variable copies.
+#[test]
+fn figure_4_6_expression_tree() {
+    let shape = QueryShape {
+        seq: vec![
+            (Var(1), MAX),
+            (Var(2), MAX),
+            (Var(3), SUM),
+            (Var(4), SUM),
+            (Var(5), Tag::Product),
+            (Var(6), MAX),
+            (Var(7), Tag::Product),
+            (Var(8), MAX),
+        ],
+        edges: vec![
+            vs(&[1, 3]),
+            vs(&[2, 4]),
+            vs(&[3, 4]),
+            vs(&[1, 5]),
+            vs(&[1, 6]),
+            vs(&[2, 6]),
+            vs(&[2, 5, 7]),
+            vs(&[1, 6, 7]),
+            vs(&[2, 7, 8]),
+        ],
+        mul_idempotent: true,
+            closed_ops: [AggId(1)].into_iter().collect(),
+    };
+    let t = shape.expr_tree();
+    let rendered = t.render();
+    assert!(rendered.contains("{X1,X2,X6}"), "{rendered}");
+    assert!(rendered.contains("{X5,X7}"), "{rendered}");
+    assert!(rendered.contains("{X3,X4}"), "{rendered}");
+    assert!(rendered.contains("{X8}"), "{rendered}");
+    // X7 occurs three times (copies).
+    assert_eq!(t.nodes_of(Var(7)).len(), 3);
+}
+
+/// Example 5.6's width gap: faqw(input order) = 2 vs faqw(good order) = 1
+/// under the {0,1} idempotent promise.
+#[test]
+fn example_5_6_width_gap() {
+    let shape = QueryShape {
+        seq: vec![
+            (Var(1), MAX),
+            (Var(2), MAX),
+            (Var(3), Tag::Product),
+            (Var(4), SUM),
+            (Var(5), MAX),
+            (Var(6), MAX),
+        ],
+        edges: vec![vs(&[1, 5]), vs(&[2, 5]), vs(&[1, 3, 4]), vs(&[2, 3, 6])],
+        mul_idempotent: true,
+            closed_ops: [AggId(1)].into_iter().collect(),
+    };
+    let w_input = faqw_of_ordering(&shape, &vorder(&[1, 2, 3, 4, 5, 6]));
+    let w_good = faqw_of_ordering(&shape, &vorder(&[5, 1, 2, 3, 4, 6]));
+    assert!((w_input - 2.0).abs() < 1e-9, "{w_input}");
+    assert!((w_good - 1.0).abs() < 1e-9, "{w_good}");
+    assert!(is_equivalent_ordering(&shape, &vorder(&[5, 1, 2, 3, 4, 6])));
+    // But without the idempotence promise, moving X5 first is NOT valid.
+    let strict = QueryShape { mul_idempotent: false, ..shape.clone() };
+    assert!(!is_equivalent_ordering(&strict, &vorder(&[5, 1, 2, 3, 4, 6])));
+}
+
+/// Example 6.13: the complete EVO set via the membership checker, and
+/// LinEx(P) as its width-complete core.
+#[test]
+fn example_6_13_evo_set() {
+    let shape = QueryShape {
+        seq: vec![(Var(1), SUM), (Var(2), MAX), (Var(3), SUM)],
+        edges: vec![vs(&[1, 2]), vs(&[1, 3])],
+        mul_idempotent: false,
+            closed_ops: Default::default(),
+    };
+    let mut evo = Vec::new();
+    let perms = [
+        [1u32, 2, 3],
+        [1, 3, 2],
+        [2, 1, 3],
+        [2, 3, 1],
+        [3, 1, 2],
+        [3, 2, 1],
+    ];
+    for p in perms {
+        if is_equivalent_ordering(&shape, &vorder(&p)) {
+            evo.push(p);
+        }
+    }
+    assert_eq!(evo, vec![[1, 2, 3], [1, 3, 2], [3, 1, 2]]);
+    let (linex, _) = linear_extensions(&shape, 100);
+    // Every LinEx member has the optimal width 1 (Prop 6.11 / Cor 6.14).
+    for sigma in &linex {
+        assert!((faqw_of_ordering(&shape, sigma) - 1.0).abs() < 1e-9);
+    }
+}
+
+/// Proposition 5.12: for FAQ-SS with all variables aggregated identically,
+/// faqw(ϕ) = fhtw(H). Checked on the triangle and on C5.
+#[test]
+fn proposition_5_12_faqw_equals_fhtw() {
+    // Triangle.
+    let tri = QueryShape {
+        seq: vec![(Var(0), SUM), (Var(1), SUM), (Var(2), SUM)],
+        edges: vec![vs(&[0, 1]), vs(&[0, 2]), vs(&[1, 2])],
+        mul_idempotent: false,
+            closed_ops: Default::default(),
+    };
+    let r = faqw_exact(&tri, 100);
+    assert!((r.width - 1.5).abs() < 1e-9);
+
+    // C5: fhtw = 2 (ρ* of the largest induced U-set along the best ordering).
+    let c5 = QueryShape {
+        seq: (0..5).map(|i| (Var(i), SUM)).collect(),
+        edges: vec![vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 3]), vs(&[3, 4]), vs(&[4, 0])],
+        mul_idempotent: false,
+            closed_ops: Default::default(),
+    };
+    let r = faqw_exact(&c5, 100_000);
+    let h = c5.hypergraph();
+    let fhtw = faq::hypergraph::ordering::fhtw(&h, 16).width;
+    assert!((r.width - fhtw).abs() < 1e-9, "faqw {} vs fhtw {}", r.width, fhtw);
+}
+
+/// §6.1's extended example: interleavings of factorized components belong to
+/// EVO and share the LinEx width (the CWE completeness statement).
+#[test]
+fn section_6_1_component_interleavings() {
+    let shape = QueryShape {
+        seq: vec![
+            (Var(1), SUM),
+            (Var(2), SUM),
+            (Var(3), MAX),
+            (Var(4), MAX),
+            (Var(5), SUM),
+        ],
+        edges: vec![vs(&[1, 5]), vs(&[2, 5]), vs(&[1, 3]), vs(&[2, 4])],
+        mul_idempotent: false,
+            closed_ops: Default::default(),
+    };
+    let base = faqw_exact(&shape, 100_000);
+    for perm in [[5u32, 1, 3, 2, 4], [5, 2, 4, 1, 3]] {
+        let pi = vorder(&perm);
+        assert!(is_equivalent_ordering(&shape, &pi), "{perm:?}");
+        let w = faqw_of_ordering(&shape, &pi);
+        assert!(
+            (w - base.width).abs() < 1e-9,
+            "interleaving {perm:?} width {w} vs optimal {}",
+            base.width
+        );
+    }
+}

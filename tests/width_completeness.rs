@@ -1,0 +1,134 @@
+//! Width-completeness of LinEx(P) (paper Proposition 6.11, Theorem 6.12,
+//! Corollary 6.14): every EVO-accepted ordering has the same faqw as *some*
+//! linear extension of the precedence poset — so optimizing over LinEx loses
+//! nothing. Checked exhaustively on randomized small shapes.
+
+use faq::core::evo::{is_equivalent_ordering, linear_extensions};
+use faq::core::width::faqw_of_ordering;
+use faq::core::{QueryShape, Tag};
+use faq::hypergraph::{Var, VarSet};
+use faq::semiring::AggId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SUM: Tag = Tag::Semiring(AggId(0));
+const MAX: Tag = Tag::Semiring(AggId(1));
+
+fn permutations(ids: &[u32]) -> Vec<Vec<Var>> {
+    fn rec(arr: &mut Vec<Var>, k: usize, out: &mut Vec<Vec<Var>>) {
+        if k == arr.len() {
+            out.push(arr.clone());
+            return;
+        }
+        for i in k..arr.len() {
+            arr.swap(k, i);
+            rec(arr, k + 1, out);
+            arr.swap(k, i);
+        }
+    }
+    let mut arr: Vec<Var> = ids.iter().map(|&i| Var(i)).collect();
+    let mut out = Vec::new();
+    rec(&mut arr, 0, &mut out);
+    out
+}
+
+fn random_shape(rng: &mut StdRng, n: u32, with_products: bool) -> QueryShape {
+    let seq: Vec<(Var, Tag)> = (0..n)
+        .map(|i| {
+            let tag = match rng.gen_range(0..if with_products { 3 } else { 2 }) {
+                0 => SUM,
+                1 => MAX,
+                _ => Tag::Product,
+            };
+            (Var(i), tag)
+        })
+        .collect();
+    let mut edges: Vec<VarSet> = Vec::new();
+    // A random spanning-ish structure plus extras.
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        edges.push([Var(i), Var(j)].into_iter().collect());
+    }
+    for _ in 0..rng.gen_range(0..3) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            edges.push([Var(a), Var(b)].into_iter().collect());
+        }
+    }
+    QueryShape {
+        seq,
+        edges,
+        mul_idempotent: with_products && rng.gen_bool(0.5),
+        closed_ops: if rng.gen_bool(0.5) { [AggId(1)].into_iter().collect() } else { Default::default() },
+    }
+}
+
+/// Every linear extension is EVO-accepted (soundness), and every EVO-accepted
+/// permutation has a faqw matched by some linear extension (width
+/// completeness).
+#[test]
+fn linex_is_sound_and_width_complete() {
+    let mut rng = StdRng::seed_from_u64(612);
+    let mut interesting = 0;
+    for round in 0..60 {
+        let n = rng.gen_range(3..6u32);
+        let shape = random_shape(&mut rng, n, true);
+        let (linex, complete) = linear_extensions(&shape, 5_000);
+        assert!(complete, "round {round}");
+        assert!(!linex.is_empty());
+
+        // Soundness: LinEx ⊆ accepted.
+        for sigma in &linex {
+            assert!(
+                is_equivalent_ordering(&shape, sigma),
+                "round {round}: LinEx member {sigma:?} rejected for {shape:?}"
+            );
+        }
+
+        // Width completeness: each accepted ordering's width appears in LinEx.
+        let linex_widths: Vec<f64> =
+            linex.iter().map(|s| faqw_of_ordering(&shape, s)).collect();
+        let ids: Vec<u32> = (0..n).collect();
+        for pi in permutations(&ids) {
+            if !is_equivalent_ordering(&shape, &pi) {
+                continue;
+            }
+            let w = faqw_of_ordering(&shape, &pi);
+            let matched = linex_widths.iter().any(|lw| (lw - w).abs() < 1e-9);
+            assert!(
+                matched,
+                "round {round}: accepted {pi:?} has width {w} not achieved by any \
+                 LinEx member ({linex_widths:?}) for {shape:?}"
+            );
+            interesting += 1;
+        }
+    }
+    assert!(interesting > 100, "exercised only {interesting} accepted orderings");
+}
+
+/// The optimal width over accepted orderings equals the optimal width over
+/// LinEx (Corollary 6.14 / 6.28 as implemented).
+#[test]
+fn optimum_over_evo_equals_optimum_over_linex() {
+    let mut rng = StdRng::seed_from_u64(613);
+    for round in 0..40 {
+        let n = rng.gen_range(3..6u32);
+        let shape = random_shape(&mut rng, n, false);
+        let (linex, _) = linear_extensions(&shape, 5_000);
+        let best_linex = linex
+            .iter()
+            .map(|s| faqw_of_ordering(&shape, s))
+            .fold(f64::INFINITY, f64::min);
+        let ids: Vec<u32> = (0..n).collect();
+        let best_evo = permutations(&ids)
+            .into_iter()
+            .filter(|pi| is_equivalent_ordering(&shape, pi))
+            .map(|pi| faqw_of_ordering(&shape, &pi))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            (best_linex - best_evo).abs() < 1e-9,
+            "round {round}: LinEx optimum {best_linex} vs EVO optimum {best_evo} for {shape:?}"
+        );
+    }
+}
