@@ -68,27 +68,22 @@ impl Code {
     pub fn list_recover(&self, lists: &[Vec<u32>]) -> Result<Vec<Vec<u32>>, FaqError> {
         assert_eq!(lists.len(), self.n);
         let vars: Vec<Var> = (0..self.n as u32).map(Var).collect();
-        let mut factors = vec![Factor::new(
-            vars.clone(),
-            self.words.iter().map(|w| (w.clone(), true)).collect(),
-        )
-        .expect("codewords are distinct")];
+        let mut factors =
+            vec![Factor::new(vars.clone(), self.words.iter().map(|w| (w.clone(), true)).collect())
+                .expect("codewords are distinct")];
         for (i, s) in lists.iter().enumerate() {
             let mut vals: Vec<u32> = s.clone();
             vals.sort();
             vals.dedup();
             factors.push(
-                Factor::new(vec![Var(i as u32)], vals.into_iter().map(|x| (vec![x], true)).collect())
-                    .expect("distinct symbols"),
+                Factor::new(
+                    vec![Var(i as u32)],
+                    vals.into_iter().map(|x| (vec![x], true)).collect(),
+                )
+                .expect("distinct symbols"),
             );
         }
-        let q = FaqQuery::new(
-            BoolDomain,
-            Domains::uniform(self.n, self.q),
-            vars,
-            vec![],
-            factors,
-        )?;
+        let q = FaqQuery::new(BoolDomain, Domains::uniform(self.n, self.q), vars, vec![], factors)?;
         let out = insideout(&q)?;
         Ok(out.factor.iter().map(|(row, _)| row.to_vec()).collect())
     }
@@ -134,18 +129,13 @@ mod tests {
     #[test]
     fn recovery_matches_filtering() {
         let c = Code::polynomial_code(5, 5, 2);
-        let lists: Vec<Vec<u32>> = vec![
-            vec![0, 1],
-            vec![1, 2, 3],
-            vec![0, 2, 4],
-            vec![0, 1, 2, 3, 4],
-            vec![3, 4],
-        ];
+        let lists: Vec<Vec<u32>> =
+            vec![vec![0, 1], vec![1, 2, 3], vec![0, 2, 4], vec![0, 1, 2, 3, 4], vec![3, 4]];
         let got = c.list_recover(&lists).unwrap();
         let expect: Vec<Vec<u32>> = c
             .words
             .iter()
-            .filter(|w| w.iter().zip(&lists) .all(|(x, s)| s.contains(x)))
+            .filter(|w| w.iter().zip(&lists).all(|(x, s)| s.contains(x)))
             .cloned()
             .collect();
         let mut sorted = expect.clone();

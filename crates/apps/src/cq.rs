@@ -187,11 +187,7 @@ mod tests {
                 domains: Domains::uniform(4, d),
                 free: vec![v(0), v(3)],
                 exists: vec![v(1), v(2)],
-                atoms: vec![
-                    mk(&mut rng, &[0, 1]),
-                    mk(&mut rng, &[1, 2]),
-                    mk(&mut rng, &[2, 3]),
-                ],
+                atoms: vec![mk(&mut rng, &[0, 1]), mk(&mut rng, &[1, 2]), mk(&mut rng, &[2, 3])],
             };
             assert_eq!(q.count_answers().unwrap(), q.count_answers_naive().unwrap());
         }

@@ -60,15 +60,17 @@ pub fn permanent(a: &[Vec<u64>]) -> Result<u64, FaqError> {
     assert!(a.iter().all(|row| row.len() == n as usize), "square matrix required");
     let mut factors: Vec<Factor<u64>> = Vec::new();
     for (i, row) in a.iter().enumerate() {
-        factors.push(Factor::new(
-            vec![Var(i as u32)],
-            row.iter()
-                .enumerate()
-                .filter(|(_, &v)| v != 0)
-                .map(|(j, &v)| (vec![j as u32], v))
-                .collect(),
-        )
-        .expect("distinct columns"));
+        factors.push(
+            Factor::new(
+                vec![Var(i as u32)],
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0)
+                    .map(|(j, &v)| (vec![j as u32], v))
+                    .collect(),
+            )
+            .expect("distinct columns"),
+        );
     }
     for j in 0..n {
         for k in j + 1..n {
@@ -274,10 +276,7 @@ mod tests {
             for i in 0..5usize {
                 for j in i + 1..5 {
                     assert_ne!(s[i], s[j]);
-                    assert_ne!(
-                        (s[i] as i64 - s[j] as i64).unsigned_abs(),
-                        (j - i) as u64
-                    );
+                    assert_ne!((s[i] as i64 - s[j] as i64).unsigned_abs(), (j - i) as u64);
                 }
             }
         }
@@ -307,9 +306,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for n in 2..=4usize {
             for _ in 0..5 {
-                let a: Vec<Vec<u64>> = (0..n)
-                    .map(|_| (0..n).map(|_| rng.gen_range(0..4)).collect())
-                    .collect();
+                let a: Vec<Vec<u64>> =
+                    (0..n).map(|_| (0..n).map(|_| rng.gen_range(0..4)).collect()).collect();
                 assert_eq!(permanent(&a).unwrap(), permanent_naive(&a), "{a:?}");
             }
         }

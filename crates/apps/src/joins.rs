@@ -32,11 +32,8 @@ impl Relation {
 
     /// Convert to a counting factor (every tuple has multiplicity 1).
     pub fn to_factor(&self) -> Factor<u64> {
-        Factor::new(
-            self.vars.clone(),
-            self.tuples.iter().map(|t| (t.clone(), 1u64)).collect(),
-        )
-        .expect("relation tuples are distinct")
+        Factor::new(self.vars.clone(), self.tuples.iter().map(|t| (t.clone(), 1u64)).collect())
+            .expect("relation tuples are distinct")
     }
 }
 
@@ -174,8 +171,7 @@ mod tests {
             let edges = random_graph(8, 20, &mut rng);
             let q = triangle_query(&edges, 8);
             let ours = q.evaluate().unwrap().factor;
-            let factors: Vec<Factor<u64>> =
-                q.relations.iter().map(|r| r.to_factor()).collect();
+            let factors: Vec<Factor<u64>> = q.relations.iter().map(|r| r.to_factor()).collect();
             let refs: Vec<&Factor<u64>> = factors.iter().collect();
             let hj = pairwise_hash_join(&refs, |a, b| a * b, |&x| x == 0);
             let aligned = hj.align_to(&[Var(0), Var(1), Var(2)]);

@@ -51,8 +51,7 @@ impl<S: Semiring> JunctionTree<S> {
         let td = TreeDecomposition::from_ordering(&h, &ordering);
         td.validate(&h).map_err(FaqError::BadOrdering)?;
 
-        let bags: Vec<Vec<Var>> =
-            td.bags.iter().map(|b| b.iter().copied().collect()).collect();
+        let bags: Vec<Vec<Var>> = td.bags.iter().map(|b| b.iter().copied().collect()).collect();
         let parent = td.parent.clone();
         let n = bags.len();
 
@@ -114,11 +113,8 @@ impl<S: Semiring> JunctionTree<S> {
                     inputs.push(m.clone());
                 }
             }
-            let sep: Vec<Var> = bags[i]
-                .iter()
-                .copied()
-                .filter(|v| bags[parent[i]].contains(v))
-                .collect();
+            let sep: Vec<Var> =
+                bags[i].iter().copied().filter(|v| bags[parent[i]].contains(v)).collect();
             up[i] = Some(message(&semiring, domains, &bags[i], &inputs, &sep));
         }
 
@@ -231,11 +227,18 @@ fn join_over<S: Semiring>(
 ) -> Factor<S::E> {
     let join_inputs: Vec<JoinInput<'_, S::E>> = inputs.iter().map(JoinInput::value).collect();
     let mut rows: Vec<(Vec<u32>, S::E)> = Vec::new();
-    multiway_join(domains, bag, &join_inputs, s.one(), |a, b| s.mul(a, b), |binding, val| {
-        if !s.is_zero(&val) {
-            rows.push((binding.to_vec(), val));
-        }
-    });
+    multiway_join(
+        domains,
+        bag,
+        &join_inputs,
+        s.one(),
+        |a, b| s.mul(a, b),
+        |binding, val| {
+            if !s.is_zero(&val) {
+                rows.push((binding.to_vec(), val));
+            }
+        },
+    );
     Factor::new(bag.to_vec(), rows).expect("join emits distinct rows")
 }
 

@@ -81,11 +81,7 @@ impl Matrix {
     /// Max absolute entry difference.
     pub fn max_diff(&self, other: &Matrix) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// The factor of the matrix as `ψ(row_var, col_var)`.
@@ -187,9 +183,7 @@ impl MatrixChain {
                 let j = i + len;
                 cost[i][j] = u64::MAX;
                 for k in i + 1..j {
-                    let c = cost[i][k]
-                        + cost[k][j]
-                        + (dims[i] * dims[k] * dims[j]) as u64;
+                    let c = cost[i][k] + cost[k][j] + (dims[i] * dims[k] * dims[j]) as u64;
                     if c < cost[i][j] {
                         cost[i][j] = c;
                         split[i][j] = k;

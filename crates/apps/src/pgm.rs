@@ -28,7 +28,11 @@ impl GraphicalModel {
         self.domains.len()
     }
 
-    fn faq(&self, free: Vec<Var>, op: faq_semiring::AggId) -> Result<FaqQuery<RealDomain>, FaqError> {
+    fn faq(
+        &self,
+        free: Vec<Var>,
+        op: faq_semiring::AggId,
+    ) -> Result<FaqQuery<RealDomain>, FaqError> {
         let free_set: std::collections::BTreeSet<Var> = free.iter().copied().collect();
         let bound: Vec<(Var, VarAgg)> = self
             .domains
@@ -94,13 +98,7 @@ impl GraphicalModel {
             model.potentials = model
                 .potentials
                 .iter()
-                .map(|f| {
-                    if f.schema().contains(&v) {
-                        f.condition(v, x)
-                    } else {
-                        f.clone()
-                    }
-                })
+                .map(|f| if f.schema().contains(&v) { f.condition(v, x) } else { f.clone() })
                 .collect();
         }
         Ok((assignment, map_val))
@@ -131,8 +129,7 @@ impl GraphicalModel {
     pub fn score(&self, assignment: &[u32]) -> f64 {
         let mut acc = 1.0;
         for f in &self.potentials {
-            let key: Vec<u32> =
-                f.schema().iter().map(|v| assignment[v.index()]).collect();
+            let key: Vec<u32> = f.schema().iter().map(|v| assignment[v.index()]).collect();
             match f.get(&key) {
                 Some(val) => acc *= val,
                 None => return 0.0,
@@ -309,17 +306,11 @@ mod tests {
     fn deterministic_potentials() {
         // Hand-built chain: ψ01 = [[1,0],[0,1]] (identity), ψ12 likewise;
         // Z = Σ over x0=x1=x2: 2.
-        let eye = Factor::new(
-            vec![v(0), v(1)],
-            vec![(vec![0, 0], 1.0), (vec![1, 1], 1.0)],
-        )
-        .unwrap();
+        let eye =
+            Factor::new(vec![v(0), v(1)], vec![(vec![0, 0], 1.0), (vec![1, 1], 1.0)]).unwrap();
         let eye2 = eye.reorder(&[v(0), v(1)]);
-        let mut eye12 = Factor::new(
-            vec![v(1), v(2)],
-            vec![(vec![0, 0], 1.0), (vec![1, 1], 1.0)],
-        )
-        .unwrap();
+        let mut eye12 =
+            Factor::new(vec![v(1), v(2)], vec![(vec![0, 0], 1.0), (vec![1, 1], 1.0)]).unwrap();
         let m = GraphicalModel {
             domains: Domains::uniform(3, 2),
             potentials: vec![eye2, std::mem::replace(&mut eye12, Factor::nullary(None))],

@@ -131,8 +131,7 @@ pub fn chen_dalmau_family(
     s_tuples: Vec<Vec<u32>>,
     r_tuples: Vec<Vec<u32>>,
 ) -> QuantifiedCq {
-    let mut prefix: Vec<(Var, Quantifier)> =
-        (0..n).map(|i| (Var(i), Quantifier::ForAll)).collect();
+    let mut prefix: Vec<(Var, Quantifier)> = (0..n).map(|i| (Var(i), Quantifier::ForAll)).collect();
     prefix.push((Var(n), Quantifier::Exists));
     let mut atoms = vec![Atom { vars: (0..n).map(Var).collect(), tuples: s_tuples }];
     for i in 0..n {
@@ -240,11 +239,7 @@ mod tests {
                     (v(2), quants[rng.gen_range(0..2)]),
                     (v(3), quants[rng.gen_range(0..2)]),
                 ],
-                atoms: vec![
-                    mk(&mut rng, &[0, 1]),
-                    mk(&mut rng, &[1, 2]),
-                    mk(&mut rng, &[2, 3]),
-                ],
+                atoms: vec![mk(&mut rng, &[0, 1]), mk(&mut rng, &[1, 2]), mk(&mut rng, &[2, 3])],
             };
             assert_eq!(
                 q.count().unwrap(),

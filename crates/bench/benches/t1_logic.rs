@@ -32,10 +32,7 @@ fn bench_sharp_qcq(c: &mut Criterion) {
         let atoms = chain_atoms(len, d, 8, len as u64);
         let prefix: Vec<(Var, qcq::Quantifier)> = (1..len as u32)
             .map(|i| {
-                (
-                    Var(i),
-                    if i % 2 == 1 { qcq::Quantifier::Exists } else { qcq::Quantifier::ForAll },
-                )
+                (Var(i), if i % 2 == 1 { qcq::Quantifier::Exists } else { qcq::Quantifier::ForAll })
             })
             .collect();
         let q = qcq::QuantifiedCq {

@@ -30,7 +30,7 @@ fn example_6_2_shape() -> QueryShape {
             vs(&[3, 7]),
         ],
         mul_idempotent: false,
-            closed_ops: Default::default(),
+        closed_ops: Default::default(),
     }
 }
 

@@ -1,7 +1,7 @@
 //! Regenerate the tables and figures of the FAQ paper on laptop-scale
 //! workloads. Output is recorded in `EXPERIMENTS.md`.
 //!
-//! Usage: `cargo run -p faq-bench --release --bin paper_tables [--fast]`
+//! Usage: `cargo run -p faq_bench --release --bin paper_tables [--fast]`
 
 use faq_apps::{cq, joins, matrix, pgm, qcq};
 use faq_bench::{example_5_6_good_order, example_5_6_input_order, example_5_6_query};
@@ -45,8 +45,7 @@ fn t1_joins(iters: usize, fast: bool) {
         let t_io = time_median(iters, || q.evaluate().unwrap());
         let factors: Vec<_> = q.relations.iter().map(|r| r.to_factor()).collect();
         let refs: Vec<&_> = factors.iter().collect();
-        let t_hj =
-            time_median(iters, || pairwise_hash_join(&refs, |a, b| a * b, |&x| x == 0));
+        let t_hj = time_median(iters, || pairwise_hash_join(&refs, |a, b| a * b, |&x| x == 0));
         let rows = q.evaluate().unwrap().factor.len();
         println!("| {} | {:.5} | {:.5} | {} |", edges.len(), t_io, t_hj, rows);
         io_pts.push((edges.len() as f64, t_io.max(1e-7)));
@@ -84,10 +83,7 @@ fn t1_logic(iters: usize, fast: bool) {
     // #QCQ
     let quants: Vec<(Var, qcq::Quantifier)> = (1..chain_len as u32)
         .map(|i| {
-            (
-                Var(i),
-                if i % 2 == 1 { qcq::Quantifier::Exists } else { qcq::Quantifier::ForAll },
-            )
+            (Var(i), if i % 2 == 1 { qcq::Quantifier::Exists } else { qcq::Quantifier::ForAll })
         })
         .collect();
     let q = qcq::QuantifiedCq {
@@ -184,8 +180,9 @@ fn t1_dft(iters: usize, fast: bool) {
     for &m in ms {
         let n = 1usize << m;
         let mut r = rng(m as u64);
-        let input: Vec<Complex64> =
-            (0..n).map(|_| Complex64::new(r.gen_range(-1.0..1.0), r.gen_range(-1.0..1.0))).collect();
+        let input: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(r.gen_range(-1.0..1.0), r.gen_range(-1.0..1.0)))
+            .collect();
         let t_fft = time_median(iters, || matrix::dft_faq(2, m, &input).unwrap());
         let t_naive = time_median(1, || matrix::naive_dft(&input));
         println!("| {n} | {t_fft:.5} | {t_naive:.5} |");
@@ -209,14 +206,14 @@ fn ex56(iters: usize, fast: bool) {
     let mut good_pts = Vec::new();
     for &n in sizes {
         let q = example_5_6_query(n, 99);
-        let t_in = time_median(iters, || {
-            insideout_with_order(&q, &example_5_6_input_order()).unwrap()
-        });
-        let t_good = time_median(iters, || {
-            insideout_with_order(&q, &example_5_6_good_order()).unwrap()
-        });
-        let s_in = insideout_with_order(&q, &example_5_6_input_order()).unwrap().stats.total_seeks();
-        let s_good = insideout_with_order(&q, &example_5_6_good_order()).unwrap().stats.total_seeks();
+        let t_in =
+            time_median(iters, || insideout_with_order(&q, &example_5_6_input_order()).unwrap());
+        let t_good =
+            time_median(iters, || insideout_with_order(&q, &example_5_6_good_order()).unwrap());
+        let s_in =
+            insideout_with_order(&q, &example_5_6_input_order()).unwrap().stats.total_seeks();
+        let s_good =
+            insideout_with_order(&q, &example_5_6_good_order()).unwrap().stats.total_seeks();
         println!("| {n} | {t_in:.5} | {t_good:.5} | {s_in} | {s_good} |");
         in_pts.push((n as f64, t_in.max(1e-7)));
         good_pts.push((n as f64, t_good.max(1e-7)));
@@ -240,7 +237,12 @@ fn width_table() {
         for i in 0..n {
             edges.push([Var(i), Var(n)].into_iter().collect());
         }
-        let shape = QueryShape { seq, edges, mul_idempotent: true, closed_ops: [AggId(1)].into_iter().collect() };
+        let shape = QueryShape {
+            seq,
+            edges,
+            mul_idempotent: true,
+            closed_ops: [AggId(1)].into_iter().collect(),
+        };
         let r = faqw_exact(&shape, 50_000);
         println!("| {n} | {} | {:.3} |", n + 1, r.width);
     }
@@ -299,7 +301,7 @@ fn composition_table() {
             [Var(1), Var(2)].into_iter().collect(),
         ],
         mul_idempotent: false,
-            closed_ops: Default::default(),
+        closed_ops: Default::default(),
     };
     let w = faqw_of_ordering(&shape, &[Var(0), Var(1), Var(2)]);
     println!("triangle FAQ-SS faqw(σ) check: {w:.2} (expected 1.50)\n");

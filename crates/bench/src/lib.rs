@@ -68,11 +68,7 @@ pub fn example_5_6_query(n: u32, seed: u64) -> FaqQuery<RealDomain> {
         for _ in 0..n {
             tuples.insert(vec![r.gen_range(0..n), r.gen_range(0..n)]);
         }
-        Factor::new(
-            vec![v(a), v(b)],
-            tuples.into_iter().map(|t| (t, 1.0f64)).collect(),
-        )
-        .unwrap()
+        Factor::new(vec![v(a), v(b)], tuples.into_iter().map(|t| (t, 1.0f64)).collect()).unwrap()
     };
     let psi15 = pairs(1, 5);
     let psi25 = pairs(2, 5);
@@ -87,11 +83,8 @@ pub fn example_5_6_query(n: u32, seed: u64) -> FaqQuery<RealDomain> {
                 tuples.insert(vec![xa, x3, xb]);
             }
         }
-        Factor::new(
-            vec![v(a), v(b), v(c)],
-            tuples.into_iter().map(|t| (t, 1.0f64)).collect(),
-        )
-        .unwrap()
+        Factor::new(vec![v(a), v(b), v(c)], tuples.into_iter().map(|t| (t, 1.0f64)).collect())
+            .unwrap()
     };
     let psi134 = triples(1, 3, 4);
     let psi236 = triples(2, 3, 6);

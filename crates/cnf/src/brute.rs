@@ -56,10 +56,7 @@ mod tests {
     fn unsat_detected() {
         let cnf = Cnf::new(
             1,
-            vec![
-                Clause::new([Lit::pos(0)]).unwrap(),
-                Clause::new([Lit::neg(0)]).unwrap(),
-            ],
+            vec![Clause::new([Lit::pos(0)]).unwrap(), Clause::new([Lit::neg(0)]).unwrap()],
         );
         assert!(!brute_force_sat(&cnf));
         assert_eq!(brute_force_count(&cnf), 0);

@@ -18,13 +18,8 @@ pub fn random_interval_cnf<R: Rng>(
     while clauses.len() < num_clauses {
         let w = rng.gen_range(1..=max_width.min(num_vars));
         let start = rng.gen_range(0..=(num_vars - w));
-        let lits = (start..start + w).map(|i| {
-            if rng.gen_bool(0.5) {
-                Lit::pos(i)
-            } else {
-                Lit::neg(i)
-            }
-        });
+        let lits =
+            (start..start + w).map(|i| if rng.gen_bool(0.5) { Lit::pos(i) } else { Lit::neg(i) });
         clauses.push(Clause::new(lits).expect("interval literals are distinct"));
     }
     Cnf::new(num_vars, clauses)
@@ -42,13 +37,8 @@ pub fn random_cnf<R: Rng>(num_vars: u32, num_clauses: usize, max_width: u32, rng
             let j = rng.gen_range(i..vars.len());
             vars.swap(i, j);
         }
-        let lits = vars[..w].iter().map(|&i| {
-            if rng.gen_bool(0.5) {
-                Lit::pos(i)
-            } else {
-                Lit::neg(i)
-            }
-        });
+        let lits =
+            vars[..w].iter().map(|&i| if rng.gen_bool(0.5) { Lit::pos(i) } else { Lit::neg(i) });
         clauses.push(Clause::new(lits).expect("distinct variables"));
     }
     Cnf::new(num_vars, clauses)

@@ -106,10 +106,7 @@ mod tests {
 
         let unsat = Cnf::new(
             1,
-            vec![
-                Clause::new([Lit::pos(0)]).unwrap(),
-                Clause::new([Lit::neg(0)]).unwrap(),
-            ],
+            vec![Clause::new([Lit::pos(0)]).unwrap(), Clause::new([Lit::neg(0)]).unwrap()],
         );
         let (ok, _) = sat_beta_acyclic(&unsat).unwrap();
         assert!(!ok);

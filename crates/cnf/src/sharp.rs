@@ -78,11 +78,8 @@ fn eliminate(wclauses: Vec<WClause>, v: Var, scalar: &mut f64) -> Vec<WClause> {
         let lt_n: Vec<&WClause> = sorted[..i].iter().filter(|wc| pol(wc, false)).collect();
 
         let den = color(&lt_p, &d_pos) + color(&lt_n, &d_neg);
-        let weight = if den == 0.0 {
-            0.0
-        } else {
-            (color(&le_p, &d_pos) + color(&le_n, &d_neg)) / den
-        };
+        let weight =
+            if den == 0.0 { 0.0 } else { (color(&le_p, &d_pos) + color(&le_n, &d_neg)) / den };
 
         if ci_reduced.is_empty() {
             *scalar *= weight;
@@ -137,8 +134,7 @@ pub fn count_weighted_beta_acyclic(num_vars: u32, wclauses: &[WClause]) -> Optio
 /// #SAT of a β-acyclic CNF in polynomial time (Theorem 8.4).
 /// Returns `None` when the clause hypergraph is not β-acyclic.
 pub fn count_beta_acyclic(cnf: &Cnf) -> Option<f64> {
-    let wclauses: Vec<WClause> =
-        cnf.clauses.iter().map(|c| WClause::hard(c.clone())).collect();
+    let wclauses: Vec<WClause> = cnf.clauses.iter().map(|c| WClause::hard(c.clone())).collect();
     count_weighted_beta_acyclic(cnf.num_vars, &wclauses)
 }
 
@@ -165,10 +161,7 @@ mod tests {
     fn unsat_counts_zero() {
         let cnf = Cnf::new(
             1,
-            vec![
-                Clause::new([Lit::pos(0)]).unwrap(),
-                Clause::new([Lit::neg(0)]).unwrap(),
-            ],
+            vec![Clause::new([Lit::pos(0)]).unwrap(), Clause::new([Lit::neg(0)]).unwrap()],
         );
         assert!(close(count_beta_acyclic(&cnf).unwrap(), 0.0));
     }

@@ -25,8 +25,7 @@ pub fn linear_extensions(shape: &QueryShape, cap: usize) -> (Vec<Vec<Var>>, bool
     let mut out: Vec<Vec<Var>> = Vec::new();
     let mut current: Vec<Var> = Vec::new();
     let mut used: VarSet = VarSet::new();
-    let exhausted =
-        enumerate(&vars, &preds, &mut current, &mut used, &mut out, cap);
+    let exhausted = enumerate(&vars, &preds, &mut current, &mut used, &mut out, cap);
     (out, exhausted)
 }
 
@@ -245,13 +244,10 @@ fn check(seq: &[(Var, Tag)], edges: &[VarSet], pi: &[Var]) -> bool {
         }
         _ => {
             // Consume the single semiring variable (conditioning on it).
-            let rem_seq: Vec<(Var, Tag)> =
-                seq.iter().copied().filter(|&(v, _)| v != u).collect();
+            let rem_seq: Vec<(Var, Tag)> = seq.iter().copied().filter(|&(v, _)| v != u).collect();
             let rem_edges: Vec<VarSet> = edges
                 .iter()
-                .map(|e| {
-                    e.iter().copied().filter(|&x| x != u).collect::<VarSet>()
-                })
+                .map(|e| e.iter().copied().filter(|&x| x != u).collect::<VarSet>())
                 .filter(|e: &VarSet| !e.is_empty())
                 .collect();
             check(&rem_seq, &rem_edges, &pi[1..])
@@ -282,19 +278,13 @@ mod tests {
             .into_iter()
             .filter(|p| is_equivalent_ordering(&shape, p))
             .collect();
-        let expect: Vec<Vec<Var>> = vec![
-            vec![v(1), v(2), v(3)],
-            vec![v(1), v(3), v(2)],
-            vec![v(3), v(1), v(2)],
-        ];
+        let expect: Vec<Vec<Var>> =
+            vec![vec![v(1), v(2), v(3)], vec![v(1), v(3), v(2)], vec![v(3), v(1), v(2)]];
         assert_eq!(sorted(evo), sorted(expect));
         // LinEx(P) = {(1,3,2), (3,1,2)} ⊆ EVO.
         let (linex, done) = linear_extensions(&shape, 100);
         assert!(done);
-        assert_eq!(
-            sorted(linex),
-            sorted(vec![vec![v(1), v(3), v(2)], vec![v(3), v(1), v(2)]])
-        );
+        assert_eq!(sorted(linex), sorted(vec![vec![v(1), v(3), v(2)], vec![v(3), v(1), v(2)]]));
     }
 
     /// The §6.1 counterexample: interleavings such as (5,1,3,2,4) are in EVO
@@ -319,10 +309,7 @@ mod tests {
         }
         // Orderings violating the structure are rejected: max variables may
         // not precede the Σ variables of their own component.
-        for pi in [
-            vec![v(3), v(1), v(5), v(2), v(4)],
-            vec![v(1), v(4), v(3), v(2), v(5)],
-        ] {
+        for pi in [vec![v(3), v(1), v(5), v(2), v(4)], vec![v(1), v(4), v(3), v(2), v(5)]] {
             assert!(!is_equivalent_ordering(&shape, &pi), "{pi:?} should not be in EVO");
         }
     }
@@ -359,10 +346,7 @@ mod tests {
             assert!(is_equivalent_ordering(&shape, pi), "{pi:?} in LinEx but rejected");
         }
         // The original query order is always equivalent.
-        assert!(is_equivalent_ordering(
-            &shape,
-            &[v(1), v(2), v(3), v(4), v(5), v(6), v(7)]
-        ));
+        assert!(is_equivalent_ordering(&shape, &[v(1), v(2), v(3), v(4), v(5), v(6), v(7)]));
     }
 
     #[test]
@@ -431,13 +415,7 @@ mod tests {
                         }
                     }
                 }
-                Factor::with_combine(
-                    vec![v(a), v(b)],
-                    tuples,
-                    |x, y| x + y,
-                    |&x| x == 0,
-                )
-                .unwrap()
+                Factor::with_combine(vec![v(a), v(b)], tuples, |x, y| x + y, |&x| x == 0).unwrap()
             };
             let f12 = mk(&mut rng, 1, 2);
             let f23 = mk(&mut rng, 2, 3);

@@ -163,10 +163,7 @@ impl QueryShape {
         if self.mul_idempotent || products.is_empty() {
             return self.edges.clone();
         }
-        self.edges
-            .iter()
-            .map(|e| e.union(&products).copied().collect())
-            .collect()
+        self.edges.iter().map(|e| e.union(&products).copied().collect()).collect()
     }
 
     /// The precedence relation of the query: the expression-tree poset

@@ -169,8 +169,7 @@ pub fn run_elimination<D: AggDomain>(
     let dom = &q.domain;
     let mut stats = ElimStats::default();
 
-    let sigma_pos =
-        |v: Var| -> usize { sigma.iter().position(|&s| s == v).expect("var in sigma") };
+    let sigma_pos = |v: Var| -> usize { sigma.iter().position(|&s| s == v).expect("var in sigma") };
 
     // Current edge set: one factor per live hyperedge.
     let mut edges: Vec<Factor<D::E>> = q.factors.clone();
@@ -197,9 +196,8 @@ pub fn run_elimination<D: AggDomain>(
     let mut guards: Vec<Factor<D::E>> = Vec::new();
     for k in (0..f).rev() {
         let var = sigma[k];
-        let incident: Vec<usize> = (0..edges.len())
-            .filter(|&i| edges[i].schema().contains(&var))
-            .collect();
+        let incident: Vec<usize> =
+            (0..edges.len()).filter(|&i| edges[i].schema().contains(&var)).collect();
         if incident.is_empty() {
             continue; // free variable constrained by nothing
         }
@@ -216,8 +214,7 @@ pub fn run_elimination<D: AggDomain>(
             .filter(|e| e.schema().iter().any(|v| u.contains(v)))
             .map(|e| e.indicator_projection(&join_order, dom.one()))
             .collect();
-        let inputs: Vec<JoinInput<'_, D::E>> =
-            projections.iter().map(JoinInput::filter).collect();
+        let inputs: Vec<JoinInput<'_, D::E>> = projections.iter().map(JoinInput::filter).collect();
         let mut rows: Vec<(Vec<u32>, D::E)> = Vec::new();
         let join_stats = multiway_join(
             &q.domains,
@@ -227,8 +224,7 @@ pub fn run_elimination<D: AggDomain>(
             |a, b| dom.mul(a, b),
             |binding, _| rows.push((binding.to_vec(), dom.one())),
         );
-        let guard =
-            Factor::new(join_order.clone(), rows).expect("join emits distinct bindings");
+        let guard = Factor::new(join_order.clone(), rows).expect("join emits distinct bindings");
         let reduced: Vec<Var> = join_order.iter().copied().filter(|&x| x != var).collect();
         let new_edge = guard.indicator_projection(&reduced, dom.one());
         stats.record(StepStat {
@@ -463,14 +459,8 @@ mod tests {
             CountDomain,
             Domains::uniform(2, 2),
             vec![],
-            vec![
-                (v(0), VarAgg::Semiring(CountDomain::SUM)),
-                (v(1), VarAgg::Product),
-            ],
-            vec![fac_u(
-                &[0, 1],
-                &[(&[0, 0], 2), (&[0, 1], 3), (&[1, 0], 4), (&[1, 1], 1)],
-            )],
+            vec![(v(0), VarAgg::Semiring(CountDomain::SUM)), (v(1), VarAgg::Product)],
+            vec![fac_u(&[0, 1], &[(&[0, 0], 2), (&[0, 1], 3), (&[1, 0], 4), (&[1, 1], 1)])],
         )
         .unwrap();
         // x0=0: 2*3=6 ; x0=1: 4*1=4 ⇒ Σ = 10.
@@ -486,10 +476,7 @@ mod tests {
             CountDomain,
             Domains::new(vec![2, 3]),
             vec![],
-            vec![
-                (v(0), VarAgg::Semiring(CountDomain::SUM)),
-                (v(1), VarAgg::Product),
-            ],
+            vec![(v(0), VarAgg::Semiring(CountDomain::SUM)), (v(1), VarAgg::Product)],
             vec![fac_u(&[0], &[(&[0], 2), (&[1], 1)])],
         )
         .unwrap();
@@ -569,11 +556,7 @@ mod tests {
         )
         .unwrap();
         let expect = crate::naive::naive_eval(&q);
-        for order in [
-            [v(0), v(1), v(2)],
-            [v(2), v(0), v(1)],
-            [v(1), v(2), v(0)],
-        ] {
+        for order in [[v(0), v(1), v(2)], [v(2), v(0), v(1)], [v(1), v(2), v(0)]] {
             let got = insideout_with_order(&q, &order).unwrap();
             assert_eq!(got.factor, expect, "order {order:?}");
         }

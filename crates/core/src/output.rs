@@ -44,8 +44,7 @@ impl<E: SemiringElem> FactorizedOutput<E> {
         q: &FaqQuery<D>,
         sigma: &[Var],
     ) -> Result<Self, FaqError> {
-        let EliminationArtifacts { free_order, ef_edges, guards, .. } =
-            run_elimination(q, sigma)?;
+        let EliminationArtifacts { free_order, ef_edges, guards, .. } = run_elimination(q, sigma)?;
         Ok(FactorizedOutput {
             free_order,
             value_factors: ef_edges,
@@ -56,12 +55,7 @@ impl<E: SemiringElem> FactorizedOutput<E> {
 
     /// `ϕ(y)` for a full free-variable binding `y` (aligned with
     /// `free_order`). Returns `None` when the value is the semiring zero.
-    pub fn value_query(
-        &self,
-        y: &[u32],
-        one: E,
-        mut mul: impl FnMut(&E, &E) -> E,
-    ) -> Option<E> {
+    pub fn value_query(&self, y: &[u32], one: E, mut mul: impl FnMut(&E, &E) -> E) -> Option<E> {
         assert_eq!(y.len(), self.free_order.len());
         let mut acc = one;
         for f in &self.value_factors {
@@ -206,8 +200,7 @@ impl<'a, E: SemiringElem> SupportIter<'a, E> {
                     .collect()
             })
             .collect();
-        let ranges: Vec<Vec<(usize, usize)>> =
-            factors.iter().map(|f| vec![(0, f.len())]).collect();
+        let ranges: Vec<Vec<(usize, usize)>> = factors.iter().map(|f| vec![(0, f.len())]).collect();
         SupportIter {
             out,
             col_at_depth,
@@ -223,9 +216,8 @@ impl<'a, E: SemiringElem> SupportIter<'a, E> {
     /// `next_at_depth[d]`. Returns success.
     fn descend(&mut self, d: usize) -> bool {
         let mut candidate = self.next_at_depth[d];
-        let participants: Vec<usize> = (0..self.factors.len())
-            .filter(|&i| self.col_at_depth[i][d] != usize::MAX)
-            .collect();
+        let participants: Vec<usize> =
+            (0..self.factors.len()).filter(|&i| self.col_at_depth[i][d] != usize::MAX).collect();
         let dom = self.out.domains.size(self.out.free_order[d]);
         'candidates: loop {
             if candidate >= dom {
@@ -429,14 +421,8 @@ mod tests {
         // An unsatisfiable query yields an empty iterator immediately.
         let f = Factor::new(vec![v(0)], vec![(vec![0], 1u64)]).unwrap();
         let g = Factor::new(vec![v(0)], vec![(vec![1], 1u64)]).unwrap();
-        let q = FaqQuery::new(
-            CountDomain,
-            Domains::uniform(1, 2),
-            vec![v(0)],
-            vec![],
-            vec![f, g],
-        )
-        .unwrap();
+        let q = FaqQuery::new(CountDomain, Domains::uniform(1, 2), vec![v(0)], vec![], vec![f, g])
+            .unwrap();
         let fo = FactorizedOutput::compute(&q).unwrap();
         assert_eq!(fo.iter_support().count(), 0);
     }

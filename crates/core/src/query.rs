@@ -77,7 +77,13 @@ pub struct FaqQuery<D: AggDomain> {
 
 impl<D: AggDomain> fmt::Debug for FaqQuery<D> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "FaqQuery(free={:?}, bound={:?}, {} factors)", self.free, self.bound, self.factors.len())
+        write!(
+            f,
+            "FaqQuery(free={:?}, bound={:?}, {} factors)",
+            self.free,
+            self.bound,
+            self.factors.len()
+        )
     }
 }
 
@@ -223,12 +229,7 @@ impl<D: AggDomain> FaqQuery<D> {
             .map(AggId)
             .filter(|&op| self.domain.op_closed_under_idempotents(op))
             .collect();
-        QueryShape {
-            seq,
-            edges,
-            mul_idempotent: self.domain.mul_idempotent_domain(),
-            closed_ops,
-        }
+        QueryShape { seq, edges, mul_idempotent: self.domain.mul_idempotent_domain(), closed_ops }
     }
 
     /// The query shape under the `F(D_I)` promise of paper Definition 5.8:
@@ -296,7 +297,10 @@ mod tests {
             RealDomain,
             Domains::uniform(3, 2),
             vec![v(0)],
-            vec![(v(1), VarAgg::Semiring(RealDomain::SUM)), (v(2), VarAgg::Semiring(RealDomain::MAX))],
+            vec![
+                (v(1), VarAgg::Semiring(RealDomain::SUM)),
+                (v(2), VarAgg::Semiring(RealDomain::MAX)),
+            ],
             vec![fac(&[0, 1], &[(&[0, 0], 1.0)]), fac(&[1, 2], &[(&[0, 1], 2.0)])],
         )
         .unwrap()

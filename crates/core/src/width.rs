@@ -184,11 +184,7 @@ pub fn faqw_approx(shape: &QueryShape, exact_limit: usize) -> FaqwResult {
         let pruned = hl.maximal_edges();
         let res = best_ordering(
             &pruned,
-            |b| {
-                fractional_cover(&pruned, b)
-                    .map(|c| c.value)
-                    .unwrap_or(b.len() as f64)
-            },
+            |b| fractional_cover(&pruned, b).map(|c| c.value).unwrap_or(b.len() as f64),
             exact_limit,
         );
         node_orders.insert(id, res.order);
@@ -260,12 +256,9 @@ pub fn faqw_approx(shape: &QueryShape, exact_limit: usize) -> FaqwResult {
     // Kahn with deterministic tie-break (earliest query position).
     let item_priority = |it: &Item| -> usize {
         match it {
-            Item::Node(id) => tree.nodes[*id]
-                .vars
-                .iter()
-                .filter_map(|v| shape.seq_pos(*v))
-                .min()
-                .unwrap_or(0),
+            Item::Node(id) => {
+                tree.nodes[*id].vars.iter().filter_map(|v| shape.seq_pos(*v)).min().unwrap_or(0)
+            }
             Item::ProductVar(v) => shape.seq_pos(*v).unwrap_or(usize::MAX),
         }
     };
@@ -362,12 +355,7 @@ mod tests {
                 (v(5), MAX),
                 (v(6), MAX),
             ],
-            edges: vec![
-                varset(&[1, 5]),
-                varset(&[2, 5]),
-                varset(&[1, 3, 4]),
-                varset(&[2, 3, 6]),
-            ],
+            edges: vec![varset(&[1, 5]), varset(&[2, 5]), varset(&[1, 3, 4]), varset(&[2, 3, 6])],
             mul_idempotent: true,
             closed_ops: [AggId(1)].into_iter().collect(),
         };
@@ -396,14 +384,15 @@ mod tests {
             for i in 1..=n {
                 edges.push(varset(&[i, n + 1]));
             }
-            let shape = QueryShape { seq, edges, mul_idempotent: true, closed_ops: [AggId(1)].into_iter().collect() };
+            let shape = QueryShape {
+                seq,
+                edges,
+                mul_idempotent: true,
+                closed_ops: [AggId(1)].into_iter().collect(),
+            };
             let r = faqw_exact(&shape, 100_000);
             assert!(r.exact, "n={n}");
-            assert!(
-                close(r.width, 2.0 - 1.0 / n as f64),
-                "n={n}: faqw {}",
-                r.width
-            );
+            assert!(close(r.width, 2.0 - 1.0 / n as f64), "n={n}: faqw {}", r.width);
             assert!(r.width <= 2.0 + 1e-9, "bounded by 2");
         }
     }

@@ -134,14 +134,7 @@ mod tests {
         let all: Vec<Vec<u32>> = d.assignments(&[v(0), v(1)]).collect();
         assert_eq!(
             all,
-            vec![
-                vec![0, 0],
-                vec![0, 1],
-                vec![0, 2],
-                vec![1, 0],
-                vec![1, 1],
-                vec![1, 2]
-            ]
+            vec![vec![0, 0], vec![0, 1], vec![0, 2], vec![1, 0], vec![1, 1], vec![1, 2]]
         );
     }
 

@@ -367,9 +367,7 @@ impl<E: SemiringElem> Factor<E> {
         // after dropping one column they are not necessarily grouped, so sort.
         let mut pairs: Vec<(Vec<u32>, E)> = self
             .iter()
-            .map(|(row, v)| {
-                (positions.iter().map(|&p| row[p]).collect::<Vec<u32>>(), v.clone())
-            })
+            .map(|(row, v)| (positions.iter().map(|&p| row[p]).collect::<Vec<u32>>(), v.clone()))
             .collect();
         pairs.sort_by(|a, b| cmp_rows(&a.0, &b.0));
 
@@ -427,9 +425,7 @@ impl<E: SemiringElem> Factor<E> {
         let mut pairs: Vec<(Vec<u32>, E)> = self
             .iter()
             .filter(|(row, _)| row[vpos] == value)
-            .map(|(row, v)| {
-                (positions.iter().map(|&p| row[p]).collect::<Vec<u32>>(), v.clone())
-            })
+            .map(|(row, v)| (positions.iter().map(|&p| row[p]).collect::<Vec<u32>>(), v.clone()))
             .collect();
         pairs.sort_by(|a, b| cmp_rows(&a.0, &b.0));
         Self::from_sorted_pairs(new_schema, pairs)
@@ -468,12 +464,7 @@ mod tests {
     fn sample() -> Factor<u64> {
         Factor::new(
             vec![v(0), v(1)],
-            vec![
-                (vec![1, 0], 10),
-                (vec![0, 1], 5),
-                (vec![0, 0], 3),
-                (vec![2, 2], 7),
-            ],
+            vec![(vec![1, 0], 10), (vec![0, 1], 5), (vec![0, 0], 3), (vec![2, 2], 7)],
         )
         .unwrap()
     }

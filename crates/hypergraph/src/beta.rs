@@ -100,7 +100,8 @@ mod tests {
     #[test]
     fn interval_hypergraphs_are_beta_acyclic() {
         // Edges are intervals over a path: always β-acyclic.
-        let h = Hypergraph::from_edges(&[&[0, 1, 2], &[1, 2], &[2, 3, 4], &[3, 4], &[0, 1, 2, 3, 4]]);
+        let h =
+            Hypergraph::from_edges(&[&[0, 1, 2], &[1, 2], &[2, 3, 4], &[3, 4], &[0, 1, 2, 3, 4]]);
         assert!(is_beta_acyclic(&h));
         let neo = nested_elimination_order(&h).unwrap();
         assert!(is_nested_elimination_order(&h, &neo));

@@ -23,10 +23,7 @@ pub fn compose(outer: &Hypergraph, inner: &[Hypergraph]) -> Hypergraph {
     }
     for (i, hi) in inner.iter().enumerate() {
         let outer_edge: &VarSet = &outer.edges()[i];
-        assert!(
-            hi.vertices().is_subset(outer_edge),
-            "inner hypergraph {i} escapes its outer edge"
-        );
+        assert!(hi.vertices().is_subset(outer_edge), "inner hypergraph {i} escapes its outer edge");
         for e in hi.edges() {
             h.add_edge(e.iter().copied());
         }
@@ -98,14 +95,9 @@ mod tests {
             let comp = compose(&outer, &inner);
             let lhs = fhtw(&comp, 12).width;
             let outer_w = fhtw(&outer, 12).width;
-            let max_rho: f64 = inner
-                .iter()
-                .map(|hi| rho_star(hi, &hi.vertices().clone()))
-                .fold(0.0, f64::max);
-            assert!(
-                lhs <= outer_w * max_rho + 1e-6,
-                "n={n}: {lhs} > {outer_w} * {max_rho}"
-            );
+            let max_rho: f64 =
+                inner.iter().map(|hi| rho_star(hi, &hi.vertices().clone())).fold(0.0, f64::max);
+            assert!(lhs <= outer_w * max_rho + 1e-6, "n={n}: {lhs} > {outer_w} * {max_rho}");
         }
     }
 

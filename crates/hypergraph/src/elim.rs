@@ -123,7 +123,11 @@ impl EliminationSequence {
     /// The induced `g`-width `max_k g(U_k)` (Definition 4.11) over a subset of
     /// positions. Positions with empty `U_k` (isolated at elimination time)
     /// are skipped.
-    pub fn induced_width_over<F: FnMut(&VarSet) -> f64>(&self, positions: &[usize], mut g: F) -> f64 {
+    pub fn induced_width_over<F: FnMut(&VarSet) -> f64>(
+        &self,
+        positions: &[usize],
+        mut g: F,
+    ) -> f64 {
         let mut w = 0.0f64;
         for &k in positions {
             if !self.u_sets[k].is_empty() {

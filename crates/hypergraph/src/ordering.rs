@@ -81,8 +81,7 @@ pub fn best_ordering_exact<F: FnMut(&VarSet) -> f64>(h: &Hypergraph, g: F) -> Or
         if !cur.is_finite() {
             continue;
         }
-        let eliminated: VarSet =
-            (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| verts[i]).collect();
+        let eliminated: VarSet = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| verts[i]).collect();
         for i in 0..n {
             if mask >> i & 1 == 1 {
                 continue;

@@ -41,11 +41,7 @@ impl TreeDecomposition {
             // that is eliminated AFTER v_k... vertices of U_k other than v_k
             // all have positions < k (they are eliminated later since we
             // eliminate from the back). Attach to the maximum such position.
-            let anchor = bags[k]
-                .iter()
-                .filter(|&&u| u != order[k])
-                .map(|u| pos[u])
-                .max();
+            let anchor = bags[k].iter().filter(|&&u| u != order[k]).map(|u| pos[u]).max();
             parent.push(anchor.unwrap_or(k));
         }
         // Ensure root(s) self-loop; nodes with no anchor already do.
@@ -108,7 +104,8 @@ impl TreeDecomposition {
                 }
                 top
             };
-            let tops: std::collections::BTreeSet<usize> = holders.iter().map(|&s| top_of(s)).collect();
+            let tops: std::collections::BTreeSet<usize> =
+                holders.iter().map(|&s| top_of(s)).collect();
             if tops.len() > 1 {
                 return Err(format!("vertex {vtx:?} induces a forest, not a subtree"));
             }
@@ -218,10 +215,8 @@ mod tests {
     #[test]
     fn validate_rejects_uncovered_edge() {
         let h = Hypergraph::from_edges(&[&[0, 1], &[1, 2]]);
-        let td = TreeDecomposition {
-            bags: vec![varset(&[0, 1]), varset(&[2])],
-            parent: vec![0, 0],
-        };
+        let td =
+            TreeDecomposition { bags: vec![varset(&[0, 1]), varset(&[2])], parent: vec![0, 0] };
         assert!(td.validate(&h).is_err());
     }
 

@@ -28,7 +28,11 @@ pub struct FractionalCover {
 ///
 /// Returns `None` if some vertex of `B` is not covered by any edge (LP
 /// infeasible).
-pub fn fractional_cover_with_costs(h: &Hypergraph, b: &VarSet, costs: &[f64]) -> Option<FractionalCover> {
+pub fn fractional_cover_with_costs(
+    h: &Hypergraph,
+    b: &VarSet,
+    costs: &[f64],
+) -> Option<FractionalCover> {
     assert_eq!(costs.len(), h.num_edges());
     if b.is_empty() {
         return Some(FractionalCover { weights: vec![0.0; h.num_edges()], value: 0.0 });
@@ -75,8 +79,7 @@ pub fn integral_cover(h: &Hypergraph, b: &VarSet) -> Option<IntegralCover> {
     }
     // Only edges intersecting B are useful; dominated edges (whose B-part is
     // contained in another edge's) could be pruned, but plain BnB suffices.
-    let useful: Vec<usize> =
-        (0..h.num_edges()).filter(|&i| !h.edges()[i].is_disjoint(b)).collect();
+    let useful: Vec<usize> = (0..h.num_edges()).filter(|&i| !h.edges()[i].is_disjoint(b)).collect();
     let mut best: Option<Vec<usize>> = None;
     let mut chosen: Vec<usize> = Vec::new();
 

@@ -20,9 +20,8 @@ pub fn hash_join_pair<E: SemiringElem>(
 ) -> Factor<E> {
     let common: Vec<Var> =
         left.schema().iter().copied().filter(|v| right.schema().contains(v)).collect();
-    let right_extra: Vec<usize> = (0..right.arity())
-        .filter(|&i| !left.schema().contains(&right.schema()[i]))
-        .collect();
+    let right_extra: Vec<usize> =
+        (0..right.arity()).filter(|&i| !left.schema().contains(&right.schema()[i])).collect();
     let mut schema: Vec<Var> = left.schema().to_vec();
     schema.extend(right_extra.iter().map(|&i| right.schema()[i]));
 
@@ -172,9 +171,14 @@ mod tests {
             );
 
             let mut nl = Vec::new();
-            nested_loop_join(&domains, &order, &[&f1, &f2, &f3], 1u64, |a, b| a * b, |b, val| {
-                nl.push((b.to_vec(), val))
-            });
+            nested_loop_join(
+                &domains,
+                &order,
+                &[&f1, &f2, &f3],
+                1u64,
+                |a, b| a * b,
+                |b, val| nl.push((b.to_vec(), val)),
+            );
             assert_eq!(lftj, nl);
 
             let hj = pairwise_hash_join(&[&f1, &f2, &f3], |a, b| a * b, |&x| x == 0);
@@ -195,9 +199,14 @@ mod tests {
         let d = Domains::uniform(1, 2);
         let f = fac(&[0], &[]);
         let mut out = Vec::new();
-        nested_loop_join(&d, &[v(0)], &[&f], 1u64, |a, b| a * b, |b, val| {
-            out.push((b.to_vec(), val))
-        });
+        nested_loop_join(
+            &d,
+            &[v(0)],
+            &[&f],
+            1u64,
+            |a, b| a * b,
+            |b, val| out.push((b.to_vec(), val)),
+        );
         assert!(out.is_empty());
     }
 }

@@ -108,9 +108,7 @@ pub fn multiway_join<E: SemiringElem>(
 
     // participants[d] = cursor indices constrained at depth d.
     let participants: Vec<Vec<usize>> = (0..order.len())
-        .map(|d| {
-            (0..cursors.len()).filter(|&c| cursors[c].col_at_depth[d] != usize::MAX).collect()
-        })
+        .map(|d| (0..cursors.len()).filter(|&c| cursors[c].col_at_depth[d] != usize::MAX).collect())
         .collect();
 
     let mut binding: Vec<u32> = Vec::with_capacity(order.len());
@@ -164,7 +162,18 @@ fn search<E: SemiringElem>(
         // Unconstrained variable: iterate its whole domain.
         for x in 0..domains.size(order[d]) {
             binding.push(x);
-            search(domains, order, participants, cursors, binding, prefix, one, mul, on_match, stats);
+            search(
+                domains,
+                order,
+                participants,
+                cursors,
+                binding,
+                prefix,
+                one,
+                mul,
+                on_match,
+                stats,
+            );
             binding.pop();
         }
         return;
@@ -232,9 +241,16 @@ mod tests {
         inputs: &[JoinInput<'_, u64>],
     ) -> Vec<(Vec<u32>, u64)> {
         let mut out = Vec::new();
-        multiway_join(domains, order, inputs, 1u64, |a, b| a * b, |b, val| {
-            out.push((b.to_vec(), val));
-        });
+        multiway_join(
+            domains,
+            order,
+            inputs,
+            1u64,
+            |a, b| a * b,
+            |b, val| {
+                out.push((b.to_vec(), val));
+            },
+        );
         out
     }
 
@@ -243,20 +259,10 @@ mod tests {
         let r = fac(&[0, 1], &[(&[0, 1], 2), (&[1, 2], 3)]);
         let s = fac(&[1, 2], &[(&[1, 5], 0), (&[1, 3], 7), (&[2, 0], 11)]);
         let d = Domains::new(vec![4, 6, 6]);
-        let out = collect_join(
-            &d,
-            &[v(0), v(1), v(2)],
-            &[JoinInput::value(&r), JoinInput::value(&s)],
-        );
+        let out =
+            collect_join(&d, &[v(0), v(1), v(2)], &[JoinInput::value(&r), JoinInput::value(&s)]);
         // (0,1) joins with (1,5)->0 and (1,3)->7 ; (1,2) with (2,0)->11.
-        assert_eq!(
-            out,
-            vec![
-                (vec![0, 1, 3], 14),
-                (vec![0, 1, 5], 0),
-                (vec![1, 2, 0], 33),
-            ]
-        );
+        assert_eq!(out, vec![(vec![0, 1, 3], 14), (vec![0, 1, 5], 0), (vec![1, 2, 0], 33),]);
         let _ = d;
     }
 
@@ -320,11 +326,7 @@ mod tests {
         let r = fac(&[0], &[(&[0], 3)]);
         let scalar = Factor::nullary(Some(10u64));
         let d = Domains::uniform(1, 2);
-        let out = collect_join(
-            &d,
-            &[v(0)],
-            &[JoinInput::value(&r), JoinInput::value(&scalar)],
-        );
+        let out = collect_join(&d, &[v(0)], &[JoinInput::value(&r), JoinInput::value(&scalar)]);
         assert_eq!(out, vec![(vec![0], 30)]);
 
         let zero = Factor::<u64>::nullary(None);

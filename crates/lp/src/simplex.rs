@@ -176,14 +176,7 @@ impl Tableau {
             }
         }
 
-        Tableau {
-            rows,
-            basis,
-            n_struct: n,
-            n_slack,
-            n_art,
-            objective: lp.objective.clone(),
-        }
+        Tableau { rows, basis, n_struct: n, n_slack, n_art, objective: lp.objective.clone() }
     }
 
     fn width(&self) -> usize {
@@ -247,12 +240,7 @@ impl Tableau {
                 x[b] = self.rows[i][rhs];
             }
         }
-        let objective: f64 = self
-            .objective
-            .iter()
-            .zip(&x)
-            .map(|(c, v)| c * v)
-            .sum();
+        let objective: f64 = self.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
         Ok(Solution { objective, x })
     }
 
@@ -458,7 +446,8 @@ mod tests {
 
     #[test]
     fn ragged_rows_rejected() {
-        let lp = LinearProgram::minimize(vec![1.0, 2.0]).constraint(vec![1.0], ConstraintOp::Ge, 1.0);
+        let lp =
+            LinearProgram::minimize(vec![1.0, 2.0]).constraint(vec![1.0], ConstraintOp::Ge, 1.0);
         assert!(matches!(lp.solve().unwrap_err(), LpError::Malformed(_)));
     }
 
@@ -492,11 +481,7 @@ mod tests {
             assert!(s.objective <= nv as f64 + 1e-6);
             // Feasibility of the returned point.
             for row in &inc {
-                let total: f64 = row
-                    .iter()
-                    .zip(&s.x)
-                    .map(|(&b, &x)| if b { x } else { 0.0 })
-                    .sum();
+                let total: f64 = row.iter().zip(&s.x).map(|(&b, &x)| if b { x } else { 0.0 }).sum();
                 assert!(total >= 1.0 - 1e-6);
             }
         }

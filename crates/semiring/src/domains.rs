@@ -215,6 +215,13 @@ impl AggDomain for RealDomain {
 ///
 /// The `#QCQ` domain (paper Example 1.3): input factors are `{0,1}`-valued,
 /// `∃` becomes `max`, `∀` becomes `×`, and the counting head is `Σ` over `ℕ`.
+///
+/// Arithmetic saturates at `u64::MAX`. Saturation keeps `(D, Σ, ×)` and
+/// `(D, max, ×)` commutative semirings (every operator is monotone, so any
+/// sub-expression that exceeds the cap evaluates to the cap no matter how the
+/// expression is re-associated), which InsideOut relies on: its product-
+/// elimination steps power intermediates (paper eq. (8)) that can
+/// legitimately exceed `u64` even when later factors shrink the final result.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CountDomain;
 
@@ -235,11 +242,11 @@ impl AggDomain for CountDomain {
         1
     }
     fn mul(&self, a: &u64, b: &u64) -> u64 {
-        a * b
+        a.saturating_mul(*b)
     }
     fn add(&self, op: AggId, a: &u64, b: &u64) -> u64 {
         match op {
-            CountDomain::SUM => a + b,
+            CountDomain::SUM => a.saturating_add(*b),
             CountDomain::MAX => (*a).max(*b),
             _ => panic!("CountDomain has 2 ops, got {op:?}"),
         }

@@ -122,9 +122,8 @@ mod tests {
     fn average_via_pair() {
         let s = PairSemiring::new(F64SumProd, F64SumProd);
         // "average of {2, 4, 9}" accumulated as (sum, count) pairs.
-        let acc = [(2.0, 1.0), (4.0, 1.0), (9.0, 1.0)]
-            .iter()
-            .fold(s.zero(), |acc, x| s.add(&acc, x));
+        let acc =
+            [(2.0, 1.0), (4.0, 1.0), (9.0, 1.0)].iter().fold(s.zero(), |acc, x| s.add(&acc, x));
         assert_eq!(avg_of(&acc), Some(5.0));
         assert_eq!(avg_of(&s.zero()), None);
     }

@@ -29,12 +29,14 @@ pub mod provenance;
 pub mod semirings;
 
 pub use complex::Complex64;
-pub use domains::{AggDesc, AggDomain, AggId, BoolDomain, CountDomain, RealDomain, SingleSemiringDomain};
+pub use domains::{
+    AggDesc, AggDomain, AggId, BoolDomain, CountDomain, RealDomain, SingleSemiringDomain,
+};
 pub use instrument::{InstrumentedDomain, OpCounters};
 pub use provenance::{Polynomial, ProvenanceSemiring};
 pub use semirings::{
-    BoolSemiring, ComplexSumProd, CountSumProd, F64MaxProd, F64SumProd, MaxPlus, MinPlus, ModularSumProd,
-    Or01, SetSemiring,
+    BoolSemiring, ComplexSumProd, CountSumProd, F64MaxProd, F64SumProd, MaxPlus, MinPlus,
+    ModularSumProd, Or01, SetSemiring,
 };
 
 use std::fmt::Debug;

@@ -316,16 +316,8 @@ mod tests {
                 assert_eq!(s.add(a, b), s.add(b, a), "⊕ commutativity");
                 assert_eq!(s.mul(a, b), s.mul(b, a), "⊗ commutativity");
                 for c in samples {
-                    assert_eq!(
-                        s.add(&s.add(a, b), c),
-                        s.add(a, &s.add(b, c)),
-                        "⊕ associativity"
-                    );
-                    assert_eq!(
-                        s.mul(&s.mul(a, b), c),
-                        s.mul(a, &s.mul(b, c)),
-                        "⊗ associativity"
-                    );
+                    assert_eq!(s.add(&s.add(a, b), c), s.add(a, &s.add(b, c)), "⊕ associativity");
+                    assert_eq!(s.mul(&s.mul(a, b), c), s.mul(a, &s.mul(b, c)), "⊗ associativity");
                     assert_eq!(
                         s.mul(a, &s.add(b, c)),
                         s.add(&s.mul(a, b), &s.mul(a, c)),

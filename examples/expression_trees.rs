@@ -38,9 +38,16 @@ fn example_6_2() {
             (Var(6), MAX),
             (Var(7), MAX),
         ],
-        edges: vec![vs(&[1, 2]), vs(&[1, 3, 5]), vs(&[1, 4]), vs(&[2, 4, 6]), vs(&[2, 7]), vs(&[3, 7])],
+        edges: vec![
+            vs(&[1, 2]),
+            vs(&[1, 3, 5]),
+            vs(&[1, 4]),
+            vs(&[2, 4, 6]),
+            vs(&[2, 7]),
+            vs(&[3, 7]),
+        ],
         mul_idempotent: false,
-            closed_ops: Default::default(),
+        closed_ops: Default::default(),
     };
     println!("{}", shape.expr_tree());
     let (linex, complete) = linear_extensions(&shape, 10_000);
@@ -74,7 +81,7 @@ fn example_6_19() {
             vs(&[2, 7, 8]),
         ],
         mul_idempotent: true, // the F(D_I) promise: {0,1}-valued inputs
-            closed_ops: [AggId(1)].into_iter().collect(),
+        closed_ops: [AggId(1)].into_iter().collect(),
     };
     println!("{}", shape.expr_tree());
     println!("note the dangling product node {{5,7}} and the copies of X7.");
@@ -88,7 +95,7 @@ fn example_6_13() {
         seq: vec![(Var(1), SUM), (Var(2), MAX), (Var(3), SUM)],
         edges: vec![vs(&[1, 2]), vs(&[1, 3])],
         mul_idempotent: false,
-            closed_ops: Default::default(),
+        closed_ops: Default::default(),
     };
     println!("{}", shape.expr_tree());
     for perm in [[1u32, 2, 3], [1, 3, 2], [3, 1, 2], [2, 1, 3], [3, 2, 1], [2, 3, 1]] {

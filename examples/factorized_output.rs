@@ -24,11 +24,7 @@ fn main() {
         for _ in 0..n {
             tuples.insert(vec![rng.gen_range(0..d), rng.gen_range(0..d)]);
         }
-        Factor::new(
-            vec![Var(a), Var(b)],
-            tuples.into_iter().map(|t| (t, 1u64)).collect(),
-        )
-        .unwrap()
+        Factor::new(vec![Var(a), Var(b)], tuples.into_iter().map(|t| (t, 1u64)).collect()).unwrap()
     };
     let r = mk(&mut rng, 0, 1, 60);
     let s = mk(&mut rng, 1, 2, 60);

@@ -19,9 +19,8 @@ fn main() {
     println!("junction tree with {} bags, calibrated", jt.num_bags());
 
     // Calibration invariant: adjacent beliefs agree on separators.
-    let ok = jt
-        .check_calibration(|a, b| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())))
-        .is_none();
+    let ok =
+        jt.check_calibration(|a, b| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))).is_none();
     println!("calibration invariant holds: {ok}");
 
     // All nine single-variable marginals from ONE calibration pass.

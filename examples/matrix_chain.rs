@@ -40,16 +40,13 @@ fn dft() {
     let m = 8usize;
     let n = 1usize << m;
     let mut rng = StdRng::seed_from_u64(2);
-    let input: Vec<Complex64> =
-        (0..n).map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+    let input: Vec<Complex64> = (0..n)
+        .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect();
 
     let fast = dft_faq(2, m, &input).expect("dft succeeds");
     let slow = naive_dft(&input);
-    let max_err = fast
-        .iter()
-        .zip(&slow)
-        .map(|(a, b)| (*a - *b).abs())
-        .fold(0.0f64, f64::max);
+    let max_err = fast.iter().zip(&slow).map(|(a, b)| (*a - *b).abs()).fold(0.0f64, f64::max);
     println!("N = {n}; max |FAQ-FFT − naive| = {max_err:.3e}");
     println!("first three coefficients: {:?} {:?} {:?}", fast[0], fast[1], fast[2]);
 }

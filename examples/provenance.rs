@@ -35,11 +35,7 @@ fn main() {
         SingleSemiringDomain::new(ProvenanceSemiring),
         Domains::uniform(3, 3),
         vec![],
-        vec![
-            (a, VarAgg::Semiring(op)),
-            (b, VarAgg::Semiring(op)),
-            (c, VarAgg::Semiring(op)),
-        ],
+        vec![(a, VarAgg::Semiring(op)), (b, VarAgg::Semiring(op)), (c, VarAgg::Semiring(op))],
         vec![annotate(a, b), annotate(b, c), annotate(a, c)],
     )
     .unwrap();

@@ -23,10 +23,7 @@ fn main() {
 
 fn sentence() {
     println!("== QCQ sentence: ∀x0 ∃x1 (E(x0, x1)) ==");
-    let e = Atom {
-        vars: vec![Var(0), Var(1)],
-        tuples: vec![vec![0, 1], vec![1, 0], vec![2, 0]],
-    };
+    let e = Atom { vars: vec![Var(0), Var(1)], tuples: vec![vec![0, 1], vec![1, 0], vec![2, 0]] };
     let q = QuantifiedCq {
         domains: Domains::uniform(2, 3),
         free: vec![],
@@ -63,7 +60,12 @@ fn width_table() {
         for i in 0..n {
             edges.push([Var(i), Var(n)].into_iter().collect());
         }
-        let shape = QueryShape { seq, edges, mul_idempotent: true, closed_ops: [AggId(1)].into_iter().collect() };
+        let shape = QueryShape {
+            seq,
+            edges,
+            mul_idempotent: true,
+            closed_ops: [AggId(1)].into_iter().collect(),
+        };
         let r = faqw_exact(&shape, 100_000);
         println!("  {n} |    {}    | {:.3}", n + 1, r.width);
     }

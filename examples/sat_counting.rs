@@ -3,8 +3,8 @@
 //! Run with: `cargo run --example sat_counting --release`
 
 use faq::cnf::{
-    brute_force_count, count_beta_acyclic, gen::random_interval_cnf, sat_beta_acyclic, Clause,
-    Cnf, Lit,
+    brute_force_count, count_beta_acyclic, gen::random_interval_cnf, sat_beta_acyclic, Clause, Cnf,
+    Lit,
 };
 use rand::{rngs::StdRng, SeedableRng};
 use std::time::Instant;

@@ -119,14 +119,9 @@ fn proposition_8_5_on_random_compositions() {
         let comp = compose(&outer, &inner);
         let lhs = fhtw(&comp, 12).width;
         let outer_w = fhtw(&outer, 12).width;
-        let max_rho: f64 = inner
-            .iter()
-            .map(|h| rho_star(h, &h.vertices().clone()))
-            .fold(0.0, f64::max);
-        assert!(
-            lhs <= outer_w * max_rho + 1e-6,
-            "fhtw {lhs} > {outer_w} × {max_rho}"
-        );
+        let max_rho: f64 =
+            inner.iter().map(|h| rho_star(h, &h.vertices().clone())).fold(0.0, f64::max);
+        assert!(lhs <= outer_w * max_rho + 1e-6, "fhtw {lhs} > {outer_w} × {max_rho}");
         let _ = n;
     }
 }

@@ -21,10 +21,7 @@ use rand::{Rng, SeedableRng};
 fn eval_permuted(q: &FaqQuery<CountDomain>, pi: &[Var]) -> Factor<u64> {
     let f = q.free.len();
     let mut q2 = q.clone();
-    q2.bound = pi[f..]
-        .iter()
-        .map(|&v| (v, q.agg_of(v).expect("bound var")))
-        .collect();
+    q2.bound = pi[f..].iter().map(|&v| (v, q.agg_of(v).expect("bound var"))).collect();
     naive_eval(&q2)
 }
 
@@ -94,12 +91,7 @@ fn all_permutations(ids: &[u32]) -> Vec<Vec<Var>> {
 
 /// For a fixed query structure, classify every permutation with the checker
 /// and verify the classification semantically over many random inputs.
-fn classify_and_verify(
-    schemas: &[&[u32]],
-    bound: &[(u32, VarAgg)],
-    rounds: usize,
-    seed: u64,
-) {
+fn classify_and_verify(schemas: &[&[u32]], bound: &[(u32, VarAgg)], rounds: usize, seed: u64) {
     let ids: Vec<u32> = bound.iter().map(|&(i, _)| i).collect();
     let perms = all_permutations(&ids);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -107,8 +99,7 @@ fn classify_and_verify(
     // Classify using the structural checker (shape is input-independent).
     let proto = random_instance(&mut rng, schemas, bound, 2);
     let shape = proto.shape();
-    let accepted: Vec<bool> =
-        perms.iter().map(|pi| is_equivalent_ordering(&shape, pi)).collect();
+    let accepted: Vec<bool> = perms.iter().map(|pi| is_equivalent_ordering(&shape, pi)).collect();
     assert!(accepted.iter().any(|&a| a), "the input ordering itself must be accepted");
 
     // Semantic check. Accepted orderings must agree on EVERY input; rejected

@@ -40,11 +40,7 @@ fn random_count_factor(rng: &mut StdRng, vars: &[Var], dom: u32, density: f64) -
 
 fn random_bool_factor(rng: &mut StdRng, vars: &[Var], dom: u32, density: f64) -> Factor<bool> {
     let f = random_count_factor(rng, vars, dom, density);
-    Factor::new(
-        vars.to_vec(),
-        f.iter().map(|(row, _)| (row.to_vec(), true)).collect(),
-    )
-    .unwrap()
+    Factor::new(vars.to_vec(), f.iter().map(|(row, _)| (row.to_vec(), true)).collect()).unwrap()
 }
 
 #[test]
@@ -61,9 +57,8 @@ fn random_count_queries_all_aggregate_mixes() {
             VarAgg::Semiring(CountDomain::MAX),
             VarAgg::Product,
         ];
-        let bound: Vec<(Var, VarAgg)> = (n_free as u32..n_vars as u32)
-            .map(|i| (Var(i), aggs[rng.gen_range(0..3)]))
-            .collect();
+        let bound: Vec<(Var, VarAgg)> =
+            (n_free as u32..n_vars as u32).map(|i| (Var(i), aggs[rng.gen_range(0..3)])).collect();
         // Random chain + one extra random binary factor, guaranteeing
         // coverage of every variable.
         let mut factors = Vec::new();
@@ -193,17 +188,8 @@ fn every_linex_ordering_evaluates_identically() {
 #[test]
 fn example_6_19_shape_random_instances() {
     let mut rng = StdRng::seed_from_u64(61919);
-    let edges: [&[u32]; 9] = [
-        &[1, 3],
-        &[2, 4],
-        &[3, 4],
-        &[1, 5],
-        &[1, 6],
-        &[2, 6],
-        &[2, 5, 7],
-        &[1, 6, 7],
-        &[2, 7, 8],
-    ];
+    let edges: [&[u32]; 9] =
+        [&[1, 3], &[2, 4], &[3, 4], &[1, 5], &[1, 6], &[2, 6], &[2, 5, 7], &[1, 6, 7], &[2, 7, 8]];
     for round in 0..10 {
         let dom = 2u32;
         let mut domains_sizes = vec![1u32]; // Var(0) unused
@@ -281,10 +267,7 @@ fn boolean_queries_roundtrip() {
             BoolDomain,
             domains,
             vec![Var(0)],
-            vec![
-                (Var(1), VarAgg::Semiring(BoolDomain::OR)),
-                (Var(2), VarAgg::Product),
-            ],
+            vec![(Var(1), VarAgg::Semiring(BoolDomain::OR)), (Var(2), VarAgg::Product)],
             factors,
         )
         .unwrap();

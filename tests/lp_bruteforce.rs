@@ -70,20 +70,14 @@ fn simplex_beats_or_matches_grid_on_random_covers() {
         let sol = lp.solve().expect("covering LPs are feasible");
         // Feasibility of the simplex point.
         for row in &incidence {
-            let total: f64 =
-                row.iter().zip(&sol.x).map(|(&b, &x)| if b { x } else { 0.0 }).sum();
+            let total: f64 = row.iter().zip(&sol.x).map(|(&b, &x)| if b { x } else { 0.0 }).sum();
             assert!(total >= 1.0 - 1e-6);
         }
         // Optimality vs the grid (grid is coarser, so simplex must be ≤ grid
         // + tolerance; with steps = 4 the vertex solutions of covering LPs —
         // multiples of 1/2 — are on the grid).
         let grid = grid_optimum(&incidence, 4);
-        assert!(
-            sol.objective <= grid + 1e-6,
-            "simplex {} worse than grid {}",
-            sol.objective,
-            grid
-        );
+        assert!(sol.objective <= grid + 1e-6, "simplex {} worse than grid {}", sol.objective, grid);
         solved += 1;
     }
     assert_eq!(solved, 60);
@@ -95,11 +89,7 @@ fn simplex_handles_degenerate_equalities() {
     for (a, b) in [(1.0, 1.0), (2.0, 1.0), (1.0, 3.0), (4.0, 6.0)] {
         let lp = LinearProgram::minimize(vec![1.0]).constraint(vec![a], ConstraintOp::Ge, b);
         let s = lp.solve().unwrap();
-        assert!(
-            (s.objective - b / a).abs() < 1e-9,
-            "min x s.t. {a}x ≥ {b}: got {}",
-            s.objective
-        );
+        assert!((s.objective - b / a).abs() < 1e-9, "min x s.t. {a}x ≥ {b}: got {}", s.objective);
         // Two independent equalities pin both coordinates.
         let lp2 = LinearProgram::minimize(vec![1.0, 1.0])
             .constraint(vec![a, 0.0], ConstraintOp::Eq, b)

@@ -68,10 +68,7 @@ fn chain_ops_scale_linearly() {
     }
     // Linear growth: quadrupling the input should not even triple-square ops.
     let ratio = totals[2].1 / totals[0].1;
-    assert!(
-        ratio < 8.0,
-        "ops grew superlinearly: {totals:?} (ratio {ratio})"
-    );
+    assert!(ratio < 8.0, "ops grew superlinearly: {totals:?} (ratio {ratio})");
     assert!(totals[2].1 > totals[0].1, "ops should grow with input size");
 }
 
@@ -105,11 +102,8 @@ fn example_5_6_ops_gap() {
                     tuples.insert(vec![xa, x3, xb]);
                 }
             }
-            Factor::new(
-                vec![v(a), v(b), v(c)],
-                tuples.into_iter().map(|t| (t, 1.0f64)).collect(),
-            )
-            .unwrap()
+            Factor::new(vec![v(a), v(b), v(c)], tuples.into_iter().map(|t| (t, 1.0f64)).collect())
+                .unwrap()
         };
         let p134 = triples(1, 3, 4);
         let p236 = triples(2, 3, 6);
@@ -154,8 +148,5 @@ fn example_5_6_ops_gap() {
         seek_gaps.push(bad_seeks / good_seeks);
     }
     // The conditional-query gap must widen with N (quadratic vs linear).
-    assert!(
-        seek_gaps[1] > seek_gaps[0] * 1.4,
-        "ordering seek gap did not widen: {seek_gaps:?}"
-    );
+    assert!(seek_gaps[1] > seek_gaps[0] * 1.4, "ordering seek gap did not widen: {seek_gaps:?}");
 }

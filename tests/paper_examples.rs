@@ -31,9 +31,16 @@ fn figure_2_3_expression_tree() {
             (Var(6), MAX),
             (Var(7), MAX),
         ],
-        edges: vec![vs(&[1, 2]), vs(&[1, 3, 5]), vs(&[1, 4]), vs(&[2, 4, 6]), vs(&[2, 7]), vs(&[3, 7])],
+        edges: vec![
+            vs(&[1, 2]),
+            vs(&[1, 3, 5]),
+            vs(&[1, 4]),
+            vs(&[2, 4, 6]),
+            vs(&[2, 7]),
+            vs(&[3, 7]),
+        ],
         mul_idempotent: false,
-            closed_ops: Default::default(),
+        closed_ops: Default::default(),
     };
     let t = shape.expr_tree();
     let rendered = t.render();
@@ -73,7 +80,7 @@ fn figure_4_6_expression_tree() {
             vs(&[2, 7, 8]),
         ],
         mul_idempotent: true,
-            closed_ops: [AggId(1)].into_iter().collect(),
+        closed_ops: [AggId(1)].into_iter().collect(),
     };
     let t = shape.expr_tree();
     let rendered = t.render();
@@ -100,7 +107,7 @@ fn example_5_6_width_gap() {
         ],
         edges: vec![vs(&[1, 5]), vs(&[2, 5]), vs(&[1, 3, 4]), vs(&[2, 3, 6])],
         mul_idempotent: true,
-            closed_ops: [AggId(1)].into_iter().collect(),
+        closed_ops: [AggId(1)].into_iter().collect(),
     };
     let w_input = faqw_of_ordering(&shape, &vorder(&[1, 2, 3, 4, 5, 6]));
     let w_good = faqw_of_ordering(&shape, &vorder(&[5, 1, 2, 3, 4, 6]));
@@ -120,17 +127,10 @@ fn example_6_13_evo_set() {
         seq: vec![(Var(1), SUM), (Var(2), MAX), (Var(3), SUM)],
         edges: vec![vs(&[1, 2]), vs(&[1, 3])],
         mul_idempotent: false,
-            closed_ops: Default::default(),
+        closed_ops: Default::default(),
     };
     let mut evo = Vec::new();
-    let perms = [
-        [1u32, 2, 3],
-        [1, 3, 2],
-        [2, 1, 3],
-        [2, 3, 1],
-        [3, 1, 2],
-        [3, 2, 1],
-    ];
+    let perms = [[1u32, 2, 3], [1, 3, 2], [2, 1, 3], [2, 3, 1], [3, 1, 2], [3, 2, 1]];
     for p in perms {
         if is_equivalent_ordering(&shape, &vorder(&p)) {
             evo.push(p);
@@ -153,7 +153,7 @@ fn proposition_5_12_faqw_equals_fhtw() {
         seq: vec![(Var(0), SUM), (Var(1), SUM), (Var(2), SUM)],
         edges: vec![vs(&[0, 1]), vs(&[0, 2]), vs(&[1, 2])],
         mul_idempotent: false,
-            closed_ops: Default::default(),
+        closed_ops: Default::default(),
     };
     let r = faqw_exact(&tri, 100);
     assert!((r.width - 1.5).abs() < 1e-9);
@@ -163,7 +163,7 @@ fn proposition_5_12_faqw_equals_fhtw() {
         seq: (0..5).map(|i| (Var(i), SUM)).collect(),
         edges: vec![vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 3]), vs(&[3, 4]), vs(&[4, 0])],
         mul_idempotent: false,
-            closed_ops: Default::default(),
+        closed_ops: Default::default(),
     };
     let r = faqw_exact(&c5, 100_000);
     let h = c5.hypergraph();
@@ -176,16 +176,10 @@ fn proposition_5_12_faqw_equals_fhtw() {
 #[test]
 fn section_6_1_component_interleavings() {
     let shape = QueryShape {
-        seq: vec![
-            (Var(1), SUM),
-            (Var(2), SUM),
-            (Var(3), MAX),
-            (Var(4), MAX),
-            (Var(5), SUM),
-        ],
+        seq: vec![(Var(1), SUM), (Var(2), SUM), (Var(3), MAX), (Var(4), MAX), (Var(5), SUM)],
         edges: vec![vs(&[1, 5]), vs(&[2, 5]), vs(&[1, 3]), vs(&[2, 4])],
         mul_idempotent: false,
-            closed_ops: Default::default(),
+        closed_ops: Default::default(),
     };
     let base = faqw_exact(&shape, 100_000);
     for perm in [[5u32, 1, 3, 2, 4], [5, 2, 4, 1, 3]] {

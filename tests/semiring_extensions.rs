@@ -6,9 +6,7 @@ use faq::core::{insideout, FaqQuery, VarAgg};
 use faq::factor::{Domains, Factor};
 use faq::hypergraph::Var;
 use faq::semiring::ext::{avg_of, PairSemiring};
-use faq::semiring::{
-    F64SumProd, Polynomial, ProvenanceSemiring, SingleSemiringDomain,
-};
+use faq::semiring::{F64SumProd, Polynomial, ProvenanceSemiring, SingleSemiringDomain};
 use std::collections::BTreeMap;
 
 /// A two-hop join where each input tuple carries its own indeterminate: the
@@ -21,18 +19,12 @@ fn provenance_polynomials_through_insideout() {
     // R(x0,x1) = {(0,0)→x0, (0,1)→x1}, S(x1,x2) = {(0,5)→x2, (1,5)→x3}.
     let r = Factor::new(
         vec![Var(0), Var(1)],
-        vec![
-            (vec![0, 0], Polynomial::var(0)),
-            (vec![0, 1], Polynomial::var(1)),
-        ],
+        vec![(vec![0, 0], Polynomial::var(0)), (vec![0, 1], Polynomial::var(1))],
     )
     .unwrap();
     let s = Factor::new(
         vec![Var(1), Var(2)],
-        vec![
-            (vec![0, 5], Polynomial::var(2)),
-            (vec![1, 5], Polynomial::var(3)),
-        ],
+        vec![(vec![0, 5], Polynomial::var(2)), (vec![1, 5], Polynomial::var(3))],
     )
     .unwrap();
     // ϕ(x0) = Σ_{x1,x2} R·S  over ℕ[X].
@@ -51,9 +43,6 @@ fn provenance_polynomials_through_insideout() {
     assert_eq!(out.len(), 1);
     let p = out.get(&[0]).unwrap();
     // Derivations: x0·x2 (via x1=0) + x1·x3 (via x1=1).
-    let expect = Polynomial::var(0)
-        .clone();
-    let _ = expect;
     assert_eq!(p.num_terms(), 2);
     assert_eq!(p.degree(), 2);
     // Counting homomorphism: every tuple present once ⇒ multiplicity 2.
@@ -140,16 +129,10 @@ fn set_semiring_union_intersection() {
     use faq::semiring::SetSemiring;
     let s = SetSemiring::new(8);
     let set = |ids: &[u32]| ids.iter().copied().collect::<std::collections::BTreeSet<u32>>();
-    let r = Factor::new(
-        vec![Var(0)],
-        vec![(vec![0], set(&[0, 1, 2])), (vec![1], set(&[3, 4]))],
-    )
-    .unwrap();
-    let t = Factor::new(
-        vec![Var(0)],
-        vec![(vec![0], set(&[1, 2, 5])), (vec![1], set(&[4, 6]))],
-    )
-    .unwrap();
+    let r = Factor::new(vec![Var(0)], vec![(vec![0], set(&[0, 1, 2])), (vec![1], set(&[3, 4]))])
+        .unwrap();
+    let t = Factor::new(vec![Var(0)], vec![(vec![0], set(&[1, 2, 5])), (vec![1], set(&[4, 6]))])
+        .unwrap();
     // ϕ = ⋃_{x0} (R(x0) ∩ T(x0)).
     let q = FaqQuery::new(
         SingleSemiringDomain::new(s),

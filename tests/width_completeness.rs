@@ -60,7 +60,11 @@ fn random_shape(rng: &mut StdRng, n: u32, with_products: bool) -> QueryShape {
         seq,
         edges,
         mul_idempotent: with_products && rng.gen_bool(0.5),
-        closed_ops: if rng.gen_bool(0.5) { [AggId(1)].into_iter().collect() } else { Default::default() },
+        closed_ops: if rng.gen_bool(0.5) {
+            [AggId(1)].into_iter().collect()
+        } else {
+            Default::default()
+        },
     }
 }
 
@@ -87,8 +91,7 @@ fn linex_is_sound_and_width_complete() {
         }
 
         // Width completeness: each accepted ordering's width appears in LinEx.
-        let linex_widths: Vec<f64> =
-            linex.iter().map(|s| faqw_of_ordering(&shape, s)).collect();
+        let linex_widths: Vec<f64> = linex.iter().map(|s| faqw_of_ordering(&shape, s)).collect();
         let ids: Vec<u32> = (0..n).collect();
         for pi in permutations(&ids) {
             if !is_equivalent_ordering(&shape, &pi) {
@@ -116,10 +119,8 @@ fn optimum_over_evo_equals_optimum_over_linex() {
         let n = rng.gen_range(3..6u32);
         let shape = random_shape(&mut rng, n, false);
         let (linex, _) = linear_extensions(&shape, 5_000);
-        let best_linex = linex
-            .iter()
-            .map(|s| faqw_of_ordering(&shape, s))
-            .fold(f64::INFINITY, f64::min);
+        let best_linex =
+            linex.iter().map(|s| faqw_of_ordering(&shape, s)).fold(f64::INFINITY, f64::min);
         let ids: Vec<u32> = (0..n).collect();
         let best_evo = permutations(&ids)
             .into_iter()
