@@ -7,7 +7,8 @@
 //! bound `O~(N^{fhtw} + ‖ϕ‖)`; the classic triangle query exhibits the
 //! `N^{3/2}` AGM bound against the `N²` of any pairwise join plan.
 
-use faq_core::{insideout_with_order, FaqError, FaqOutput, FaqQuery};
+use faq_core::{insideout_par_with_order, insideout_with_order, ExecPolicy};
+use faq_core::{FaqError, FaqOutput, FaqQuery};
 use faq_factor::{Domains, Factor};
 use faq_hypergraph::Var;
 use faq_semiring::{CountSumProd, SingleSemiringDomain};
@@ -65,6 +66,15 @@ impl NaturalJoin {
         let q = self.to_faq()?;
         let sigma = q.ordering();
         insideout_with_order(&q, &sigma)
+    }
+
+    /// Evaluate on the parallel engine: the guard joins and the output join
+    /// are chunked across the policy's worker pool. The output factor is
+    /// bit-identical to [`NaturalJoin::evaluate`].
+    pub fn evaluate_par(&self, policy: &ExecPolicy) -> Result<FaqOutput<u64>, FaqError> {
+        let q = self.to_faq()?;
+        let sigma = q.ordering();
+        insideout_par_with_order(&q, &sigma, policy)
     }
 
     /// The join size (number of output tuples).
@@ -222,5 +232,18 @@ mod tests {
     fn empty_relation_empty_join() {
         let q = triangle_query(&[], 4);
         assert_eq!(q.count().unwrap(), 0);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let edges = random_graph(16, 80, &mut rng);
+        let q = triangle_query(&edges, 16);
+        let seq = q.evaluate().unwrap();
+        for threads in [1usize, 2, 4] {
+            let policy = ExecPolicy { threads, min_chunk_rows: 1 };
+            let par = q.evaluate_par(&policy).unwrap();
+            assert_eq!(par.factor, seq.factor, "threads {threads}");
+        }
     }
 }

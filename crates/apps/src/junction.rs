@@ -85,14 +85,14 @@ impl<S: Semiring> JunctionTree<S> {
 
         // 3. Two-pass message passing. Order bags by depth (root first).
         let mut depth = vec![0usize; n];
-        for i in 0..n {
+        for (i, slot) in depth.iter_mut().enumerate() {
             let mut cur = i;
             let mut d = 0;
             while parent[cur] != cur {
                 cur = parent[cur];
                 d += 1;
             }
-            depth[i] = d;
+            *slot = d;
         }
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by_key(|&i| depth[i]);

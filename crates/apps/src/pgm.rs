@@ -87,7 +87,7 @@ impl GraphicalModel {
             for i in 0..mm.len() {
                 let x = mm.row(i)[0];
                 let val = *mm.value(i);
-                if best.map_or(true, |(_, b)| val > b) {
+                if best.is_none_or(|(_, b)| val > b) {
                     best = Some((x, val));
                 }
             }

@@ -1,0 +1,66 @@
+//! Sequential vs parallel InsideOut on tier-1 join workloads.
+//!
+//! The parallel engine chunks every elimination join by first-variable value
+//! ranges of the largest incident factor and runs the chunks on a scoped
+//! worker pool; the output factor is bit-identical (asserted here before
+//! timing). Speedup is reported by the wall-clock comparison — on a
+//! single-core host the two lines coincide, so the interesting signal is the
+//! absence of chunking overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faq_apps::joins;
+use faq_bench::rng;
+use faq_core::ExecPolicy;
+
+fn bench_triangle_par(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_insideout/triangle_random");
+    group.sample_size(10);
+    let mut r = rng(11);
+    for &m in &[2000usize, 8000] {
+        let edges = joins::random_graph(128, m, &mut r);
+        let q = joins::triangle_query(&edges, 128);
+        let seq = q.evaluate().unwrap();
+        group.bench_with_input(BenchmarkId::new("sequential", m), &m, |b, _| {
+            b.iter(|| q.evaluate().unwrap())
+        });
+        for threads in [2usize, 4] {
+            let policy = ExecPolicy { threads, min_chunk_rows: 64 };
+            assert_eq!(q.evaluate_par(&policy).unwrap().factor, seq.factor);
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel_t{threads}"), m),
+                &m,
+                |b, _| b.iter(|| q.evaluate_par(&policy).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_path_par(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_insideout/path4_random");
+    group.sample_size(10);
+    let mut r = rng(13);
+    // All five path variables are free, so the output carries every 4-path:
+    // ≈ n⁵·density⁴ rows. Keep the graph sparse (density ≈ 0.09) so the
+    // listing stays near half a million rows — dense graphs make this query
+    // produce hundreds of millions of rows and the bench would never finish.
+    let edges = joins::random_graph(96, 800, &mut r);
+    let q = joins::path_query(&edges, 96, 4);
+    let seq = q.evaluate().unwrap();
+    group.bench_with_input(BenchmarkId::from_parameter("sequential"), &(), |b, _| {
+        b.iter(|| q.evaluate().unwrap())
+    });
+    for threads in [2usize, 4] {
+        let policy = ExecPolicy { threads, min_chunk_rows: 64 };
+        assert_eq!(q.evaluate_par(&policy).unwrap().factor, seq.factor);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("parallel_t{threads}")),
+            &(),
+            |b, _| b.iter(|| q.evaluate_par(&policy).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triangle_par, bench_path_par);
+criterion_main!(benches);

@@ -1,30 +1,48 @@
 //! Regenerate the tables and figures of the FAQ paper on laptop-scale
 //! workloads. Output is recorded in `EXPERIMENTS.md`.
 //!
-//! Usage: `cargo run -p faq_bench --release --bin paper_tables [--fast]`
+//! Usage: `cargo run -p faq_bench --release --bin paper_tables [--fast] [--threads N]`
+//!
+//! `--threads N` sets the worker-pool size of the parallel-engine table
+//! (default: the host's available parallelism).
 
 use faq_apps::{cq, joins, matrix, pgm, qcq};
 use faq_bench::{example_5_6_good_order, example_5_6_input_order, example_5_6_query};
 use faq_bench::{rng, scaling_exponent, time_median};
 use faq_cnf as cnf;
 use faq_core::width::{faqw_exact, faqw_of_ordering};
-use faq_core::{insideout_with_order, QueryShape, Tag};
+use faq_core::{insideout_with_order, ExecPolicy, QueryShape, Tag};
 use faq_hypergraph::{compose, ordering as hord, Var, VarSet};
 use faq_join::pairwise_hash_join;
 use faq_semiring::{AggId, Complex64};
 use rand::Rng;
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let args: Vec<String> = std::env::args().collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let threads = match args.iter().position(|a| a == "--threads") {
+        Some(i) => {
+            let value = args.get(i + 1).expect("--threads requires a value");
+            match value.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => panic!("--threads takes a positive integer, got {value:?}"),
+            }
+        }
+        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    };
     let iters = if fast { 1 } else { 3 };
     println!("# FAQ paper reproduction — measured tables\n");
-    println!("(median of {iters} runs per cell; shapes, not absolute numbers, are the claim)\n");
+    println!(
+        "(median of {iters} runs per cell; shapes, not absolute numbers, are the claim; \
+         parallel engine runs with {threads} thread(s))\n"
+    );
     t1_joins(iters, fast);
     t1_logic(iters, fast);
     t1_pgm(iters, fast);
     t1_mcm(iters, fast);
     t1_dft(iters, fast);
     ex56(iters, fast);
+    par_table(iters, fast, threads);
     width_table();
     sat_tables(iters, fast);
     composition_table();
@@ -223,6 +241,34 @@ fn ex56(iters: usize, fast: bool) {
         scaling_exponent(&in_pts),
         scaling_exponent(&good_pts)
     );
+}
+
+/// Parallel InsideOut: chunked factor kernels vs the sequential engine on the
+/// random triangle join. Outputs are asserted bit-identical before timing.
+fn par_table(iters: usize, fast: bool, threads: usize) {
+    println!("## P1 Parallel InsideOut — triangle join, sequential vs {threads}-thread chunked\n");
+    println!("| N (edges) | sequential (s) | parallel (s) | speedup | identical |");
+    println!("|---|---|---|---|---|");
+    let sizes: &[usize] = if fast { &[1000, 2000] } else { &[2000, 8000, 20000] };
+    let policy = ExecPolicy { threads, min_chunk_rows: 64 };
+    let mut r = rng(17);
+    for &m in sizes {
+        let nodes = (4 * (m as f64).sqrt() as u32).max(8);
+        let edges = joins::random_graph(nodes, m, &mut r);
+        let q = joins::triangle_query(&edges, nodes);
+        let seq = q.evaluate().unwrap();
+        let par = q.evaluate_par(&policy).unwrap();
+        let identical = par.factor == seq.factor;
+        assert!(identical, "parallel output diverged from sequential at N={}", edges.len());
+        let t_seq = time_median(iters, || q.evaluate().unwrap());
+        let t_par = time_median(iters, || q.evaluate_par(&policy).unwrap());
+        println!(
+            "| {} | {t_seq:.5} | {t_par:.5} | {:.2}x | {identical} |",
+            edges.len(),
+            t_seq / t_par.max(1e-9)
+        );
+    }
+    println!();
 }
 
 /// §7.2.1: faqw vs Chen–Dalmau prefix width on the ∀…∀∃ family.

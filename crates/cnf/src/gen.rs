@@ -65,7 +65,7 @@ mod tests {
         let cnf = random_cnf(6, 12, 3, &mut rng);
         assert_eq!(cnf.clauses.len(), 12);
         for c in &cnf.clauses {
-            assert!(c.len() <= 3 && c.len() >= 1);
+            assert!(c.len() <= 3 && !c.is_empty());
         }
     }
 }

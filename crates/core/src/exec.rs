@@ -1,0 +1,392 @@
+//! The parallel execution engine for InsideOut.
+//!
+//! Each elimination step of Algorithm 1 is one multiway join followed by a
+//! streaming `⊕⁽ᵏ⁾`-fold over the innermost variable (paper eq. (7)). The
+//! join enumerates bindings in lexicographic order of the step's variable
+//! ordering, so the search tree decomposes over *value ranges of the first
+//! join variable*: ranges partitioning `Dom(order[0])` give disjoint slices
+//! whose outputs, concatenated in range order, are exactly the sequential
+//! output stream. This module exploits that:
+//!
+//! 1. pick the largest input factor containing the first join variable and
+//!    cut its column for that variable into up to [`ExecPolicy::threads`]
+//!    value ranges of roughly equal row counts
+//!    ([`faq_factor::Factor::column_partition`]), never splitting a value;
+//! 2. run the leapfrog join kernel per chunk on a `std::thread::scope`
+//!    worker pool ([`faq_join::multiway_join_range`]), stream-folding each
+//!    chunk's groups locally;
+//! 3. merge the per-chunk sorted outputs ([`faq_factor::merge_sorted_rows`]),
+//!    combining any duplicate tuples with the step's `⊕` in sorted-tuple
+//!    order.
+//!
+//! **Determinism.** The output factor is bit-identical to the sequential
+//! engine's for every semiring and every thread count: a fold group's first
+//! column is the first join variable, so no group ever spans two chunks, and
+//! within a chunk the fold consumes matches in the same lexicographic order
+//! as the sequential engine. Steps whose fold group is empty (the sub-join
+//! binds only the eliminated variable) run sequentially — splitting them
+//! would re-associate the `⊕`-fold, which is observable for non-associative
+//! carriers like `f64`. Run *statistics* are not bit-identical: per-chunk
+//! searches each visit their own root, so node/seek totals can exceed the
+//! sequential counts.
+
+use crate::insideout::FaqOutput;
+use crate::query::{FaqError, FaqQuery};
+use faq_factor::{merge_sorted_rows, Domains};
+use faq_hypergraph::Var;
+use faq_join::{multiway_join_range, JoinInput, JoinStats};
+use faq_semiring::{AggDomain, SemiringElem};
+
+/// Execution policy for the InsideOut engine.
+///
+/// `threads == 1` is exactly the sequential engine. With more threads, each
+/// elimination join is chunked by first-variable value ranges and the chunks
+/// run on a scoped worker pool; the output is bit-identical regardless of
+/// thread count (see the module docs for why).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Maximum worker threads per elimination join (clamped to ≥ 1).
+    pub threads: usize,
+    /// Minimum rows of the chunking factor per chunk: a join whose chunking
+    /// basis has fewer than `2 × min_chunk_rows` rows runs sequentially, and
+    /// the chunk count never exceeds `basis rows / min_chunk_rows`. Guards
+    /// against paying thread spawn cost on tiny intermediates.
+    pub min_chunk_rows: usize,
+}
+
+impl ExecPolicy {
+    /// Default [`ExecPolicy::min_chunk_rows`]: below ~512-row kernels, spawn
+    /// overhead dominates the join work.
+    pub const DEFAULT_MIN_CHUNK_ROWS: usize = 512;
+
+    /// The sequential policy: one thread, chunking disabled.
+    pub fn sequential() -> ExecPolicy {
+        ExecPolicy { threads: 1, min_chunk_rows: usize::MAX }
+    }
+
+    /// A parallel policy with `threads` workers and the default chunk floor.
+    pub fn with_threads(threads: usize) -> ExecPolicy {
+        ExecPolicy { threads: threads.max(1), min_chunk_rows: Self::DEFAULT_MIN_CHUNK_ROWS }
+    }
+
+    /// Effective worker count (at least 1).
+    pub fn effective_threads(&self) -> usize {
+        self.threads.max(1)
+    }
+}
+
+impl Default for ExecPolicy {
+    /// One worker per available hardware thread, default chunk floor.
+    fn default() -> ExecPolicy {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ExecPolicy::with_threads(threads)
+    }
+}
+
+/// Run InsideOut under an execution policy with the query's own ordering.
+///
+/// Bit-identical to [`crate::insideout::insideout`] for every semiring and
+/// thread count; only run statistics may differ.
+pub fn insideout_par<D: AggDomain + Sync>(
+    q: &FaqQuery<D>,
+    policy: &ExecPolicy,
+) -> Result<FaqOutput<D::E>, FaqError> {
+    let sigma = q.ordering();
+    insideout_par_with_order(q, &sigma, policy)
+}
+
+/// Run InsideOut under an execution policy along a caller-chosen ordering.
+///
+/// `sigma` carries the same contract as
+/// [`crate::insideout::insideout_with_order`].
+pub fn insideout_par_with_order<D: AggDomain + Sync>(
+    q: &FaqQuery<D>,
+    sigma: &[Var],
+    policy: &ExecPolicy,
+) -> Result<FaqOutput<D::E>, FaqError> {
+    crate::insideout::insideout_with_policy(q, sigma, policy)
+}
+
+/// Rows and search statistics produced by one (chunk of a) grouped join.
+type GroupedRows<E> = (Vec<(Vec<u32>, E)>, JoinStats);
+
+/// One elimination-step join: enumerate matches of `inputs` under `order`,
+/// group them by the first `group_arity` binding columns, fold each group's
+/// values with `fold`, and drop groups whose folded value `is_zero`.
+///
+/// With `group_arity == order.len()` this is plain enumeration with a zero
+/// filter (every binding is its own group) — the shape of the guard joins and
+/// the final output join. With `group_arity == order.len() - 1` it is the
+/// semiring elimination of eq. (7).
+///
+/// The policy decides sequential vs chunked execution; both produce the same
+/// rows in the same order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn grouped_join<E: SemiringElem>(
+    policy: &ExecPolicy,
+    domains: &Domains,
+    order: &[Var],
+    inputs: &[JoinInput<'_, E>],
+    one: &E,
+    group_arity: usize,
+    mul: &(impl Fn(&E, &E) -> E + Sync),
+    fold: &(impl Fn(&E, &E) -> E + Sync),
+    is_zero: &(impl Fn(&E) -> bool + Sync),
+) -> GroupedRows<E> {
+    debug_assert!(group_arity <= order.len());
+    let run_range = |range: (u32, u32)| {
+        grouped_join_range(domains, order, inputs, range, one, group_arity, mul, fold, is_zero)
+    };
+    let full = (0u32, u32::MAX);
+
+    let threads = policy.effective_threads();
+    // A zero group arity means the whole output is ONE fold group; chunking
+    // it would re-associate the ⊕-fold, which is observable on f64.
+    if threads <= 1 || group_arity == 0 || order.is_empty() {
+        return run_range(full);
+    }
+
+    // Chunking basis: the largest input containing the first join variable.
+    let first = order[0];
+    let Some(basis) = inputs
+        .iter()
+        .map(|i| i.factor)
+        .filter(|f| f.schema().contains(&first))
+        .max_by_key(|f| f.len())
+    else {
+        return run_range(full); // first variable unconstrained — rare and cheap
+    };
+    let per_chunk = policy.min_chunk_rows.clamp(1, usize::MAX / 2);
+    let max_chunks = threads.min(basis.len() / per_chunk);
+    if max_chunks <= 1 {
+        return run_range(full);
+    }
+    let col = basis.schema().iter().position(|&v| v == first).expect("basis contains order[0]");
+    let ranges = basis.column_partition(col, max_chunks);
+    if ranges.len() <= 1 {
+        return run_range(full);
+    }
+
+    // Align every input to the join order once, up front: the join kernel
+    // aligns per invocation, and without this each chunk worker would re-copy
+    // (and re-sort, when misaligned) every factor.
+    let aligned: Vec<_> = inputs.iter().map(|i| i.factor.align_to_cow(order)).collect();
+    let chunk_inputs: Vec<JoinInput<'_, E>> = aligned
+        .iter()
+        .zip(inputs)
+        .map(|(f, i)| JoinInput { factor: f.as_ref(), use_value: i.use_value })
+        .collect();
+
+    // Scoped worker pool: one worker per chunk (ranges.len() ≤ threads), each
+    // writing into its own slot.
+    let mut slots: Vec<Option<GroupedRows<E>>> = Vec::new();
+    slots.resize_with(ranges.len(), || None);
+    std::thread::scope(|s| {
+        for (&range, slot) in ranges.iter().zip(slots.iter_mut()) {
+            let chunk_inputs = &chunk_inputs;
+            s.spawn(move || {
+                *slot = Some(grouped_join_range(
+                    domains,
+                    order,
+                    chunk_inputs,
+                    range,
+                    one,
+                    group_arity,
+                    mul,
+                    fold,
+                    is_zero,
+                ))
+            });
+        }
+    });
+
+    let mut stats = JoinStats::default();
+    let mut chunks: Vec<Vec<(Vec<u32>, E)>> = Vec::with_capacity(slots.len());
+    for slot in slots {
+        let (rows, chunk_stats) = slot.expect("worker completed");
+        stats.matches += chunk_stats.matches;
+        stats.seeks += chunk_stats.seeks;
+        stats.nodes += chunk_stats.nodes;
+        chunks.push(rows);
+    }
+    // Group keys begin with the chunked variable, so chunk outputs are
+    // disjoint and ascending: the merge is a concatenation that would also
+    // combine duplicates correctly if they could arise.
+    let rows = merge_sorted_rows(chunks, |a, b| fold(a, b), |v| is_zero(v));
+    (rows, stats)
+}
+
+/// The sequential kernel: one range-restricted leapfrog join with streaming
+/// group-fold, exactly the paper's stream-aggregation over consecutive
+/// outputs.
+#[allow(clippy::too_many_arguments)]
+fn grouped_join_range<E: SemiringElem>(
+    domains: &Domains,
+    order: &[Var],
+    inputs: &[JoinInput<'_, E>],
+    range: (u32, u32),
+    one: &E,
+    group_arity: usize,
+    mul: impl Fn(&E, &E) -> E,
+    fold: impl Fn(&E, &E) -> E,
+    is_zero: impl Fn(&E) -> bool,
+) -> GroupedRows<E> {
+    let mut rows: Vec<(Vec<u32>, E)> = Vec::new();
+    let mut cur_key: Option<Vec<u32>> = None;
+    let mut cur_acc: Option<E> = None;
+    let stats = multiway_join_range(
+        domains,
+        order,
+        inputs,
+        range,
+        one.clone(),
+        |a, b| mul(a, b),
+        |binding, val| {
+            let key = &binding[..group_arity];
+            match (&mut cur_key, &mut cur_acc) {
+                (Some(k), Some(acc)) if k.as_slice() == key => {
+                    *acc = fold(acc, &val);
+                }
+                _ => {
+                    if let (Some(k), Some(acc)) = (cur_key.take(), cur_acc.take()) {
+                        if !is_zero(&acc) {
+                            rows.push((k, acc));
+                        }
+                    }
+                    cur_key = Some(key.to_vec());
+                    cur_acc = Some(val);
+                }
+            }
+        },
+    );
+    if let (Some(k), Some(acc)) = (cur_key.take(), cur_acc.take()) {
+        if !is_zero(&acc) {
+            rows.push((k, acc));
+        }
+    }
+    (rows, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insideout::insideout;
+    use crate::query::VarAgg;
+    use faq_factor::{Domains, Factor};
+    use faq_hypergraph::v;
+    use faq_semiring::{CountDomain, RealDomain};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_query(seed: u64, n_rows: usize) -> FaqQuery<CountDomain> {
+        let mut r = StdRng::seed_from_u64(seed);
+        let d = 8u32;
+        let mut mk = |vars: &[u32]| {
+            let mut tuples = std::collections::BTreeMap::new();
+            for _ in 0..n_rows {
+                let row: Vec<u32> = vars.iter().map(|_| r.gen_range(0..d)).collect();
+                tuples.insert(row, r.gen_range(1..4u64));
+            }
+            Factor::new(vars.iter().map(|&i| v(i)).collect(), tuples.into_iter().collect()).unwrap()
+        };
+        let f01 = mk(&[0, 1]);
+        let f12 = mk(&[1, 2]);
+        let f02 = mk(&[0, 2]);
+        FaqQuery::new(
+            CountDomain,
+            Domains::uniform(3, d),
+            vec![v(0)],
+            vec![
+                (v(1), VarAgg::Semiring(CountDomain::SUM)),
+                (v(2), VarAgg::Semiring(CountDomain::MAX)),
+            ],
+            vec![f01, f12, f02],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn policy_constructors() {
+        assert_eq!(ExecPolicy::sequential().effective_threads(), 1);
+        assert_eq!(ExecPolicy::with_threads(0).effective_threads(), 1);
+        assert_eq!(ExecPolicy::with_threads(4).threads, 4);
+        assert!(ExecPolicy::default().threads >= 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_counting() {
+        for seed in 0..8 {
+            let q = random_query(seed, 60);
+            let seq = insideout(&q).unwrap();
+            for threads in [1usize, 2, 4] {
+                for min_chunk in [0usize, 1, 7, usize::MAX] {
+                    let policy = ExecPolicy { threads, min_chunk_rows: min_chunk };
+                    let par = insideout_par(&q, &policy).unwrap();
+                    assert_eq!(
+                        par.factor, seq.factor,
+                        "seed {seed} threads {threads} min_chunk {min_chunk}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_real_free_vars() {
+        // f64 is the carrier where fold re-association would show: assert
+        // bit-identical outputs, not approximate ones.
+        let mut r = StdRng::seed_from_u64(3);
+        let mut mk = |a: u32, b: u32| {
+            let mut tuples = std::collections::BTreeMap::new();
+            for _ in 0..80 {
+                tuples.insert(
+                    vec![r.gen_range(0..10u32), r.gen_range(0..10u32)],
+                    r.gen_range(0.1..2.0f64),
+                );
+            }
+            Factor::new(vec![v(a), v(b)], tuples.into_iter().collect()).unwrap()
+        };
+        let q = FaqQuery::new(
+            RealDomain,
+            Domains::uniform(3, 10),
+            vec![v(0)],
+            vec![
+                (v(1), VarAgg::Semiring(RealDomain::SUM)),
+                (v(2), VarAgg::Semiring(RealDomain::SUM)),
+            ],
+            vec![mk(0, 1), mk(1, 2), mk(0, 2)],
+        )
+        .unwrap();
+        let seq = insideout(&q).unwrap();
+        for threads in [2usize, 3, 4] {
+            let par = insideout_par(&q, &ExecPolicy { threads, min_chunk_rows: 1 }).unwrap();
+            assert_eq!(par.factor, seq.factor, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn scalar_queries_match() {
+        // No free variables: the last elimination folds into a single group
+        // (group_arity 0 at the top), exercising the sequential fallback.
+        let q = FaqQuery::new(
+            CountDomain,
+            Domains::uniform(2, 4),
+            vec![],
+            vec![
+                (v(0), VarAgg::Semiring(CountDomain::SUM)),
+                (v(1), VarAgg::Semiring(CountDomain::SUM)),
+            ],
+            vec![Factor::dense(
+                vec![v(0), v(1)],
+                &[4, 4],
+                |row| (row[0] + row[1]) as u64,
+                |&x| x == 0,
+            )
+            .unwrap()],
+        )
+        .unwrap();
+        let seq = insideout(&q).unwrap();
+        let par = insideout_par(&q, &ExecPolicy { threads: 4, min_chunk_rows: 1 }).unwrap();
+        assert_eq!(par.factor, seq.factor);
+        assert_eq!(par.scalar(), seq.scalar());
+    }
+}

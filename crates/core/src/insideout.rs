@@ -25,10 +25,11 @@
 //! backtracking branch extends to a real output tuple (Yannakakis' algorithm
 //! re-emerges; the output phase costs `O~(‖ϕ‖)`).
 
+use crate::exec::{grouped_join, ExecPolicy};
 use crate::query::{FaqError, FaqQuery, VarAgg};
 use faq_factor::Factor;
 use faq_hypergraph::{Var, VarSet};
-use faq_join::{multiway_join, JoinInput, JoinStats};
+use faq_join::{JoinInput, JoinStats};
 use faq_semiring::{AggDomain, AggId};
 
 /// Per-elimination-step statistics.
@@ -95,7 +96,11 @@ impl<E: faq_semiring::SemiringElem> FaqOutput<E> {
 }
 
 /// Run InsideOut with the query's own variable ordering.
-pub fn insideout<D: AggDomain>(q: &FaqQuery<D>) -> Result<FaqOutput<D::E>, FaqError> {
+///
+/// Sequential execution; [`crate::exec::insideout_par`] is the parallel
+/// engine (bit-identical output). `D: Sync` is required because both paths
+/// share one implementation — every domain in this workspace satisfies it.
+pub fn insideout<D: AggDomain + Sync>(q: &FaqQuery<D>) -> Result<FaqOutput<D::E>, FaqError> {
     let sigma = q.ordering();
     insideout_with_order(q, &sigma)
 }
@@ -122,11 +127,22 @@ pub struct EliminationArtifacts<E: faq_semiring::SemiringElem> {
 /// `EVO(ϕ)`, paper §5.4) is the caller's contract — validate with
 /// [`crate::evo::is_equivalent_ordering`] or obtain orderings from
 /// [`crate::width`].
-pub fn insideout_with_order<D: AggDomain>(
+pub fn insideout_with_order<D: AggDomain + Sync>(
     q: &FaqQuery<D>,
     sigma: &[Var],
 ) -> Result<FaqOutput<D::E>, FaqError> {
-    let art = run_elimination(q, sigma)?;
+    insideout_with_policy(q, sigma, &ExecPolicy::sequential())
+}
+
+/// Run InsideOut along `sigma` under an execution policy — the shared
+/// implementation behind [`insideout_with_order`] (sequential policy) and
+/// [`crate::exec::insideout_par_with_order`].
+pub(crate) fn insideout_with_policy<D: AggDomain + Sync>(
+    q: &FaqQuery<D>,
+    sigma: &[Var],
+    policy: &ExecPolicy,
+) -> Result<FaqOutput<D::E>, FaqError> {
+    let art = run_elimination_with_policy(q, sigma, policy)?;
     let dom = &q.domain;
     let mut stats = art.stats;
 
@@ -139,18 +155,16 @@ pub fn insideout_with_order<D: AggDomain>(
     for g in &art.guards {
         inputs.push(JoinInput::filter(g));
     }
-    let mut rows: Vec<(Vec<u32>, D::E)> = Vec::new();
-    let join_stats = multiway_join(
+    let (rows, join_stats) = grouped_join(
+        policy,
         &q.domains,
         &art.free_order,
         &inputs,
-        dom.one(),
-        |a, b| dom.mul(a, b),
-        |binding, val| {
-            if !dom.is_zero(&val) {
-                rows.push((binding.to_vec(), val));
-            }
-        },
+        &dom.one(),
+        art.free_order.len(),
+        &|a, b| dom.mul(a, b),
+        &|a: &D::E, _: &D::E| a.clone(),
+        &|x| dom.is_zero(x),
     );
     stats.output_join = Some(join_stats);
     let factor = Factor::new(art.free_order, rows).expect("join emits distinct bindings");
@@ -159,9 +173,20 @@ pub fn insideout_with_order<D: AggDomain>(
 
 /// Run phases 1–2 of InsideOut: eliminate bound variables, then free
 /// variables under the 01-OR semiring, returning the factorized artifacts.
-pub fn run_elimination<D: AggDomain>(
+pub fn run_elimination<D: AggDomain + Sync>(
     q: &FaqQuery<D>,
     sigma: &[Var],
+) -> Result<EliminationArtifacts<D::E>, FaqError> {
+    run_elimination_with_policy(q, sigma, &ExecPolicy::sequential())
+}
+
+/// [`run_elimination`] under an execution policy: every elimination join —
+/// semiring steps and the free-variable guard joins — is chunked across the
+/// policy's worker pool. Artifacts are bit-identical to the sequential run.
+pub fn run_elimination_with_policy<D: AggDomain + Sync>(
+    q: &FaqQuery<D>,
+    sigma: &[Var],
+    policy: &ExecPolicy,
 ) -> Result<EliminationArtifacts<D::E>, FaqError> {
     q.validate()?;
     q.check_ordering(sigma)?;
@@ -180,7 +205,7 @@ pub fn run_elimination<D: AggDomain>(
         let agg = q.agg_of(var).expect("bound variable has an aggregate");
         match agg {
             VarAgg::Semiring(op) => {
-                let step = eliminate_semiring(q, sigma, &mut edges, var, op, &sigma_pos);
+                let step = eliminate_semiring(q, policy, &mut edges, var, op, &sigma_pos);
                 stats.record(step);
             }
             VarAgg::Product => {
@@ -215,14 +240,18 @@ pub fn run_elimination<D: AggDomain>(
             .map(|e| e.indicator_projection(&join_order, dom.one()))
             .collect();
         let inputs: Vec<JoinInput<'_, D::E>> = projections.iter().map(JoinInput::filter).collect();
-        let mut rows: Vec<(Vec<u32>, D::E)> = Vec::new();
-        let join_stats = multiway_join(
+        // All inputs are filters, so every match's value is `1`: the grouped
+        // join (group = full binding, no zero filter) lists the join support.
+        let (rows, join_stats) = grouped_join(
+            policy,
             &q.domains,
             &join_order,
             &inputs,
-            dom.one(),
-            |a, b| dom.mul(a, b),
-            |binding, _| rows.push((binding.to_vec(), dom.one())),
+            &dom.one(),
+            join_order.len(),
+            &|a, b| dom.mul(a, b),
+            &|a: &D::E, _: &D::E| a.clone(),
+            &|_| false,
         );
         let guard = Factor::new(join_order.clone(), rows).expect("join emits distinct bindings");
         let reduced: Vec<Var> = join_order.iter().copied().filter(|&x| x != var).collect();
@@ -251,17 +280,17 @@ pub fn run_elimination<D: AggDomain>(
 }
 
 /// Eliminate a semiring-aggregated variable (paper eq. (7)).
-fn eliminate_semiring<D: AggDomain>(
+fn eliminate_semiring<D: AggDomain + Sync>(
     q: &FaqQuery<D>,
-    _sigma: &[Var],
+    policy: &ExecPolicy,
     edges: &mut Vec<Factor<D::E>>,
     var: Var,
     op: AggId,
     sigma_pos: &dyn Fn(Var) -> usize,
 ) -> StepStat {
     let dom = &q.domain;
-    let (incident, rest): (Vec<Factor<D::E>>, Vec<Factor<D::E>>) =
-        edges.drain(..).partition(|e| e.schema().contains(&var));
+    let (incident, rest): (Vec<_>, Vec<_>) =
+        edges.drain(..).partition(|e: &Factor<D::E>| e.schema().contains(&var));
 
     if incident.is_empty() {
         // ⊕⁽ᵏ⁾ over x_k of an expression not involving x_k multiplies the
@@ -308,39 +337,19 @@ fn eliminate_semiring<D: AggDomain>(
 
     // Stream-aggregate over the innermost variable: the join emits bindings in
     // lexicographic order of `join_order`, so rows sharing the group prefix
-    // are consecutive.
-    let mut out_rows: Vec<(Vec<u32>, D::E)> = Vec::new();
-    let mut cur_key: Option<Vec<u32>> = None;
-    let mut cur_acc: Option<D::E> = None;
-    let join_stats = multiway_join(
+    // are consecutive — per chunk under a parallel policy, with chunk outputs
+    // merged back in sorted order.
+    let (out_rows, join_stats) = grouped_join(
+        policy,
         &q.domains,
         &join_order,
         &inputs,
-        dom.one(),
-        |a, b| dom.mul(a, b),
-        |binding, val| {
-            let key = &binding[..group_arity];
-            match (&mut cur_key, &mut cur_acc) {
-                (Some(k), Some(acc)) if k.as_slice() == key => {
-                    *acc = dom.add(op, acc, &val);
-                }
-                _ => {
-                    if let (Some(k), Some(acc)) = (cur_key.take(), cur_acc.take()) {
-                        if !dom.is_zero(&acc) {
-                            out_rows.push((k, acc));
-                        }
-                    }
-                    cur_key = Some(key.to_vec());
-                    cur_acc = Some(val);
-                }
-            }
-        },
+        &dom.one(),
+        group_arity,
+        &|a, b| dom.mul(a, b),
+        &|a, b| dom.add(op, a, b),
+        &|x| dom.is_zero(x),
     );
-    if let (Some(k), Some(acc)) = (cur_key.take(), cur_acc.take()) {
-        if !dom.is_zero(&acc) {
-            out_rows.push((k, acc));
-        }
-    }
 
     let new_schema: Vec<Var> = join_order[..group_arity].to_vec();
     let rows_out = out_rows.len();

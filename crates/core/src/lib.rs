@@ -17,6 +17,8 @@
 //! * [`exprtree`] — expression trees and the precedence poset (§6);
 //! * [`evo`] — equivalent variable orderings: LinEx enumeration and the
 //!   component-wise-equivalence membership test (§6);
+//! * [`exec`] — the parallel execution engine: [`ExecPolicy`], chunked factor
+//!   kernels over a scoped worker pool, deterministic merge;
 //! * [`width`] — `faqw(σ)`, exact `faqw(ϕ)` search, and the approximation
 //!   algorithm of §7;
 //! * [`output`] — factorized output representations (§8.4).
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod evo;
+pub mod exec;
 pub mod exprtree;
 pub mod insideout;
 pub mod naive;
@@ -32,8 +35,12 @@ pub mod output;
 pub mod query;
 pub mod width;
 
+pub use exec::{insideout_par, insideout_par_with_order, ExecPolicy};
 pub use exprtree::{ExprTree, QueryShape, Tag};
-pub use insideout::{insideout, insideout_with_order, ElimStats, FaqOutput, StepStat};
+pub use insideout::{
+    insideout, insideout_with_order, run_elimination, run_elimination_with_policy, ElimStats,
+    FaqOutput, StepStat,
+};
 pub use naive::naive_eval;
 pub use query::{FaqError, FaqQuery, VarAgg};
 pub use width::{faqw_approx, faqw_exact, faqw_of_ordering, FaqwResult};

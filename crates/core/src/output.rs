@@ -34,13 +34,13 @@ pub struct FactorizedOutput<E: SemiringElem> {
 
 impl<E: SemiringElem> FactorizedOutput<E> {
     /// Build the factorized output by running InsideOut phases 1–2.
-    pub fn compute<D: AggDomain<E = E>>(q: &FaqQuery<D>) -> Result<Self, FaqError> {
+    pub fn compute<D: AggDomain<E = E> + Sync>(q: &FaqQuery<D>) -> Result<Self, FaqError> {
         let sigma = q.ordering();
         Self::compute_with_order(q, &sigma)
     }
 
     /// Build the factorized output along a chosen equivalent ordering.
-    pub fn compute_with_order<D: AggDomain<E = E>>(
+    pub fn compute_with_order<D: AggDomain<E = E> + Sync>(
         q: &FaqQuery<D>,
         sigma: &[Var],
     ) -> Result<Self, FaqError> {

@@ -102,7 +102,7 @@ pub fn faqw_exact(shape: &QueryShape, cap: usize) -> FaqwResult {
     let mut best: Option<(Vec<Var>, f64)> = None;
     for sigma in extensions {
         let w = faqw_of_ordering_memo(shape, &sigma, &mut rho);
-        if best.as_ref().map_or(true, |(_, bw)| w < *bw - 1e-12) {
+        if best.as_ref().is_none_or(|(_, bw)| w < *bw - 1e-12) {
             best = Some((sigma, w));
         }
     }

@@ -161,7 +161,7 @@ impl<E: SemiringElem> Factor<E> {
         let arity = schema.len();
         let mut pairs: Vec<(Vec<u32>, E)> = Vec::new();
         let mut cur = vec![0u32; arity];
-        if dom_sizes.iter().any(|&s| s == 0) {
+        if dom_sizes.contains(&0) {
             return Ok(Self::from_sorted_pairs(schema, pairs));
         }
         loop {
@@ -221,23 +221,24 @@ impl<E: SemiringElem> Factor<E> {
         (0..self.len).map(move |i| (self.row(i), self.value(i)))
     }
 
-    /// Look up a tuple by binary search.
+    /// Look up a tuple by trie descent: [`Factor::prefix_range`] column by
+    /// column. Each step binary-searches only the column being bound (instead
+    /// of comparing whole rows), and the candidate range collapses after the
+    /// first few columns on realistic data.
     pub fn get(&self, tuple: &[u32]) -> Option<&E> {
         assert_eq!(tuple.len(), self.arity());
         if self.arity() == 0 {
             return self.vals.first();
         }
-        let mut lo = 0usize;
-        let mut hi = self.len;
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            match cmp_rows(self.row(mid), tuple) {
-                Ordering::Less => lo = mid + 1,
-                Ordering::Greater => hi = mid,
-                Ordering::Equal => return Some(&self.vals[mid]),
+        let mut range = (0usize, self.len);
+        for (depth, &value) in tuple.iter().enumerate() {
+            range = self.prefix_range(range, depth, value);
+            if range.0 == range.1 {
+                return None;
             }
         }
-        None
+        debug_assert_eq!(range.1 - range.0, 1, "rows are distinct");
+        Some(&self.vals[range.0])
     }
 
     /// The half-open row range whose first `depth` columns equal `prefix`
@@ -290,7 +291,15 @@ impl<E: SemiringElem> Factor<E> {
     /// Reorder columns so the schema follows the relative order of `global`
     /// (every schema variable must appear in `global`).
     pub fn align_to(&self, global: &[Var]) -> Factor<E> {
-        let mut new_schema: Vec<Var> =
+        self.align_to_cow(global).into_owned()
+    }
+
+    /// [`Factor::align_to`] without the copy when nothing needs reordering:
+    /// borrows `self` when the schema already follows `global`'s relative
+    /// order. Join kernels call this per input, so the aligned common case
+    /// must not clone the factor.
+    pub fn align_to_cow(&self, global: &[Var]) -> std::borrow::Cow<'_, Factor<E>> {
+        let new_schema: Vec<Var> =
             global.iter().copied().filter(|v| self.schema.contains(v)).collect();
         assert_eq!(
             new_schema.len(),
@@ -300,11 +309,10 @@ impl<E: SemiringElem> Factor<E> {
             self.schema
         );
         if new_schema == self.schema {
-            return self.clone();
+            std::borrow::Cow::Borrowed(self)
+        } else {
+            std::borrow::Cow::Owned(self.reorder(&new_schema))
         }
-        let f = self.reorder(&new_schema);
-        new_schema.clear();
-        f
     }
 
     /// Project onto the schema variables contained in `keep`, combining the
@@ -412,6 +420,87 @@ impl<E: SemiringElem> Factor<E> {
         Self::from_sorted_pairs(self.schema.clone(), pairs)
     }
 
+    /// Partition the values of column `col` into at most `max_chunks`
+    /// half-open value ranges `[lo, hi)` of roughly equal row counts, never
+    /// splitting a value across two ranges.
+    ///
+    /// The ranges are returned in ascending order; together they cover all of
+    /// `[0, u32::MAX)` (the first starts at 0, the last ends at `u32::MAX`),
+    /// so every possible column value falls in exactly one range. This is the
+    /// chunking primitive of the parallel InsideOut engine: each range keys a
+    /// worker's slice of the join's first-variable candidates, and because no
+    /// value is split, no output group spans two chunks.
+    ///
+    /// Returns an empty vector when the factor has no rows or `max_chunks`
+    /// admits only one chunk (callers fall back to a sequential run).
+    pub fn column_partition(&self, col: usize, max_chunks: usize) -> Vec<(u32, u32)> {
+        assert!(col < self.arity(), "column {col} out of range for arity {}", self.arity());
+        if max_chunks <= 1 || self.len < 2 {
+            return Vec::new();
+        }
+        // Column values in ascending order. Column 0 is already sorted (rows
+        // are lexicographic); other columns need a sort.
+        let mut values: Vec<u32> = (0..self.len).map(|i| self.row(i)[col]).collect();
+        if col != 0 {
+            values.sort_unstable();
+        }
+        let target = self.len.div_ceil(max_chunks);
+        let mut cuts: Vec<u32> = Vec::new();
+        let mut taken = 0usize;
+        let mut i = 0usize;
+        while i < values.len() {
+            // The run of rows sharing values[i].
+            let mut j = i + 1;
+            while j < values.len() && values[j] == values[i] {
+                j += 1;
+            }
+            if taken >= target && cuts.len() + 1 < max_chunks {
+                cuts.push(values[i]);
+                taken = 0;
+            }
+            taken += j - i;
+            i = j;
+        }
+        if cuts.is_empty() {
+            return Vec::new();
+        }
+        let mut ranges = Vec::with_capacity(cuts.len() + 1);
+        let mut lo = 0u32;
+        for &c in &cuts {
+            ranges.push((lo, c));
+            lo = c;
+        }
+        ranges.push((lo, u32::MAX));
+        ranges
+    }
+
+    /// k-way merge of factors over the same schema, combining duplicate tuples
+    /// with `combine` (applied left-to-right in input order) and dropping rows
+    /// whose combined value satisfies `is_zero`.
+    ///
+    /// Each input's rows are already sorted (a `Factor` invariant), so the
+    /// merge emits rows in globally sorted order — this is what makes chunked
+    /// parallel execution deterministic: per-chunk outputs are merged in
+    /// sorted-tuple order, so the result is independent of which worker
+    /// produced which chunk.
+    pub fn merge_sorted(
+        parts: Vec<Factor<E>>,
+        mut combine: impl FnMut(&E, &E) -> E,
+        mut is_zero: impl FnMut(&E) -> bool,
+    ) -> Factor<E> {
+        assert!(!parts.is_empty(), "merge_sorted needs at least one part");
+        let schema = parts[0].schema.clone();
+        for p in &parts {
+            assert_eq!(p.schema, schema, "merge_sorted requires identical schemas");
+        }
+        let chunks: Vec<Vec<(Vec<u32>, E)>> = parts
+            .into_iter()
+            .map(|p| p.iter().map(|(r, v)| (r.to_vec(), v.clone())).collect())
+            .collect();
+        let merged = merge_sorted_rows(chunks, &mut combine, &mut is_zero);
+        Self::from_sorted_pairs(schema, merged)
+    }
+
     /// Restrict to rows where column `var` equals `value`, dropping the column —
     /// the conditional factor `ψ_S(· | x_v)` used by naive evaluation.
     pub fn condition(&self, var: Var, value: u32) -> Factor<E> {
@@ -439,6 +528,81 @@ fn check_schema(schema: &[Var]) -> Result<(), FactorError> {
         }
     }
     Ok(())
+}
+
+/// k-way merge of row lists that are each sorted by tuple, combining duplicate
+/// tuples with `combine` (left-to-right in chunk order) and dropping rows whose
+/// combined value satisfies `is_zero`.
+///
+/// This is the row-level engine behind [`Factor::merge_sorted`], exposed so
+/// the parallel executor can merge per-chunk outputs without first wrapping
+/// them in factors. Ties across chunks are resolved in chunk index order,
+/// which keeps the `⊕`-fold association deterministic.
+pub fn merge_sorted_rows<E: SemiringElem>(
+    mut chunks: Vec<Vec<(Vec<u32>, E)>>,
+    mut combine: impl FnMut(&E, &E) -> E,
+    mut is_zero: impl FnMut(&E) -> bool,
+) -> Vec<(Vec<u32>, E)> {
+    chunks.retain(|c| !c.is_empty());
+    if chunks.is_empty() {
+        return Vec::new();
+    }
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    // Fast path: every row of chunk `c` precedes every row of chunk `c + 1`.
+    // This always holds for the parallel engine's per-chunk outputs (the
+    // chunk value ranges partition the first column in ascending order), so
+    // no duplicates can exist across chunks and the merge is a move-through
+    // concatenation — no row clones, no per-row k-way head scan.
+    let disjoint = chunks
+        .windows(2)
+        .all(|w| w[0].last().expect("chunks are non-empty").0 < w[1].first().expect("non-empty").0);
+    if disjoint {
+        let mut out = Vec::with_capacity(total);
+        for chunk in chunks {
+            out.extend(chunk.into_iter().filter(|(_, v)| !is_zero(v)));
+        }
+        return out;
+    }
+    // General path: k-way merge by head row. Each chunk is reversed so its
+    // head is `last()`, letting `pop()` move rows out without cloning.
+    for c in &mut chunks {
+        c.reverse();
+    }
+    let mut out: Vec<(Vec<u32>, E)> = Vec::with_capacity(total);
+    loop {
+        // Smallest head tuple; ties go to the lowest chunk index.
+        let mut best: Option<usize> = None;
+        for (ci, chunk) in chunks.iter().enumerate() {
+            let Some((row, _)) = chunk.last() else { continue };
+            match best {
+                Some(b) if chunks[b].last().expect("best chunk is non-empty").0 <= *row => {}
+                _ => best = Some(ci),
+            }
+        }
+        let Some(ci) = best else { break };
+        let (row, val) = chunks[ci].pop().expect("best head exists");
+        match out.last_mut() {
+            Some((last_row, last_val)) if *last_row == row => {
+                *last_val = combine(last_val, &val);
+            }
+            _ => {
+                // Flush-time zero check for the previous row happens lazily:
+                // a row is only final once a greater tuple arrives.
+                if let Some((_, prev)) = out.last() {
+                    if is_zero(prev) {
+                        out.pop();
+                    }
+                }
+                out.push((row, val));
+            }
+        }
+    }
+    if let Some((_, prev)) = out.last() {
+        if is_zero(prev) {
+            out.pop();
+        }
+    }
+    out
 }
 
 /// `partition_point` over an abstract index range `[0, len)`.
@@ -648,6 +812,92 @@ mod tests {
         assert_eq!(r, (0, 2));
         // Within x0 = 0 rows, seek column 1 for value >= 1.
         assert_eq!(f.seek_column(r, 1, 1), Some(2));
+    }
+
+    #[test]
+    fn column_partition_covers_and_respects_values() {
+        // Column 0 values: 0 ×3, 1 ×1, 2 ×2, 5 ×2.
+        let f = Factor::new(
+            vec![v(0), v(1)],
+            vec![
+                (vec![0, 0], 1u64),
+                (vec![0, 1], 1),
+                (vec![0, 2], 1),
+                (vec![1, 0], 1),
+                (vec![2, 0], 1),
+                (vec![2, 1], 1),
+                (vec![5, 0], 1),
+                (vec![5, 1], 1),
+            ],
+        )
+        .unwrap();
+        for max_chunks in [2usize, 3, 4, 8] {
+            let ranges = f.column_partition(0, max_chunks);
+            assert!(ranges.len() <= max_chunks, "{ranges:?}");
+            if ranges.is_empty() {
+                continue;
+            }
+            // Contiguous cover of [0, u32::MAX).
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, u32::MAX);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+            // No value is split: each row's column value falls in one range.
+            for i in 0..f.len() {
+                let val = f.row(i)[0];
+                let hits = ranges.iter().filter(|&&(lo, hi)| lo <= val && val < hi).count();
+                assert_eq!(hits, 1);
+            }
+        }
+        // Degenerate cases fall back to "no partition".
+        assert!(f.column_partition(0, 1).is_empty());
+        let single = Factor::new(vec![v(0)], vec![(vec![3], 1u64)]).unwrap();
+        assert!(single.column_partition(0, 4).is_empty());
+    }
+
+    #[test]
+    fn column_partition_of_unsorted_column() {
+        // Column 1 is not sorted in row order; partition must sort it first.
+        let f = sample(); // rows: (0,0) (0,1) (1,0) (2,2)
+        let ranges = f.column_partition(1, 2);
+        if !ranges.is_empty() {
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, u32::MAX);
+        }
+    }
+
+    #[test]
+    fn merge_sorted_combines_duplicates_in_order() {
+        let a = Factor::new(vec![v(0)], vec![(vec![0], 1i64), (vec![2], 5)]).unwrap();
+        let b = Factor::new(vec![v(0)], vec![(vec![1], 3i64), (vec![2], -5)]).unwrap();
+        let m = Factor::merge_sorted(vec![a, b], |x, y| x + y, |&x| x == 0);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&[0]), Some(&1));
+        assert_eq!(m.get(&[1]), Some(&3));
+        assert_eq!(m.get(&[2]), None); // 5 + (-5) combined to zero and dropped
+    }
+
+    #[test]
+    fn merge_sorted_rows_three_way() {
+        let chunks: Vec<Vec<(Vec<u32>, u64)>> = vec![
+            vec![(vec![0], 1), (vec![3], 1)],
+            vec![(vec![1], 2), (vec![3], 2)],
+            vec![],
+            vec![(vec![2], 3), (vec![3], 3)],
+        ];
+        let merged = merge_sorted_rows(chunks, |a, b| a + b, |&x| x == 0);
+        assert_eq!(
+            merged,
+            vec![(vec![0], 1), (vec![1], 2), (vec![2], 3), (vec![3], 6)],
+            "ties combine across chunks in chunk order"
+        );
+    }
+
+    #[test]
+    fn merge_sorted_rows_drops_trailing_zero() {
+        let chunks: Vec<Vec<(Vec<u32>, i64)>> = vec![vec![(vec![5], 4)], vec![(vec![5], -4)]];
+        assert!(merge_sorted_rows(chunks, |a, b| a + b, |&x| x == 0).is_empty());
     }
 
     #[test]

@@ -22,4 +22,4 @@ pub mod domains;
 pub mod factor;
 
 pub use domains::{AssignmentIter, Domains};
-pub use factor::{Factor, FactorError};
+pub use factor::{merge_sorted_rows, Factor, FactorError};

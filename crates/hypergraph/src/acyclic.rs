@@ -117,9 +117,9 @@ pub fn join_tree(h: &Hypergraph) -> Option<JoinTree> {
     let root = (0..m).find(|&i| parent[i] == i).unwrap_or(0);
     // Edges that were never absorbed but aren't root (possible with duplicate
     // edges all absorbed into one) — point them at the root.
-    for i in 0..m {
-        if parent[i] == i && i != root {
-            parent[i] = root;
+    for (i, p) in parent.iter_mut().enumerate() {
+        if *p == i && i != root {
+            *p = root;
         }
     }
     Some(JoinTree { parent, root })

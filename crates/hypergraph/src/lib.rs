@@ -239,14 +239,14 @@ impl Hypergraph {
     /// each edge carries a factor.)
     pub fn maximal_edges(&self) -> Hypergraph {
         let mut keep: Vec<bool> = vec![true; self.edges.len()];
-        for i in 0..self.edges.len() {
+        for (i, k) in keep.iter_mut().enumerate() {
             for j in 0..self.edges.len() {
                 if i != j
-                    && keep[i]
+                    && *k
                     && self.edges[i].is_subset(&self.edges[j])
                     && (self.edges[i] != self.edges[j] || i > j)
                 {
-                    keep[i] = false;
+                    *k = false;
                 }
             }
         }

@@ -82,11 +82,11 @@ pub fn best_ordering_exact<F: FnMut(&VarSet) -> f64>(h: &Hypergraph, g: F) -> Or
             continue;
         }
         let eliminated: VarSet = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| verts[i]).collect();
-        for i in 0..n {
+        for (i, &vert) in verts.iter().enumerate() {
             if mask >> i & 1 == 1 {
                 continue;
             }
-            let u = fold_u_set(h, &eliminated, verts[i]);
+            let u = fold_u_set(h, &eliminated, vert);
             let w = cur.max(memo.eval(&u));
             let nxt = (mask | (1 << i)) as usize;
             if w < best[nxt] - 1e-12 {
@@ -221,7 +221,7 @@ pub fn best_ordering<F: FnMut(&VarSet) -> f64>(
     for mut c in candidates {
         let seq = EliminationSequence::new(h, &c.order);
         c.width = seq.induced_width(&mut g);
-        if best.as_ref().map_or(true, |b| c.width < b.width) {
+        if best.as_ref().is_none_or(|b| c.width < b.width) {
             best = Some(c);
         }
     }

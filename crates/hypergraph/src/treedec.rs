@@ -29,10 +29,10 @@ impl TreeDecomposition {
             order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut bags: Vec<VarSet> = Vec::with_capacity(n);
         let mut parent: Vec<usize> = Vec::with_capacity(n);
-        for k in 0..n {
+        for (k, &vert) in order.iter().enumerate() {
             let mut bag = seq.u_set(k).clone();
             if bag.is_empty() {
-                bag.insert(order[k]); // isolated vertex still needs a bag
+                bag.insert(vert); // isolated vertex still needs a bag
             }
             bags.push(bag);
         }
@@ -115,8 +115,8 @@ impl TreeDecomposition {
 
     /// The `g`-width of the decomposition: `max` of `g` over the bags
     /// (Adler's width-function framework, paper §4.3).
-    pub fn g_width<F: FnMut(&VarSet) -> f64>(&self, mut g: F) -> f64 {
-        self.bags.iter().map(|b| g(b)).fold(0.0, f64::max)
+    pub fn g_width<F: FnMut(&VarSet) -> f64>(&self, g: F) -> f64 {
+        self.bags.iter().map(g).fold(0.0, f64::max)
     }
 
     /// The classical width: `max |bag| − 1`.
@@ -132,14 +132,14 @@ impl TreeDecomposition {
         let n = self.bags.len();
         // Depth of each node.
         let mut depth = vec![0usize; n];
-        for i in 0..n {
+        for (i, slot) in depth.iter_mut().enumerate() {
             let mut cur = i;
             let mut d = 0;
             while self.parent[cur] != cur {
                 cur = self.parent[cur];
                 d += 1;
             }
-            depth[i] = d;
+            *slot = d;
         }
         let mut order: Vec<Var> = Vec::new();
         let mut placed: VarSet = VarSet::new();

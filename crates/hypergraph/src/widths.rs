@@ -92,7 +92,7 @@ pub fn integral_cover(h: &Hypergraph, b: &VarSet) -> Option<IntegralCover> {
         best: &mut Option<Vec<usize>>,
     ) {
         if b.is_subset(covered) {
-            if best.as_ref().map_or(true, |bst| chosen.len() < bst.len()) {
+            if best.as_ref().is_none_or(|bst| chosen.len() < bst.len()) {
                 *best = Some(chosen.clone());
             }
             return;

@@ -41,8 +41,10 @@ pub struct JoinStats {
 }
 
 /// Aligned per-factor state during the search.
-struct Cursor<E: SemiringElem> {
-    factor: Factor<E>,
+struct Cursor<'a, E: SemiringElem> {
+    /// Borrowed when the input was already aligned to the join order; owned
+    /// (reordered copy) only when columns had to move.
+    factor: std::borrow::Cow<'a, Factor<E>>,
     /// `cols[d]` = which column of this factor binds at global depth `d`
     /// (`usize::MAX` when the factor does not contain `order[d]`).
     col_at_depth: Vec<usize>,
@@ -65,6 +67,27 @@ pub fn multiway_join<E: SemiringElem>(
     order: &[Var],
     inputs: &[JoinInput<'_, E>],
     one: E,
+    mul: impl FnMut(&E, &E) -> E,
+    on_match: impl FnMut(&[u32], E),
+) -> JoinStats {
+    multiway_join_range(domains, order, inputs, (0, u32::MAX), one, mul, on_match)
+}
+
+/// [`multiway_join`] restricted to bindings whose *first* variable lies in the
+/// half-open value range `first_range = [lo, hi)`.
+///
+/// This is the chunk kernel of the parallel InsideOut engine: value ranges
+/// partitioning `Dom(order[0])` yield disjoint slices of the search tree whose
+/// outputs, concatenated in range order, reproduce the unrestricted join's
+/// output stream exactly (the enumeration below `order[0]` is untouched).
+/// `(0, u32::MAX)` is the full join: domain values are at most
+/// `u32::MAX - 1` because domain *sizes* are `u32`.
+pub fn multiway_join_range<E: SemiringElem>(
+    domains: &Domains,
+    order: &[Var],
+    inputs: &[JoinInput<'_, E>],
+    first_range: (u32, u32),
+    one: E,
     mut mul: impl FnMut(&E, &E) -> E,
     mut on_match: impl FnMut(&[u32], E),
 ) -> JoinStats {
@@ -72,7 +95,7 @@ pub fn multiway_join<E: SemiringElem>(
 
     // Fold nullary factors into a constant prefix value.
     let mut prefix = one.clone();
-    let mut cursors: Vec<Cursor<E>> = Vec::new();
+    let mut cursors: Vec<Cursor<'_, E>> = Vec::new();
     for inp in inputs {
         if inp.factor.arity() == 0 {
             if inp.factor.is_empty() {
@@ -86,7 +109,7 @@ pub fn multiway_join<E: SemiringElem>(
         if inp.factor.is_empty() {
             return stats;
         }
-        let aligned = inp.factor.align_to(order);
+        let aligned = inp.factor.align_to_cow(order);
         let col_at_depth: Vec<usize> = order
             .iter()
             .map(|v| aligned.schema().iter().position(|s| s == v).unwrap_or(usize::MAX))
@@ -118,8 +141,8 @@ pub fn multiway_join<E: SemiringElem>(
         &participants,
         &mut cursors,
         &mut binding,
+        first_range,
         &prefix,
-        &one,
         &mut mul,
         &mut on_match,
         &mut stats,
@@ -132,10 +155,10 @@ fn search<E: SemiringElem>(
     domains: &Domains,
     order: &[Var],
     participants: &[Vec<usize>],
-    cursors: &mut [Cursor<E>],
+    cursors: &mut [Cursor<'_, E>],
     binding: &mut Vec<u32>,
+    first_range: (u32, u32),
     prefix: &E,
-    one: &E,
     mul: &mut impl FnMut(&E, &E) -> E,
     on_match: &mut impl FnMut(&[u32], E),
     stats: &mut JoinStats,
@@ -157,10 +180,14 @@ fn search<E: SemiringElem>(
         return;
     }
 
+    // The candidate window at this depth: restricted for the first variable,
+    // unrestricted below it.
+    let (val_lo, val_hi) = if d == 0 { first_range } else { (0, u32::MAX) };
+
     let parts = &participants[d];
     if parts.is_empty() {
-        // Unconstrained variable: iterate its whole domain.
-        for x in 0..domains.size(order[d]) {
+        // Unconstrained variable: iterate its whole domain (∩ the window).
+        for x in val_lo..domains.size(order[d]).min(val_hi) {
             binding.push(x);
             search(
                 domains,
@@ -168,8 +195,8 @@ fn search<E: SemiringElem>(
                 participants,
                 cursors,
                 binding,
+                first_range,
                 prefix,
-                one,
                 mul,
                 on_match,
                 stats,
@@ -180,7 +207,7 @@ fn search<E: SemiringElem>(
     }
 
     // Leapfrog intersection of the participants' current column ranges.
-    let mut candidate: u32 = 0;
+    let mut candidate: u32 = val_lo;
     'candidates: loop {
         // Raise `candidate` until all participants agree it is present.
         let mut stable = false;
@@ -200,6 +227,9 @@ fn search<E: SemiringElem>(
                 }
             }
         }
+        if candidate >= val_hi {
+            break;
+        }
 
         // Descend: narrow every participant to rows with this column value.
         for &ci in parts {
@@ -209,7 +239,18 @@ fn search<E: SemiringElem>(
             cursors[ci].ranges.push(narrowed);
         }
         binding.push(candidate);
-        search(domains, order, participants, cursors, binding, prefix, one, mul, on_match, stats);
+        search(
+            domains,
+            order,
+            participants,
+            cursors,
+            binding,
+            first_range,
+            prefix,
+            mul,
+            on_match,
+            stats,
+        );
         binding.pop();
         for &ci in parts {
             cursors[ci].ranges.pop();
@@ -368,6 +409,72 @@ mod tests {
         let d = Domains::new(vec![2, 6]);
         let out = collect_join(&d, &[v(0), v(1)], &[JoinInput::value(&f)]);
         assert_eq!(out, vec![(vec![0, 5], 2), (vec![1, 3], 4)]);
+    }
+
+    #[test]
+    fn range_restriction_partitions_the_output() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let dsize = 8u32;
+        let d = Domains::uniform(3, dsize);
+        let mk = |rng: &mut StdRng, vars: &[u32]| {
+            let mut tuples = Vec::new();
+            for _ in 0..40 {
+                tuples.push((
+                    (0..vars.len()).map(|_| rng.gen_range(0..dsize)).collect::<Vec<u32>>(),
+                    rng.gen_range(1..5u64),
+                ));
+            }
+            Factor::with_combine(
+                vars.iter().map(|&i| v(i)).collect(),
+                tuples,
+                |a, b| a + b,
+                |&x| x == 0,
+            )
+            .unwrap()
+        };
+        let f1 = mk(&mut rng, &[0, 1]);
+        let f2 = mk(&mut rng, &[1, 2]);
+        let order = [v(0), v(1), v(2)];
+        let inputs = [JoinInput::value(&f1), JoinInput::value(&f2)];
+        let full = collect_join(&d, &order, &inputs);
+        // Any partition of [0, u32::MAX) into value ranges reproduces the
+        // full output stream by concatenation.
+        for cuts in [vec![4u32], vec![2, 5], vec![1, 2, 3, 4, 5, 6, 7]] {
+            let mut pieces = Vec::new();
+            let mut lo = 0u32;
+            for &c in cuts.iter().chain(std::iter::once(&u32::MAX)) {
+                multiway_join_range(
+                    &d,
+                    &order,
+                    &inputs,
+                    (lo, c),
+                    1u64,
+                    |a, b| a * b,
+                    |b, val| pieces.push((b.to_vec(), val)),
+                );
+                lo = c;
+            }
+            assert_eq!(pieces, full, "cuts {cuts:?}");
+        }
+    }
+
+    #[test]
+    fn range_restriction_applies_to_unconstrained_first_variable() {
+        let r = fac(&[1], &[(&[0], 3), (&[1], 5)]);
+        let d = Domains::new(vec![4, 2]);
+        // v(0) is unconstrained: full join iterates its whole domain.
+        let mut out = Vec::new();
+        multiway_join_range(
+            &d,
+            &[v(0), v(1)],
+            &[JoinInput::value(&r)],
+            (1, 3),
+            1u64,
+            |a, b| a * b,
+            |b, val| out.push((b.to_vec(), val)),
+        );
+        assert_eq!(out, vec![(vec![1, 0], 3), (vec![1, 1], 5), (vec![2, 0], 3), (vec![2, 1], 5)]);
     }
 
     #[test]

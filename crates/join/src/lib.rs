@@ -20,4 +20,4 @@ pub mod baseline;
 pub mod leapfrog;
 
 pub use baseline::{nested_loop_join, pairwise_hash_join};
-pub use leapfrog::{multiway_join, JoinInput, JoinStats};
+pub use leapfrog::{multiway_join, multiway_join_range, JoinInput, JoinStats};

@@ -193,16 +193,16 @@ impl Tableau {
             let width = self.width();
             let mut obj = vec![0.0; width];
             // Phase-1 costs: 1 on every artificial column.
-            for j in (self.n_struct + self.n_slack)..(width - 1) {
-                obj[j] = 1.0;
+            for c in &mut obj[(self.n_struct + self.n_slack)..(width - 1)] {
+                *c = 1.0;
             }
             for i in 0..self.rows.len() {
                 let b = self.basis[i];
                 if b >= self.n_struct + self.n_slack {
                     // Basic artificial variable: subtract its row so the
                     // objective row is expressed over non-basic columns.
-                    for j in 0..width {
-                        obj[j] -= self.rows[i][j];
+                    for (c, r) in obj.iter_mut().zip(&self.rows[i]) {
+                        *c -= r;
                     }
                 }
             }
@@ -225,8 +225,8 @@ impl Tableau {
             let b = self.basis[i];
             let coef = obj[b];
             if coef.abs() > EPS {
-                for j in 0..width {
-                    obj[j] -= coef * self.rows[i][j];
+                for (c, r) in obj.iter_mut().zip(&self.rows[i]) {
+                    *c -= coef * r;
                 }
             }
         }
@@ -250,13 +250,7 @@ impl Tableau {
         let rhs = self.rhs_col();
         loop {
             // Bland's rule: pick the lowest-index column with negative reduced cost.
-            let mut enter = None;
-            for j in 0..allowed {
-                if obj[j] < -EPS {
-                    enter = Some(j);
-                    break;
-                }
-            }
+            let enter = obj[..allowed].iter().position(|&c| c < -EPS);
             let Some(enter) = enter else { return Ok(()) };
 
             // Ratio test, Bland tie-break on basis index.
@@ -268,7 +262,7 @@ impl Tableau {
                     let ratio = self.rows[i][rhs] / a;
                     if ratio < best - EPS
                         || (ratio < best + EPS
-                            && leave.map_or(true, |l| self.basis[i] < self.basis[l]))
+                            && leave.is_none_or(|l| self.basis[i] < self.basis[l]))
                     {
                         best = ratio;
                         leave = Some(i);
@@ -300,8 +294,8 @@ impl Tableau {
         }
         let f = obj[col];
         if f.abs() > EPS {
-            for j in 0..width {
-                obj[j] -= f * self.rows[row][j];
+            for (c, r) in obj.iter_mut().zip(&self.rows[row]) {
+                *c -= f * r;
             }
         }
         self.basis[row] = col;

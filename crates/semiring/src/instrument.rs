@@ -3,14 +3,14 @@
 //! `⊗` operations rather than wall-clock time.
 
 use crate::{AggDesc, AggDomain, AggId};
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Shared operation counters.
 #[derive(Debug, Clone, Default)]
 pub struct OpCounters {
-    adds: Rc<Cell<u64>>,
-    muls: Rc<Cell<u64>>,
+    adds: Arc<AtomicU64>,
+    muls: Arc<AtomicU64>,
 }
 
 impl OpCounters {
@@ -21,25 +21,27 @@ impl OpCounters {
 
     /// Total semiring additions performed.
     pub fn adds(&self) -> u64 {
-        self.adds.get()
+        self.adds.load(Ordering::Relaxed)
     }
 
     /// Total products performed.
     pub fn muls(&self) -> u64 {
-        self.muls.get()
+        self.muls.load(Ordering::Relaxed)
     }
 
     /// Reset both counters.
     pub fn reset(&self) {
-        self.adds.set(0);
-        self.muls.set(0);
+        self.adds.store(0, Ordering::Relaxed);
+        self.muls.store(0, Ordering::Relaxed);
     }
 }
 
 /// An [`AggDomain`] wrapper that counts every `add` and `mul`.
 ///
-/// The counters are shared (`Rc<Cell<_>>`), so clones of the domain — the
-/// engine clones queries freely — all report into the same tally.
+/// The counters are shared (`Arc<AtomicU64>`, relaxed ordering), so clones of
+/// the domain — the engine clones queries freely — all report into the same
+/// tally, and the domain stays `Send + Sync` for the parallel engine's worker
+/// pool (totals are exact there too; only the interleaving is unordered).
 #[derive(Debug, Clone)]
 pub struct InstrumentedDomain<D> {
     inner: D,
@@ -69,11 +71,11 @@ impl<D: AggDomain> AggDomain for InstrumentedDomain<D> {
         self.inner.one()
     }
     fn mul(&self, a: &D::E, b: &D::E) -> D::E {
-        self.counters.muls.set(self.counters.muls.get() + 1);
+        self.counters.muls.fetch_add(1, Ordering::Relaxed);
         self.inner.mul(a, b)
     }
     fn add(&self, op: AggId, a: &D::E, b: &D::E) -> D::E {
-        self.counters.adds.set(self.counters.adds.get() + 1);
+        self.counters.adds.fetch_add(1, Ordering::Relaxed);
         self.inner.add(op, a, b)
     }
     fn num_ops(&self) -> usize {

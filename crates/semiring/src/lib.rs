@@ -44,9 +44,14 @@ use std::fmt::Debug;
 /// Marker bound for semiring element types.
 ///
 /// Everything the engine stores in factors must be cloneable, comparable (to
-/// detect explicit zeros) and debuggable (for diagnostics).
-pub trait SemiringElem: Clone + PartialEq + Debug {}
-impl<T: Clone + PartialEq + Debug> SemiringElem for T {}
+/// detect explicit zeros) and debuggable (for diagnostics). Elements must
+/// also be `Send + Sync`: the parallel InsideOut engine shares factors across
+/// a scoped worker pool and sends per-chunk results back to the coordinator.
+/// All carrier types in this crate (`bool`, `u64`, `f64`, `u8`, `Complex64`,
+/// `BTreeSet<u32>`, pairs, [`Polynomial`]) are plain data and satisfy the
+/// bound automatically.
+pub trait SemiringElem: Clone + PartialEq + Debug + Send + Sync {}
+impl<T: Clone + PartialEq + Debug + Send + Sync> SemiringElem for T {}
 
 /// A commutative semiring `(D, ⊕, ⊗)`.
 ///

@@ -52,7 +52,7 @@ impl Default for ProptestConfig {
 impl ProptestConfig {
     /// A default configuration overriding the number of cases.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases, ..Default::default() }
+        ProptestConfig { cases }
     }
 }
 

@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --example expression_trees`
 
-use faq::core::evo::{is_equivalent_ordering, linear_extensions};
-use faq::core::{QueryShape, Tag};
+use faq::core::evo::{are_equivalent_orderings, is_equivalent_ordering, linear_extensions};
+use faq::core::{ExecPolicy, QueryShape, Tag};
 use faq::hypergraph::{Var, VarSet};
 use faq::semiring::AggId;
 
@@ -98,8 +98,14 @@ fn example_6_13() {
         closed_ops: Default::default(),
     };
     println!("{}", shape.expr_tree());
-    for perm in [[1u32, 2, 3], [1, 3, 2], [3, 1, 2], [2, 1, 3], [3, 2, 1], [2, 3, 1]] {
-        let pi: Vec<Var> = perm.iter().map(|&i| Var(i)).collect();
-        println!("  {:?} ∈ EVO? {}", perm, is_equivalent_ordering(&shape, &pi));
+    // Batch-screen all six permutations across the parallel engine's worker
+    // pool; each verdict matches is_equivalent_ordering run one at a time.
+    let perms = [[1u32, 2, 3], [1, 3, 2], [3, 1, 2], [2, 1, 3], [3, 2, 1], [2, 3, 1]];
+    let candidates: Vec<Vec<Var>> =
+        perms.iter().map(|p| p.iter().map(|&i| Var(i)).collect()).collect();
+    let verdicts = are_equivalent_orderings(&shape, &candidates, &ExecPolicy::with_threads(2));
+    for ((perm, pi), verdict) in perms.iter().zip(&candidates).zip(&verdicts) {
+        assert_eq!(*verdict, is_equivalent_ordering(&shape, pi));
+        println!("  {perm:?} ∈ EVO? {verdict}");
     }
 }

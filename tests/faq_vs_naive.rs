@@ -193,7 +193,7 @@ fn example_6_19_shape_random_instances() {
     for round in 0..10 {
         let dom = 2u32;
         let mut domains_sizes = vec![1u32]; // Var(0) unused
-        domains_sizes.extend(std::iter::repeat(dom).take(8));
+        domains_sizes.extend(std::iter::repeat_n(dom, 8));
         let factors: Vec<Factor<u64>> = edges
             .iter()
             .map(|schema| {

@@ -98,11 +98,11 @@ proptest! {
         }
         let order: Vec<Var> = (0..5).map(Var).collect();
         let seq = EliminationSequence::new(&h, &order);
-        for k in 0..5 {
+        for (k, vert) in order.iter().enumerate() {
             let u = seq.u_set(k);
             // Every edge of H_k incident to order[k] is inside U_k.
             for e in seq.edges_before(k) {
-                if e.contains(&order[k]) {
+                if e.contains(vert) {
                     prop_assert!(e.is_subset(u));
                 }
             }
