@@ -241,7 +241,7 @@ mod tests {
         let q = triangle_query(&edges, 16);
         let seq = q.evaluate().unwrap();
         for threads in [1usize, 2, 4] {
-            let policy = ExecPolicy { threads, min_chunk_rows: 1 };
+            let policy = ExecPolicy { threads, min_chunk_rows: 1, ..ExecPolicy::sequential() };
             let par = q.evaluate_par(&policy).unwrap();
             assert_eq!(par.factor, seq.factor, "threads {threads}");
         }

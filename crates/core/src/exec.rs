@@ -9,12 +9,16 @@
 //! output stream. This module exploits that:
 //!
 //! 1. pick the largest input factor containing the first join variable and
-//!    cut its column for that variable into up to [`ExecPolicy::threads`]
-//!    value ranges of roughly equal row counts
-//!    ([`faq_factor::Factor::column_partition`]), never splitting a value;
+//!    cut that variable's values into up to [`ExecPolicy::threads`] ranges of
+//!    roughly equal row counts, never splitting a value — under the trie
+//!    representation the cuts come straight off the root level of the
+//!    factor's cached index ([`faq_factor::FactorTrie::partition_root`]);
+//!    the listing kernel scans the column
+//!    ([`faq_factor::Factor::column_partition`]);
 //! 2. run the leapfrog join kernel per chunk on a `std::thread::scope`
-//!    worker pool ([`faq_join::multiway_join_range`]), stream-folding each
-//!    chunk's groups locally;
+//!    worker pool ([`faq_join::multiway_join_range_rep`]), each worker
+//!    walking a range-restricted view of the same cached tries,
+//!    stream-folding each chunk's groups locally;
 //! 3. merge the per-chunk sorted outputs ([`faq_factor::merge_sorted_rows`]),
 //!    combining any duplicate tuples with the step's `⊕` in sorted-tuple
 //!    order.
@@ -34,15 +38,19 @@ use crate::insideout::FaqOutput;
 use crate::query::{FaqError, FaqQuery};
 use faq_factor::{merge_sorted_rows, Domains};
 use faq_hypergraph::Var;
-use faq_join::{multiway_join_range, JoinInput, JoinStats};
+use faq_join::{multiway_join_range_rep, JoinInput, JoinStats};
 use faq_semiring::{AggDomain, SemiringElem};
+
+pub use faq_join::JoinRep;
 
 /// Execution policy for the InsideOut engine.
 ///
 /// `threads == 1` is exactly the sequential engine. With more threads, each
 /// elimination join is chunked by first-variable value ranges and the chunks
 /// run on a scoped worker pool; the output is bit-identical regardless of
-/// thread count (see the module docs for why).
+/// thread count (see the module docs for why). `rep` selects the factor
+/// representation the join cursors walk — the columnar trie index (default)
+/// or the raw sorted listing — with bit-identical output either way.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecPolicy {
     /// Maximum worker threads per elimination join (clamped to ≥ 1).
@@ -52,6 +60,9 @@ pub struct ExecPolicy {
     /// the chunk count never exceeds `basis rows / min_chunk_rows`. Guards
     /// against paying thread spawn cost on tiny intermediates.
     pub min_chunk_rows: usize,
+    /// Factor representation for the join kernels ([`JoinRep::Trie`] by
+    /// default; [`JoinRep::Listing`] is the reference / comparison kernel).
+    pub rep: JoinRep,
 }
 
 impl ExecPolicy {
@@ -61,12 +72,22 @@ impl ExecPolicy {
 
     /// The sequential policy: one thread, chunking disabled.
     pub fn sequential() -> ExecPolicy {
-        ExecPolicy { threads: 1, min_chunk_rows: usize::MAX }
+        ExecPolicy { threads: 1, min_chunk_rows: usize::MAX, rep: JoinRep::default() }
     }
 
     /// A parallel policy with `threads` workers and the default chunk floor.
     pub fn with_threads(threads: usize) -> ExecPolicy {
-        ExecPolicy { threads: threads.max(1), min_chunk_rows: Self::DEFAULT_MIN_CHUNK_ROWS }
+        ExecPolicy {
+            threads: threads.max(1),
+            min_chunk_rows: Self::DEFAULT_MIN_CHUNK_ROWS,
+            rep: JoinRep::default(),
+        }
+    }
+
+    /// This policy with the join kernels walking `rep`.
+    pub fn with_rep(mut self, rep: JoinRep) -> ExecPolicy {
+        self.rep = rep;
+        self
     }
 
     /// Effective worker count (at least 1).
@@ -134,8 +155,9 @@ pub(crate) fn grouped_join<E: SemiringElem>(
     is_zero: &(impl Fn(&E) -> bool + Sync),
 ) -> GroupedRows<E> {
     debug_assert!(group_arity <= order.len());
+    let rep = policy.rep;
     let run_range = |range: (u32, u32)| {
-        grouped_join_range(domains, order, inputs, range, one, group_arity, mul, fold, is_zero)
+        grouped_join_range(rep, domains, order, inputs, range, one, group_arity, mul, fold, is_zero)
     };
     let full = (0u32, u32::MAX);
 
@@ -148,22 +170,18 @@ pub(crate) fn grouped_join<E: SemiringElem>(
 
     // Chunking basis: the largest input containing the first join variable.
     let first = order[0];
-    let Some(basis) = inputs
+    let Some(basis_len) = inputs
         .iter()
         .map(|i| i.factor)
         .filter(|f| f.schema().contains(&first))
-        .max_by_key(|f| f.len())
+        .map(|f| f.len())
+        .max()
     else {
         return run_range(full); // first variable unconstrained — rare and cheap
     };
     let per_chunk = policy.min_chunk_rows.clamp(1, usize::MAX / 2);
-    let max_chunks = threads.min(basis.len() / per_chunk);
+    let max_chunks = threads.min(basis_len / per_chunk);
     if max_chunks <= 1 {
-        return run_range(full);
-    }
-    let col = basis.schema().iter().position(|&v| v == first).expect("basis contains order[0]");
-    let ranges = basis.column_partition(col, max_chunks);
-    if ranges.len() <= 1 {
         return run_range(full);
     }
 
@@ -177,6 +195,39 @@ pub(crate) fn grouped_join<E: SemiringElem>(
         .map(|(f, i)| JoinInput { factor: f.as_ref(), use_value: i.use_value })
         .collect();
 
+    // Cut the basis column for the first variable into value ranges. Aligned
+    // factors containing `first` hold it in column 0, so under the trie
+    // representation the cuts fall out of the trie's root level (distinct
+    // values + row counts, no scan) — and the index built here is the same
+    // cached one every chunk worker walks.
+    let basis = chunk_inputs
+        .iter()
+        .map(|i| i.factor)
+        .filter(|f| f.schema().first() == Some(&first))
+        .max_by_key(|f| f.len())
+        .expect("a factor containing order[0] exists");
+    let ranges = match rep {
+        JoinRep::Trie => basis.trie().partition_root(max_chunks),
+        JoinRep::Listing => basis.column_partition(0, max_chunks),
+    };
+    if ranges.len() <= 1 {
+        // Too few distinct values to chunk. Run sequentially over the inputs
+        // aligned above — not the originals — so the alignment copies (and
+        // the basis trie just built) are used, not discarded and redone.
+        return grouped_join_range(
+            rep,
+            domains,
+            order,
+            &chunk_inputs,
+            full,
+            one,
+            group_arity,
+            mul,
+            fold,
+            is_zero,
+        );
+    }
+
     // Scoped worker pool: one worker per chunk (ranges.len() ≤ threads), each
     // writing into its own slot.
     let mut slots: Vec<Option<GroupedRows<E>>> = Vec::new();
@@ -186,6 +237,7 @@ pub(crate) fn grouped_join<E: SemiringElem>(
             let chunk_inputs = &chunk_inputs;
             s.spawn(move || {
                 *slot = Some(grouped_join_range(
+                    rep,
                     domains,
                     order,
                     chunk_inputs,
@@ -221,6 +273,7 @@ pub(crate) fn grouped_join<E: SemiringElem>(
 /// outputs.
 #[allow(clippy::too_many_arguments)]
 fn grouped_join_range<E: SemiringElem>(
+    rep: JoinRep,
     domains: &Domains,
     order: &[Var],
     inputs: &[JoinInput<'_, E>],
@@ -234,7 +287,8 @@ fn grouped_join_range<E: SemiringElem>(
     let mut rows: Vec<(Vec<u32>, E)> = Vec::new();
     let mut cur_key: Option<Vec<u32>> = None;
     let mut cur_acc: Option<E> = None;
-    let stats = multiway_join_range(
+    let stats = multiway_join_range_rep(
+        rep,
         domains,
         order,
         inputs,
@@ -319,7 +373,8 @@ mod tests {
             let seq = insideout(&q).unwrap();
             for threads in [1usize, 2, 4] {
                 for min_chunk in [0usize, 1, 7, usize::MAX] {
-                    let policy = ExecPolicy { threads, min_chunk_rows: min_chunk };
+                    let policy =
+                        ExecPolicy { threads, min_chunk_rows: min_chunk, rep: JoinRep::default() };
                     let par = insideout_par(&q, &policy).unwrap();
                     assert_eq!(
                         par.factor, seq.factor,
@@ -358,7 +413,11 @@ mod tests {
         .unwrap();
         let seq = insideout(&q).unwrap();
         for threads in [2usize, 3, 4] {
-            let par = insideout_par(&q, &ExecPolicy { threads, min_chunk_rows: 1 }).unwrap();
+            let par = insideout_par(
+                &q,
+                &ExecPolicy { threads, min_chunk_rows: 1, rep: JoinRep::default() },
+            )
+            .unwrap();
             assert_eq!(par.factor, seq.factor, "threads {threads}");
         }
     }
@@ -385,7 +444,11 @@ mod tests {
         )
         .unwrap();
         let seq = insideout(&q).unwrap();
-        let par = insideout_par(&q, &ExecPolicy { threads: 4, min_chunk_rows: 1 }).unwrap();
+        let par = insideout_par(
+            &q,
+            &ExecPolicy { threads: 4, min_chunk_rows: 1, rep: JoinRep::default() },
+        )
+        .unwrap();
         assert_eq!(par.factor, seq.factor);
         assert_eq!(par.scalar(), seq.scalar());
     }

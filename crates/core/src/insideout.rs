@@ -44,7 +44,14 @@ pub struct StepStat {
     pub u_size: usize,
     /// Rows of the intermediate factor produced.
     pub rows_out: usize,
-    /// Join statistics when a sub-join ran (semiring / free steps).
+    /// Operation statistics of the step's factor work.
+    ///
+    /// Semiring / free steps report the sub-join's search counters. Product
+    /// steps (eq. (8)) run no join; they report their oracle-model work in
+    /// the same currency so [`ElimStats::total_seeks`] covers every step:
+    /// `seeks` = listing rows read (marginalization group scans plus
+    /// point-wise powering reads), `nodes` = rows written across the
+    /// rewritten factors, `matches` = rows of the largest rewritten factor.
     pub join: Option<JoinStats>,
 }
 
@@ -65,7 +72,10 @@ impl ElimStats {
         self.steps.push(s);
     }
 
-    /// Total `seek` conditional queries across all sub-joins.
+    /// Total conditional-query / oracle-read operations across every step:
+    /// sub-join seeks of semiring and free-variable steps, the listing reads
+    /// of product steps (eq. (8) marginalization and powering — see
+    /// [`StepStat::join`]), and the final output join's seeks.
     pub fn total_seeks(&self) -> u64 {
         self.steps.iter().filter_map(|s| s.join.map(|j| j.seeks)).sum::<u64>()
             + self.output_join.map(|j| j.seeks).unwrap_or(0)
@@ -370,8 +380,13 @@ fn eliminate_product<D: AggDomain>(
     let size = q.domains.size(var) as u64;
     let mut u_size = 0usize;
     let mut rows_out = 0usize;
+    // Oracle-model work of the step (see [`StepStat::join`]): every listing
+    // row the step reads counts as one conditional query, so product steps
+    // contribute to `ElimStats::total_seeks` like every other step.
+    let mut work = JoinStats::default();
     let old = std::mem::take(edges);
     for e in old {
+        work.seeks += e.len() as u64;
         if e.schema().contains(&var) {
             u_size = u_size.max(e.arity());
             let m = e.marginalize_product(
@@ -381,6 +396,7 @@ fn eliminate_product<D: AggDomain>(
                 |x| dom.is_zero(x),
             );
             rows_out = rows_out.max(m.len());
+            work.nodes += m.len() as u64;
             edges.push(m);
         } else {
             // ψ_S ← ψ_S^{|Dom(X_k)|}, point-wise, skipping ⊗-idempotent values
@@ -395,10 +411,12 @@ fn eliminate_product<D: AggDomain>(
                 },
                 |x| dom.is_zero(x),
             );
+            work.nodes += powered.len() as u64;
             edges.push(powered);
         }
     }
-    StepStat { var, semiring: false, u_size, rows_out, join: None }
+    work.matches = rows_out as u64;
+    StepStat { var, semiring: false, u_size, rows_out, join: Some(work) }
 }
 
 #[cfg(test)]

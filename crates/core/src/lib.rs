@@ -35,7 +35,7 @@ pub mod output;
 pub mod query;
 pub mod width;
 
-pub use exec::{insideout_par, insideout_par_with_order, ExecPolicy};
+pub use exec::{insideout_par, insideout_par_with_order, ExecPolicy, JoinRep};
 pub use exprtree::{ExprTree, QueryShape, Tag};
 pub use insideout::{
     insideout, insideout_with_order, run_elimination, run_elimination_with_policy, ElimStats,

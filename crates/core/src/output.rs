@@ -157,18 +157,26 @@ impl<E: SemiringElem> FactorizedOutput<E> {
 
 /// Explicit-stack depth-first enumerator over the factorized support.
 ///
-/// Walks the guard/value factor tries level by level (one level per free
-/// variable) and yields complete bindings in lexicographic order.
+/// Walks the guard/value factors' columnar trie indices level by level (one
+/// trie level per factor column, one search depth per free variable) and
+/// yields complete bindings in lexicographic order. Each factor's trie index
+/// is built (or reused, if already cached) when the iterator is created.
 pub struct SupportIter<'a, E: SemiringElem> {
     out: &'a FactorizedOutput<E>,
     /// For each factor: which column binds at each depth (usize::MAX = none).
     col_at_depth: Vec<Vec<usize>>,
-    /// Aligned factors (schemas consistent with the free order).
-    factors: Vec<Factor<E>>,
+    /// Aligned factors (schemas consistent with the free order). Columns bind
+    /// in schema order, so each factor's trie descends one level per bound
+    /// column. Already-aligned factors are borrowed, so their cached trie
+    /// index is reused across iterators; only misaligned ones are copied.
+    factors: Vec<std::borrow::Cow<'a, Factor<E>>>,
     /// Current partial binding.
     binding: Vec<u32>,
-    /// Per-factor range stacks (one frame per bound level).
-    ranges: Vec<Vec<(usize, usize)>>,
+    /// Per-factor trie-entry window stacks (one frame per open level, plus
+    /// the root candidates).
+    windows: Vec<Vec<(usize, usize)>>,
+    /// Per-factor chosen trie entries (one per open level).
+    paths: Vec<Vec<usize>>,
     /// Next candidate value to try at each depth.
     next_at_depth: Vec<u32>,
     done: bool,
@@ -177,7 +185,7 @@ pub struct SupportIter<'a, E: SemiringElem> {
 impl<'a, E: SemiringElem> SupportIter<'a, E> {
     fn new(out: &'a FactorizedOutput<E>) -> Self {
         let order = &out.free_order;
-        let mut factors: Vec<Factor<E>> = Vec::new();
+        let mut factors: Vec<std::borrow::Cow<'a, Factor<E>>> = Vec::new();
         let mut empty = false;
         for f in out.value_factors.iter().chain(out.guards.iter()) {
             if f.arity() == 0 {
@@ -189,7 +197,7 @@ impl<'a, E: SemiringElem> SupportIter<'a, E> {
             if f.is_empty() {
                 empty = true;
             }
-            factors.push(f.align_to(order));
+            factors.push(f.align_to_cow(&out.free_order));
         }
         let col_at_depth: Vec<Vec<usize>> = factors
             .iter()
@@ -200,13 +208,16 @@ impl<'a, E: SemiringElem> SupportIter<'a, E> {
                     .collect()
             })
             .collect();
-        let ranges: Vec<Vec<(usize, usize)>> = factors.iter().map(|f| vec![(0, f.len())]).collect();
+        let windows: Vec<Vec<(usize, usize)>> =
+            factors.iter().map(|f| vec![f.trie().root()]).collect();
+        let paths: Vec<Vec<usize>> = factors.iter().map(|_| Vec::new()).collect();
         SupportIter {
             out,
             col_at_depth,
             factors,
             binding: Vec::new(),
-            ranges,
+            windows,
+            paths,
             next_at_depth: vec![0; order.len() + 1],
             done: empty,
         }
@@ -219,61 +230,55 @@ impl<'a, E: SemiringElem> SupportIter<'a, E> {
         let participants: Vec<usize> =
             (0..self.factors.len()).filter(|&i| self.col_at_depth[i][d] != usize::MAX).collect();
         let dom = self.out.domains.size(self.out.free_order[d]);
-        'candidates: loop {
-            if candidate >= dom {
-                return false;
-            }
-            let mut stable = false;
-            while !stable {
-                stable = true;
-                for &i in &participants {
-                    let col = self.col_at_depth[i][d];
-                    let range = *self.ranges[i].last().unwrap();
-                    match self.factors[i].seek_column(range, col, candidate) {
-                        None => return false,
-                        Some(v) if v > candidate => {
-                            if v >= dom {
-                                return false;
-                            }
-                            candidate = v;
-                            stable = false;
-                        }
-                        Some(_) => {}
-                    }
-                }
-                if participants.is_empty() {
-                    break;
-                }
-            }
-            // Narrow every participant.
-            for &i in &participants {
-                let col = self.col_at_depth[i][d];
-                let range = *self.ranges[i].last().unwrap();
-                let narrowed = self.factors[i].prefix_range(range, col, candidate);
-                if narrowed.0 == narrowed.1 {
-                    // Should not happen after a successful seek; defensive.
-                    for &j in &participants {
-                        if j == i {
-                            break;
-                        }
-                        self.ranges[j].pop();
-                    }
-                    candidate += 1;
-                    continue 'candidates;
-                }
-                self.ranges[i].push(narrowed);
-            }
-            self.binding.push(candidate);
-            self.next_at_depth[d] = candidate; // remembered for backtracking
-            return true;
+        if candidate >= dom {
+            return false;
         }
+        // Leapfrog the participants' current trie levels to the least value
+        // every one of them lists.
+        let mut stable = false;
+        while !stable {
+            stable = true;
+            for &i in &participants {
+                let level = self.factors[i].trie().level(self.paths[i].len());
+                let window = *self.windows[i].last().expect("root window");
+                match level.lub(window, candidate) {
+                    None => return false,
+                    Some(j) if level.value(j) > candidate => {
+                        if level.value(j) >= dom {
+                            return false;
+                        }
+                        candidate = level.value(j);
+                        stable = false;
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        // Open every participant at the agreed value.
+        for &i in &participants {
+            let trie = self.factors[i].trie();
+            let depth = self.paths[i].len();
+            let level = trie.level(depth);
+            let window = *self.windows[i].last().expect("root window");
+            let j = level.find(window, candidate).expect("stabilized value is present");
+            self.paths[i].push(j);
+            if depth + 1 < trie.arity() {
+                self.windows[i].push(level.child_range(j));
+            }
+        }
+        self.binding.push(candidate);
+        self.next_at_depth[d] = candidate; // remembered for backtracking
+        true
     }
 
     /// Pop depth `d` and advance its candidate counter.
     fn backtrack(&mut self, d: usize) {
         for i in 0..self.factors.len() {
             if self.col_at_depth[i][d] != usize::MAX {
-                self.ranges[i].pop();
+                self.paths[i].pop();
+                if self.paths[i].len() + 1 < self.factors[i].trie().arity() {
+                    self.windows[i].pop();
+                }
             }
         }
         self.binding.pop();

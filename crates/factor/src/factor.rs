@@ -1,9 +1,10 @@
 //! The [`Factor`] type: a sorted listing of non-zero entries.
 
+use crate::trie::FactorTrie;
 use faq_hypergraph::Var;
 use faq_semiring::SemiringElem;
-use std::cmp::Ordering;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Errors raised by factor constructors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,12 +45,38 @@ impl std::error::Error for FactorError {}
 /// Invariants: distinct schema variables; rows sorted and distinct; values
 /// never equal to the semiring zero (constructors take an `is_zero` predicate
 /// where values can be combined).
-#[derive(Clone, PartialEq)]
+///
+/// The row-major storage is private; consumers read rows through the accessor
+/// API ([`Factor::row`], [`Factor::value`], [`Factor::iter`]) or through the
+/// columnar trie index ([`Factor::trie`]), which is built lazily on first use
+/// and cached for the factor's lifetime.
 pub struct Factor<E> {
     schema: Vec<Var>,
     rows: Vec<u32>,
     vals: Vec<E>,
     len: usize,
+    /// Lazily-built columnar trie index (see [`crate::trie`]). Not part of
+    /// the factor's identity: cloning drops it (the clone rebuilds on
+    /// demand) and equality ignores it.
+    trie: OnceLock<FactorTrie>,
+}
+
+impl<E: Clone> Clone for Factor<E> {
+    fn clone(&self) -> Self {
+        Factor {
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            vals: self.vals.clone(),
+            len: self.len,
+            trie: OnceLock::new(),
+        }
+    }
+}
+
+impl<E: PartialEq> PartialEq for Factor<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows && self.vals == other.vals
+    }
 }
 
 impl<E: SemiringElem> fmt::Debug for Factor<E> {
@@ -69,10 +96,6 @@ impl<E: SemiringElem> fmt::Debug for Factor<E> {
     }
 }
 
-fn cmp_rows(a: &[u32], b: &[u32]) -> Ordering {
-    a.cmp(b)
-}
-
 impl<E: SemiringElem> Factor<E> {
     /// Build a factor from `(tuple, value)` pairs, rejecting duplicates.
     ///
@@ -88,7 +111,7 @@ impl<E: SemiringElem> Factor<E> {
             }
             pairs.push((t, v));
         }
-        pairs.sort_by(|a, b| cmp_rows(&a.0, &b.0));
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
         for w in pairs.windows(2) {
             if w[0].0 == w[1].0 {
                 return Err(FactorError::DuplicateTuple(w[0].0.clone()));
@@ -112,7 +135,7 @@ impl<E: SemiringElem> Factor<E> {
                 return Err(FactorError::ArityMismatch { expected: arity, got: t.len() });
             }
         }
-        tuples.sort_by(|a, b| cmp_rows(&a.0, &b.0));
+        tuples.sort_by(|a, b| a.0.cmp(&b.0));
         let mut merged: Vec<(Vec<u32>, E)> = Vec::with_capacity(tuples.len());
         for (t, v) in tuples {
             match merged.last_mut() {
@@ -135,15 +158,27 @@ impl<E: SemiringElem> Factor<E> {
             rows.extend_from_slice(&t);
             vals.push(v);
         }
-        Factor { schema, rows, vals, len }
+        Factor { schema, rows, vals, len, trie: OnceLock::new() }
     }
 
     /// A nullary (constant) factor: `Some(v)` is the scalar `v`, `None` is the
     /// empty factor (the constant zero).
     pub fn nullary(value: Option<E>) -> Self {
         match value {
-            Some(v) => Factor { schema: Vec::new(), rows: Vec::new(), vals: vec![v], len: 1 },
-            None => Factor { schema: Vec::new(), rows: Vec::new(), vals: Vec::new(), len: 0 },
+            Some(v) => Factor {
+                schema: Vec::new(),
+                rows: Vec::new(),
+                vals: vec![v],
+                len: 1,
+                trie: OnceLock::new(),
+            },
+            None => Factor {
+                schema: Vec::new(),
+                rows: Vec::new(),
+                vals: Vec::new(),
+                len: 0,
+                trie: OnceLock::new(),
+            },
         }
     }
 
@@ -221,24 +256,40 @@ impl<E: SemiringElem> Factor<E> {
         (0..self.len).map(move |i| (self.row(i), self.value(i)))
     }
 
-    /// Look up a tuple by trie descent: [`Factor::prefix_range`] column by
-    /// column. Each step binary-searches only the column being bound (instead
-    /// of comparing whole rows), and the candidate range collapses after the
-    /// first few columns on realistic data.
+    /// The columnar trie index over this factor's rows (see [`crate::trie`]).
+    ///
+    /// Built on first use — `O(arity × len)` — and cached for the factor's
+    /// lifetime, so joins, lookups and chunk partitioning that touch the same
+    /// factor share one index. Thread-safe: concurrent first callers race
+    /// benignly on a [`OnceLock`].
+    pub fn trie(&self) -> &FactorTrie {
+        self.trie.get_or_init(|| FactorTrie::build(self.schema.len(), &self.rows, self.len))
+    }
+
+    /// The trie index if it has already been built, without forcing a build.
+    pub fn trie_if_built(&self) -> Option<&FactorTrie> {
+        self.trie.get()
+    }
+
+    /// Look up a tuple by descending the trie index: one binary search over
+    /// the *distinct* values of each level, instead of re-scanning rows with
+    /// whole-row comparisons. Builds (and caches) the index on first call.
     pub fn get(&self, tuple: &[u32]) -> Option<&E> {
         assert_eq!(tuple.len(), self.arity());
         if self.arity() == 0 {
             return self.vals.first();
         }
-        let mut range = (0usize, self.len);
+        let trie = self.trie();
+        let mut window = trie.root();
         for (depth, &value) in tuple.iter().enumerate() {
-            range = self.prefix_range(range, depth, value);
-            if range.0 == range.1 {
-                return None;
+            let level = trie.level(depth);
+            let entry = level.find(window, value)?;
+            if depth + 1 == self.arity() {
+                return Some(&self.vals[level.row_range(entry).0]);
             }
+            window = level.child_range(entry);
         }
-        debug_assert_eq!(range.1 - range.0, 1, "rows are distinct");
-        Some(&self.vals[range.0])
+        unreachable!("loop returns at the deepest level")
     }
 
     /// The half-open row range whose first `depth` columns equal `prefix`
@@ -284,7 +335,7 @@ impl<E: SemiringElem> Factor<E> {
             .iter()
             .map(|(row, v)| (perm.iter().map(|&p| row[p]).collect(), v.clone()))
             .collect();
-        pairs.sort_by(|a, b| cmp_rows(&a.0, &b.0));
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
         Self::from_sorted_pairs(new_schema.to_vec(), pairs)
     }
 
@@ -377,7 +428,7 @@ impl<E: SemiringElem> Factor<E> {
             .iter()
             .map(|(row, v)| (positions.iter().map(|&p| row[p]).collect::<Vec<u32>>(), v.clone()))
             .collect();
-        pairs.sort_by(|a, b| cmp_rows(&a.0, &b.0));
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
 
         let mut out: Vec<(Vec<u32>, E)> = Vec::new();
         let mut i = 0;
@@ -437,6 +488,13 @@ impl<E: SemiringElem> Factor<E> {
         assert!(col < self.arity(), "column {col} out of range for arity {}", self.arity());
         if max_chunks <= 1 || self.len < 2 {
             return Vec::new();
+        }
+        // Column 0 with a built trie index: the root level already lists the
+        // distinct values with their row counts — no scan of the listing.
+        if col == 0 {
+            if let Some(trie) = self.trie_if_built() {
+                return trie.partition_root(max_chunks);
+            }
         }
         // Column values in ascending order. Column 0 is already sorted (rows
         // are lexicographic); other columns need a sort.
@@ -516,7 +574,7 @@ impl<E: SemiringElem> Factor<E> {
             .filter(|(row, _)| row[vpos] == value)
             .map(|(row, v)| (positions.iter().map(|&p| row[p]).collect::<Vec<u32>>(), v.clone()))
             .collect();
-        pairs.sort_by(|a, b| cmp_rows(&a.0, &b.0));
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
         Self::from_sorted_pairs(new_schema, pairs)
     }
 }

@@ -7,19 +7,26 @@
 //!
 //! Rows are kept sorted lexicographically under the factor's column order,
 //! which supplies the *conditional query* oracle of paper Assumption 1 via
-//! binary search, and gives the trie view that the OutsideIn join walks.
+//! binary search. On top of the listing, [`Factor::trie`] exposes a columnar
+//! trie index ([`trie::FactorTrie`]) — built lazily, cached — that the
+//! OutsideIn join walks with [`trie::TrieCursor`]s instead of repeating
+//! whole-row binary searches.
 //!
 //! Modules:
 //! * [`domains`] — per-variable domain sizes and assignment iteration;
 //! * [`factor`] — the [`Factor`] type and its algebra (projection, indicator
 //!   projection per Definition 4.2, product marginalization per Assumption 2,
-//!   point-wise maps, powering).
+//!   point-wise maps, powering);
+//! * [`trie`] — the columnar trie index: levels, cursors, range-restricted
+//!   views, root-level chunk partitioning.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod domains;
 pub mod factor;
+pub mod trie;
 
 pub use domains::{AssignmentIter, Domains};
 pub use factor::{merge_sorted_rows, Factor, FactorError};
+pub use trie::{FactorTrie, TrieCursor, TrieLevel, TrieView};

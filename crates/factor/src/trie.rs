@@ -1,0 +1,541 @@
+//! Columnar trie index over a factor's sorted listing.
+//!
+//! A [`crate::Factor`] stores its non-zero tuples row-major and sorted
+//! lexicographically. That ordering already *is* a trie — every distinct
+//! prefix of length `d` is a trie node whose children share the prefix — but
+//! walking it through the listing means every conditional query re-scans the
+//! shared prefix columns with whole-row binary searches. A [`FactorTrie`]
+//! materializes the trie once, columnar level by level, so that the seeks of
+//! the OutsideIn join (paper Assumption 1: `O(log n)` conditional queries)
+//! become binary searches over *distinct values of one column* and descents
+//! become O(1) offset lookups.
+//!
+//! # Layout
+//!
+//! Level `d` holds one entry per distinct length-`d+1` row prefix, in
+//! lexicographic order. Each entry stores
+//!
+//! * its column-`d` value ([`TrieLevel::value`]),
+//! * the half-open range of its children among level `d+1`'s entries
+//!   ([`TrieLevel::child_range`]), and
+//! * the half-open range of listing rows below it ([`TrieLevel::row_range`]).
+//!
+//! At the deepest level every entry covers exactly one row (rows are
+//! distinct), so entry index = row index and the trie leads straight back to
+//! the factor's value array.
+//!
+//! # Worked example
+//!
+//! The factor `{(0,0)→a, (0,1)→b, (2,1)→c}` over schema `[x, y]` yields
+//!
+//! ```text
+//! level 0 (x):  value 0 ── children 0..2 ── rows 0..2
+//!               value 2 ── children 2..3 ── rows 2..3
+//! level 1 (y):  value 0 ── rows 0..1        (prefix 0,0)
+//!               value 1 ── rows 1..2        (prefix 0,1)
+//!               value 1 ── rows 2..3        (prefix 2,1)
+//! ```
+//!
+//! ```
+//! use faq_factor::{Factor, TrieCursor};
+//! use faq_hypergraph::v;
+//!
+//! let f = Factor::new(
+//!     vec![v(0), v(1)],
+//!     vec![(vec![0, 0], 'a'), (vec![0, 1], 'b'), (vec![2, 1], 'c')],
+//! )
+//! .unwrap();
+//! // The index is built lazily on first use and cached on the factor.
+//! let trie = f.trie();
+//! assert_eq!(trie.level(0).len(), 2); // distinct x values: {0, 2}
+//! assert_eq!(trie.level(1).len(), 3); // one leaf per row
+//!
+//! // Leapfrog-style navigation: seek the least x ≥ 1, descend, read a row.
+//! let mut cur = TrieCursor::new(trie);
+//! assert_eq!(cur.seek(1), Some(2)); // x = 1 is absent; lub is 2
+//! cur.open(2);
+//! assert_eq!(cur.seek(0), Some(1)); // under x = 2 the only y is 1
+//! cur.open(1);
+//! assert_eq!(f.value(cur.row()), &'c');
+//! cur.up();
+//! cur.up();
+//! assert_eq!(cur.depth(), 0);
+//! ```
+
+/// One level of a [`FactorTrie`]: the distinct length-`d+1` prefixes of the
+/// factor's rows, in lexicographic order, stored columnar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrieLevel {
+    /// Column-`d` value of each entry.
+    values: Vec<u32>,
+    /// `child[j]..child[j + 1]` = entry `j`'s children in the next level
+    /// (row indices at the deepest level, where each entry has one child row).
+    child: Vec<usize>,
+    /// `rows[j]..rows[j + 1]` = listing rows sharing entry `j`'s prefix.
+    rows: Vec<usize>,
+}
+
+impl TrieLevel {
+    /// Number of entries (distinct prefixes) at this level.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the level has no entries (the factor is empty).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The column value of entry `j`.
+    pub fn value(&self, j: usize) -> u32 {
+        self.values[j]
+    }
+
+    /// Entry `j`'s children in the next level (row indices at the last level).
+    pub fn child_range(&self, j: usize) -> (usize, usize) {
+        (self.child[j], self.child[j + 1])
+    }
+
+    /// The listing rows below entry `j`.
+    pub fn row_range(&self, j: usize) -> (usize, usize) {
+        (self.rows[j], self.rows[j + 1])
+    }
+
+    /// The first entry in `window` whose value is `≥ bound`, or `None` — the
+    /// trie-native "seek least upper bound" conditional query. One binary
+    /// search over distinct sibling values (the listing equivalent searches
+    /// whole rows).
+    pub fn lub(&self, window: (usize, usize), bound: u32) -> Option<usize> {
+        let (lo, hi) = window;
+        let j = lo + self.values[lo..hi].partition_point(|&v| v < bound);
+        (j < hi).then_some(j)
+    }
+
+    /// The entry in `window` whose value equals `value` exactly, or `None`.
+    pub fn find(&self, window: (usize, usize), value: u32) -> Option<usize> {
+        self.lub(window, value).filter(|&j| self.values[j] == value)
+    }
+}
+
+/// A columnar trie index over one factor: one [`TrieLevel`] per schema
+/// column. Built by [`crate::Factor::trie`] (lazily, cached) — see the
+/// [module docs](self) for layout and a worked example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactorTrie {
+    levels: Vec<TrieLevel>,
+    num_rows: usize,
+}
+
+impl FactorTrie {
+    /// Build the index from a sorted, distinct, row-major listing.
+    ///
+    /// `rows` holds `num_rows × arity` values. One pass per level: level `d`
+    /// opens an entry wherever the length-`d+1` prefix changes, which is
+    /// wherever the parent level opened one *or* column `d` changes within a
+    /// parent — `O(arity × num_rows)` total.
+    pub(crate) fn build(arity: usize, rows: &[u32], num_rows: usize) -> FactorTrie {
+        debug_assert_eq!(rows.len(), num_rows * arity);
+        let mut levels = Vec::with_capacity(arity);
+        // Row starts of the previous level's entries; a single root covers
+        // everything before level 0.
+        let mut parent_starts: Vec<usize> = vec![0];
+        for d in 0..arity {
+            let col = |i: usize| rows[i * arity + d];
+            let mut values = Vec::new();
+            let mut starts = Vec::new();
+            let mut parent = 0usize; // index into parent_starts
+            for i in 0..num_rows {
+                let new_parent = parent + 1 < parent_starts.len() && parent_starts[parent + 1] == i;
+                if new_parent {
+                    parent += 1;
+                }
+                if i == 0 || new_parent || col(i) != col(i - 1) {
+                    values.push(col(i));
+                    starts.push(i);
+                }
+            }
+            starts.push(num_rows);
+            levels.push(TrieLevel { values, child: Vec::new(), rows: starts });
+            parent_starts = levels[d].rows[..levels[d].rows.len() - 1].to_vec();
+        }
+        // Child offsets: entry boundaries of level d are a subset of level
+        // d + 1's, so one merge pass per level links them; the deepest level's
+        // entries each cover exactly one row.
+        for d in 0..arity {
+            let (head, tail) = levels.split_at_mut(d + 1);
+            let level = &mut head[d];
+            level.child = match tail.first() {
+                Some(next) => {
+                    let mut child = Vec::with_capacity(level.rows.len());
+                    let mut k = 0usize;
+                    for &start in &level.rows {
+                        while k < next.len() && next.rows[k] < start {
+                            k += 1;
+                        }
+                        child.push(k);
+                    }
+                    child
+                }
+                None => level.rows.clone(),
+            };
+        }
+        FactorTrie { levels, num_rows }
+    }
+
+    /// Number of levels (the factor's arity).
+    pub fn arity(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of listing rows below the root.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// The level indexing column `d`.
+    pub fn level(&self, d: usize) -> &TrieLevel {
+        &self.levels[d]
+    }
+
+    /// The root entry window: all of level 0.
+    pub fn root(&self) -> (usize, usize) {
+        (0, self.levels.first().map_or(0, TrieLevel::len))
+    }
+
+    /// A view of the trie restricted to root values in `[lo, hi)` — the
+    /// chunk-shaped slice the parallel engine hands each worker.
+    pub fn view(&self, value_range: (u32, u32)) -> TrieView<'_> {
+        match self.levels.first() {
+            None => TrieView { trie: self, root: (0, 0) },
+            Some(level) => {
+                let lo = level.values.partition_point(|&v| v < value_range.0);
+                let hi = level.values.partition_point(|&v| v < value_range.1);
+                TrieView { trie: self, root: (lo, hi) }
+            }
+        }
+    }
+
+    /// Partition the root level into at most `max_chunks` half-open *value*
+    /// ranges of roughly equal row counts, never splitting a value.
+    ///
+    /// Trie-native [`crate::Factor::column_partition`] for column 0: the root
+    /// level already lists the distinct values with their row counts, so no
+    /// scan or sort of the listing is needed. Same contract: ranges cover
+    /// `[0, u32::MAX)` in ascending order, and an empty vector means "run
+    /// sequentially" (fewer than 2 rows, or `max_chunks ≤ 1`).
+    pub fn partition_root(&self, max_chunks: usize) -> Vec<(u32, u32)> {
+        if max_chunks <= 1 || self.num_rows < 2 {
+            return Vec::new();
+        }
+        let level = &self.levels[0];
+        let target = self.num_rows.div_ceil(max_chunks);
+        let mut cuts: Vec<u32> = Vec::new();
+        let mut taken = 0usize;
+        for j in 0..level.len() {
+            if taken >= target && cuts.len() + 1 < max_chunks {
+                cuts.push(level.value(j));
+                taken = 0;
+            }
+            let (lo, hi) = level.row_range(j);
+            taken += hi - lo;
+        }
+        if cuts.is_empty() {
+            return Vec::new();
+        }
+        let mut ranges = Vec::with_capacity(cuts.len() + 1);
+        let mut lo = 0u32;
+        for &c in &cuts {
+            ranges.push((lo, c));
+            lo = c;
+        }
+        ranges.push((lo, u32::MAX));
+        ranges
+    }
+}
+
+/// A borrowed slice of a [`FactorTrie`]: the subtries whose root value lies in
+/// a half-open value range. The parallel InsideOut engine gives each worker
+/// one such view; a view over the full value range is the whole trie.
+#[derive(Debug, Clone, Copy)]
+pub struct TrieView<'t> {
+    trie: &'t FactorTrie,
+    root: (usize, usize),
+}
+
+impl<'t> TrieView<'t> {
+    /// The underlying trie.
+    pub fn trie(&self) -> &'t FactorTrie {
+        self.trie
+    }
+
+    /// The root entry window of this view.
+    pub fn root(&self) -> (usize, usize) {
+        self.root
+    }
+
+    /// Listing rows covered by the view.
+    pub fn num_rows(&self) -> usize {
+        let (lo, hi) = self.root;
+        if lo == hi {
+            return 0;
+        }
+        let level = self.trie.level(0);
+        level.row_range(hi - 1).1 - level.row_range(lo).0
+    }
+
+    /// A cursor whose root-level candidates are restricted to the view.
+    pub fn cursor(&self) -> TrieCursor<'t> {
+        TrieCursor {
+            trie: self.trie,
+            windows: vec![self.root],
+            path: Vec::new(),
+            found: usize::MAX,
+        }
+    }
+}
+
+/// A leapfrog-style navigator over a [`FactorTrie`].
+///
+/// The cursor sits *between* levels: with `depth() == d` it has chosen an
+/// entry at each of the first `d` levels and offers the entries of level `d`
+/// within the chosen parent as candidates. [`TrieCursor::seek`] finds the
+/// least candidate value `≥ bound` (one binary search over sibling values),
+/// [`TrieCursor::open`] descends into a sought value, [`TrieCursor::next`]
+/// advances to the following sibling, and [`TrieCursor::up`] backtracks.
+/// Once every level is open ([`TrieCursor::at_leaf`]), [`TrieCursor::row`]
+/// is the listing row of the full binding.
+#[derive(Debug, Clone)]
+pub struct TrieCursor<'t> {
+    trie: &'t FactorTrie,
+    /// `windows[d]` = candidate entry window at level `d`; `windows` has one
+    /// more frame than `path` (the candidates of the current level).
+    windows: Vec<(usize, usize)>,
+    /// The entry chosen at each open level.
+    path: Vec<usize>,
+    /// Entry located by the last [`TrieCursor::seek`]/[`TrieCursor::next`] at
+    /// the current level; lets [`TrieCursor::open`] descend without
+    /// re-searching.
+    found: usize,
+}
+
+impl<'t> TrieCursor<'t> {
+    /// A cursor over the whole trie.
+    pub fn new(trie: &'t FactorTrie) -> TrieCursor<'t> {
+        TrieCursor { trie, windows: vec![trie.root()], path: Vec::new(), found: usize::MAX }
+    }
+
+    /// Number of levels currently open.
+    pub fn depth(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Whether every level is open (a full row is bound).
+    pub fn at_leaf(&self) -> bool {
+        self.path.len() == self.trie.arity()
+    }
+
+    /// The least candidate value `≥ bound` at the current level, or `None`
+    /// when the window is exhausted. Remembers the located entry so a
+    /// following [`TrieCursor::open`] of the same value is O(1).
+    pub fn seek(&mut self, bound: u32) -> Option<u32> {
+        debug_assert!(!self.at_leaf(), "seek past the deepest level");
+        let level = self.trie.level(self.path.len());
+        let j = level.lub(*self.windows.last().expect("root window"), bound)?;
+        self.found = j;
+        Some(level.value(j))
+    }
+
+    /// The next candidate value after the last sought entry, or `None`.
+    ///
+    /// Named after the LeapFrog-TrieJoin primitive; the cursor is a
+    /// navigator, not an [`Iterator`] (its items depend on interleaved
+    /// `open`/`up` calls).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<u32> {
+        let window = *self.windows.last().expect("root window");
+        debug_assert!(self.found < window.1, "next without a prior seek");
+        let j = self.found + 1;
+        if j >= window.1 {
+            return None;
+        }
+        self.found = j;
+        Some(self.trie.level(self.path.len()).value(j))
+    }
+
+    /// Descend into the candidate with value `value` (which must be present —
+    /// seek first). Uses the entry cached by the last seek when it matches.
+    pub fn open(&mut self, value: u32) {
+        let d = self.path.len();
+        let level = self.trie.level(d);
+        let window = *self.windows.last().expect("root window");
+        let j = if self.found < window.1
+            && self.found >= window.0
+            && level.value(self.found) == value
+        {
+            self.found
+        } else {
+            level.find(window, value).expect("open of an absent value")
+        };
+        self.path.push(j);
+        if d + 1 < self.trie.arity() {
+            self.windows.push(level.child_range(j));
+        }
+        self.found = usize::MAX;
+    }
+
+    /// Backtrack one level. The parent's candidates become current again.
+    pub fn up(&mut self) {
+        let j = self.path.pop().expect("up at the root");
+        if self.path.len() + 1 < self.trie.arity() {
+            self.windows.pop();
+        }
+        self.found = j; // allow `next` to resume after the abandoned entry
+    }
+
+    /// The listing row of the fully-bound tuple ([`TrieCursor::at_leaf`]).
+    pub fn row(&self) -> usize {
+        debug_assert!(self.at_leaf());
+        let &leaf = self.path.last().expect("at_leaf checked");
+        self.trie.level(self.trie.arity() - 1).row_range(leaf).0
+    }
+
+    /// The chosen value at the deepest open level.
+    pub fn key(&self) -> u32 {
+        let d = self.path.len();
+        assert!(d > 0, "key at the root");
+        self.trie.level(d - 1).value(self.path[d - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Factor;
+    use faq_hypergraph::v;
+
+    fn sample() -> Factor<u64> {
+        // rows: (0,0,0) (0,0,2) (0,1,1) (2,1,0) (2,3,3)
+        Factor::new(
+            vec![v(0), v(1), v(2)],
+            vec![
+                (vec![0, 0, 0], 1),
+                (vec![0, 0, 2], 2),
+                (vec![0, 1, 1], 3),
+                (vec![2, 1, 0], 4),
+                (vec![2, 3, 3], 5),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_levels() {
+        let f = sample();
+        let t = f.trie();
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.num_rows(), 5);
+        // Level 0: distinct first-column values {0, 2}.
+        assert_eq!(t.level(0).len(), 2);
+        assert_eq!((t.level(0).value(0), t.level(0).row_range(0)), (0, (0, 3)));
+        assert_eq!((t.level(0).value(1), t.level(0).row_range(1)), (2, (3, 5)));
+        // Level 1: prefixes (0,0) (0,1) (2,1) (2,3).
+        assert_eq!(t.level(1).len(), 4);
+        assert_eq!(t.level(0).child_range(0), (0, 2));
+        assert_eq!(t.level(0).child_range(1), (2, 4));
+        assert_eq!(t.level(1).child_range(0), (0, 2)); // rows (0,0,0) (0,0,2)
+                                                       // Level 2: one entry per row; entry index == row index.
+        assert_eq!(t.level(2).len(), 5);
+        for j in 0..5 {
+            assert_eq!(t.level(2).row_range(j), (j, j + 1));
+        }
+    }
+
+    #[test]
+    fn cursor_walks_and_reads_rows() {
+        let f = sample();
+        let mut cur = TrieCursor::new(f.trie());
+        assert_eq!(cur.seek(0), Some(0));
+        cur.open(0);
+        assert_eq!(cur.seek(1), Some(1));
+        cur.open(1);
+        assert_eq!(cur.seek(0), Some(1));
+        cur.open(1);
+        assert!(cur.at_leaf());
+        assert_eq!(cur.row(), 2);
+        assert_eq!(f.value(cur.row()), &3);
+        cur.up();
+        cur.up();
+        // Back at level 1 under x0 = 0: resume after entry (0,1) — exhausted.
+        assert_eq!(cur.next(), None);
+        cur.up();
+        assert_eq!(cur.next(), Some(2));
+        assert_eq!(cur.depth(), 0);
+    }
+
+    #[test]
+    fn seek_is_lub() {
+        let f = sample();
+        let t = f.trie();
+        let mut cur = TrieCursor::new(t);
+        assert_eq!(cur.seek(1), Some(2));
+        assert_eq!(cur.seek(3), None);
+        cur.open(2);
+        assert_eq!(cur.seek(0), Some(1));
+        assert_eq!(cur.seek(2), Some(3));
+        assert_eq!(cur.seek(4), None);
+    }
+
+    #[test]
+    fn views_restrict_the_root() {
+        let f = sample();
+        let t = f.trie();
+        assert_eq!(t.view((0, u32::MAX)).num_rows(), 5);
+        let v01 = t.view((0, 1));
+        assert_eq!(v01.num_rows(), 3);
+        let mut cur = v01.cursor();
+        assert_eq!(cur.seek(0), Some(0));
+        cur.open(0);
+        assert_eq!(cur.seek(0), Some(0));
+        // Values ≥ the view's upper bound are invisible.
+        let mut cur = v01.cursor();
+        assert_eq!(cur.seek(1), None);
+        assert_eq!(t.view((3, u32::MAX)).num_rows(), 0);
+    }
+
+    #[test]
+    fn partition_matches_column_partition() {
+        let f = Factor::new(
+            vec![v(0), v(1)],
+            vec![
+                (vec![0, 0], 1u64),
+                (vec![0, 1], 1),
+                (vec![0, 2], 1),
+                (vec![1, 0], 1),
+                (vec![2, 0], 1),
+                (vec![2, 1], 1),
+                (vec![5, 0], 1),
+                (vec![5, 1], 1),
+            ],
+        )
+        .unwrap();
+        for max_chunks in [1usize, 2, 3, 4, 8] {
+            assert_eq!(
+                f.trie().partition_root(max_chunks),
+                f.column_partition(0, max_chunks),
+                "max_chunks {max_chunks}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_nullary_tries() {
+        let e = Factor::<u64>::new(vec![v(0)], vec![]).unwrap();
+        let t = e.trie();
+        assert_eq!(t.root(), (0, 0));
+        assert_eq!(TrieCursor::new(t).seek(0), None);
+        assert!(t.partition_root(4).is_empty());
+        let n = Factor::nullary(Some(7u64));
+        assert_eq!(n.trie().arity(), 0);
+        assert!(TrieCursor::new(n.trie()).at_leaf());
+    }
+}

@@ -1,8 +1,27 @@
 //! The LeapFrog-TrieJoin-style backtracking join (OutsideIn).
+//!
+//! The search enumerates bindings in lexicographic order of the variable
+//! ordering; at each depth the participating factors' cursors leapfrog to the
+//! least commonly-present value. Cursors come in two interchangeable
+//! representations ([`JoinRep`]):
+//!
+//! * [`JoinRep::Trie`] (default) — walk the factor's columnar trie index
+//!   ([`faq_factor::FactorTrie`]): each seek is one binary search over the
+//!   *distinct* values of a trie level, and each descent is an O(1) offset
+//!   lookup cached from the preceding seek;
+//! * [`JoinRep::Listing`] — binary-search the sorted row listing directly
+//!   ([`Factor::seek_column`] / [`Factor::prefix_range`]), re-scanning shared
+//!   prefixes on every seek. Kept as the reference kernel and comparison
+//!   baseline.
+//!
+//! Both produce identical output streams and identical [`JoinStats`] seek
+//! counts on a full-range join (chunked runs may differ marginally at chunk
+//! boundaries); only the cost per seek differs.
 
-use faq_factor::{Domains, Factor};
+use faq_factor::{Domains, Factor, TrieCursor};
 use faq_hypergraph::Var;
 use faq_semiring::SemiringElem;
+use std::borrow::Cow;
 
 /// One input to a multiway join.
 pub struct JoinInput<'a, E> {
@@ -28,6 +47,18 @@ impl<'a, E> JoinInput<'a, E> {
     }
 }
 
+/// Which factor representation the join cursors walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinRep {
+    /// Whole-row binary searches over the sorted listing — the reference
+    /// kernel ([`Factor::seek_column`] / [`Factor::prefix_range`]).
+    Listing,
+    /// The columnar trie index ([`Factor::trie`]): per-level distinct-value
+    /// seeks with O(1) cached descents. The default.
+    #[default]
+    Trie,
+}
+
 /// Counters reported by [`multiway_join`], used by the benchmark harness to
 /// verify the AGM-bound shape of Theorem 5.1.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,17 +71,89 @@ pub struct JoinStats {
     pub nodes: u64,
 }
 
-/// Aligned per-factor state during the search.
-struct Cursor<'a, E: SemiringElem> {
-    /// Borrowed when the input was already aligned to the join order; owned
-    /// (reordered copy) only when columns had to move.
-    factor: std::borrow::Cow<'a, Factor<E>>,
-    /// `cols[d]` = which column of this factor binds at global depth `d`
-    /// (`usize::MAX` when the factor does not contain `order[d]`).
-    col_at_depth: Vec<usize>,
-    /// Stack of active row ranges; one entry per bound column, plus the root.
-    ranges: Vec<(usize, usize)>,
+/// Per-factor search state: a cursor over one of the two representations.
+/// Columns bind in schema order, so the cursor's own depth — not a global
+/// column map — tracks which column the next seek addresses.
+enum Kernel<'b, E: SemiringElem> {
+    /// Stack of active row ranges; one frame per bound column plus the root.
+    /// The column being sought is `ranges.len() - 1`.
+    Listing { factor: &'b Factor<E>, ranges: Vec<(usize, usize)> },
+    /// A navigator over the factor's cached columnar trie.
+    Trie(TrieCursor<'b>),
+}
+
+struct Cursor<'b, E: SemiringElem> {
+    kernel: Kernel<'b, E>,
+    /// The aligned factor, for value reads at full bindings.
+    factor: &'b Factor<E>,
     use_value: bool,
+}
+
+impl<'b, E: SemiringElem> Cursor<'b, E> {
+    fn new(
+        rep: JoinRep,
+        factor: &'b Factor<E>,
+        restrict_root: Option<(u32, u32)>,
+        use_value: bool,
+    ) -> Self {
+        let kernel = match rep {
+            JoinRep::Listing => Kernel::Listing { factor, ranges: vec![(0, factor.len())] },
+            JoinRep::Trie => Kernel::Trie(match restrict_root {
+                // Chunked runs hand factors constrained at the first join
+                // variable a range-restricted view of their trie root.
+                Some(range) => factor.trie().view(range).cursor(),
+                None => TrieCursor::new(factor.trie()),
+            }),
+        };
+        Cursor { kernel, factor, use_value }
+    }
+
+    /// Least value `≥ bound` in the column now being sought, or `None`.
+    fn seek(&mut self, bound: u32) -> Option<u32> {
+        match &mut self.kernel {
+            Kernel::Listing { factor, ranges } => {
+                let range = *ranges.last().expect("range stack never empty");
+                factor.seek_column(range, ranges.len() - 1, bound)
+            }
+            Kernel::Trie(c) => c.seek(bound),
+        }
+    }
+
+    /// Bind the sought column to `value` (which a preceding seek confirmed
+    /// present) and descend.
+    fn open(&mut self, value: u32) {
+        match &mut self.kernel {
+            Kernel::Listing { factor, ranges } => {
+                let range = *ranges.last().expect("range stack never empty");
+                let narrowed = factor.prefix_range(range, ranges.len() - 1, value);
+                debug_assert!(narrowed.0 < narrowed.1, "open of an absent value");
+                ranges.push(narrowed);
+            }
+            Kernel::Trie(c) => c.open(value),
+        }
+    }
+
+    /// Undo the last `open`.
+    fn up(&mut self) {
+        match &mut self.kernel {
+            Kernel::Listing { ranges, .. } => {
+                ranges.pop();
+            }
+            Kernel::Trie(c) => c.up(),
+        }
+    }
+
+    /// The listing row of the current full binding (every column open).
+    fn row(&self) -> usize {
+        match &self.kernel {
+            Kernel::Listing { ranges, .. } => {
+                let (lo, hi) = *ranges.last().expect("range stack never empty");
+                debug_assert_eq!(hi - lo, 1, "rows are distinct");
+                lo
+            }
+            Kernel::Trie(c) => c.row(),
+        }
+    }
 }
 
 /// Enumerate all assignments to `order` consistent with every input factor, in
@@ -61,6 +164,7 @@ struct Cursor<'a, E: SemiringElem> {
 /// domain (hence `domains`). Nullary factors act as global scalars: an empty
 /// one annihilates the join.
 ///
+/// Walks the trie representation; see [`multiway_join_rep`] to choose.
 /// Returns search statistics.
 pub fn multiway_join<E: SemiringElem>(
     domains: &Domains,
@@ -71,6 +175,19 @@ pub fn multiway_join<E: SemiringElem>(
     on_match: impl FnMut(&[u32], E),
 ) -> JoinStats {
     multiway_join_range(domains, order, inputs, (0, u32::MAX), one, mul, on_match)
+}
+
+/// [`multiway_join`] under an explicit factor representation.
+pub fn multiway_join_rep<E: SemiringElem>(
+    rep: JoinRep,
+    domains: &Domains,
+    order: &[Var],
+    inputs: &[JoinInput<'_, E>],
+    one: E,
+    mul: impl FnMut(&E, &E) -> E,
+    on_match: impl FnMut(&[u32], E),
+) -> JoinStats {
+    multiway_join_range_rep(rep, domains, order, inputs, (0, u32::MAX), one, mul, on_match)
 }
 
 /// [`multiway_join`] restricted to bindings whose *first* variable lies in the
@@ -88,14 +205,32 @@ pub fn multiway_join_range<E: SemiringElem>(
     inputs: &[JoinInput<'_, E>],
     first_range: (u32, u32),
     one: E,
+    mul: impl FnMut(&E, &E) -> E,
+    on_match: impl FnMut(&[u32], E),
+) -> JoinStats {
+    multiway_join_range_rep(JoinRep::Trie, domains, order, inputs, first_range, one, mul, on_match)
+}
+
+/// [`multiway_join_range`] under an explicit factor representation — the
+/// shared kernel behind every other entry point.
+#[allow(clippy::too_many_arguments)]
+pub fn multiway_join_range_rep<E: SemiringElem>(
+    rep: JoinRep,
+    domains: &Domains,
+    order: &[Var],
+    inputs: &[JoinInput<'_, E>],
+    first_range: (u32, u32),
+    one: E,
     mut mul: impl FnMut(&E, &E) -> E,
     mut on_match: impl FnMut(&[u32], E),
 ) -> JoinStats {
     let mut stats = JoinStats::default();
 
-    // Fold nullary factors into a constant prefix value.
+    // Fold nullary factors into a constant prefix value; align the rest.
+    // Aligned factors are kept alive in `aligned` so cursors (and the trie
+    // indices they walk) can borrow from them.
     let mut prefix = one.clone();
-    let mut cursors: Vec<Cursor<'_, E>> = Vec::new();
+    let mut aligned: Vec<(Cow<'_, Factor<E>>, bool)> = Vec::new();
     for inp in inputs {
         if inp.factor.arity() == 0 {
             if inp.factor.is_empty() {
@@ -109,29 +244,30 @@ pub fn multiway_join_range<E: SemiringElem>(
         if inp.factor.is_empty() {
             return stats;
         }
-        let aligned = inp.factor.align_to_cow(order);
-        let col_at_depth: Vec<usize> = order
-            .iter()
-            .map(|v| aligned.schema().iter().position(|s| s == v).unwrap_or(usize::MAX))
-            .collect();
+        aligned.push((inp.factor.align_to_cow(order), inp.use_value));
+    }
+
+    let mut cursors: Vec<Cursor<'_, E>> = Vec::with_capacity(aligned.len());
+    for (f, use_value) in &aligned {
         // Every factor column must be bound by the ordering.
-        debug_assert_eq!(
-            col_at_depth.iter().filter(|&&c| c != usize::MAX).count(),
-            aligned.arity(),
+        debug_assert!(
+            f.schema().iter().all(|v| order.contains(v)),
             "factor schema not covered by join order"
         );
-        let len = aligned.len();
-        cursors.push(Cursor {
-            factor: aligned,
-            col_at_depth,
-            ranges: vec![(0, len)],
-            use_value: inp.use_value,
-        });
+        // Factors constrained at the first join variable have it as their
+        // first aligned column; restrict their trie root to the chunk range.
+        let restrict =
+            (f.schema().first() == order.first()).then_some(first_range).filter(|&(lo, hi)| {
+                (lo, hi) != (0, u32::MAX) // full range needs no view
+            });
+        cursors.push(Cursor::new(rep, f.as_ref(), restrict, *use_value));
     }
 
     // participants[d] = cursor indices constrained at depth d.
     let participants: Vec<Vec<usize>> = (0..order.len())
-        .map(|d| (0..cursors.len()).filter(|&c| cursors[c].col_at_depth[d] != usize::MAX).collect())
+        .map(|d| {
+            (0..cursors.len()).filter(|&c| cursors[c].factor.schema().contains(&order[d])).collect()
+        })
         .collect();
 
     let mut binding: Vec<u32> = Vec::with_capacity(order.len());
@@ -166,13 +302,11 @@ fn search<E: SemiringElem>(
     let d = binding.len();
     stats.nodes += 1;
     if d == order.len() {
-        // All variables bound: every cursor's range is a single row.
+        // All variables bound: every cursor points at a single row.
         let mut val = prefix.clone();
         for c in cursors.iter() {
             if c.use_value {
-                let (lo, hi) = *c.ranges.last().expect("range stack never empty");
-                debug_assert_eq!(hi - lo, 1);
-                val = mul(&val, c.factor.value(lo));
+                val = mul(&val, c.factor.value(c.row()));
             }
         }
         stats.matches += 1;
@@ -206,7 +340,7 @@ fn search<E: SemiringElem>(
         return;
     }
 
-    // Leapfrog intersection of the participants' current column ranges.
+    // Leapfrog intersection of the participants' current levels.
     let mut candidate: u32 = val_lo;
     'candidates: loop {
         // Raise `candidate` until all participants agree it is present.
@@ -214,10 +348,8 @@ fn search<E: SemiringElem>(
         while !stable {
             stable = true;
             for &ci in parts {
-                let col = cursors[ci].col_at_depth[d];
-                let range = *cursors[ci].ranges.last().unwrap();
                 stats.seeks += 1;
-                match cursors[ci].factor.seek_column(range, col, candidate) {
+                match cursors[ci].seek(candidate) {
                     None => break 'candidates,
                     Some(v) if v > candidate => {
                         candidate = v;
@@ -231,12 +363,9 @@ fn search<E: SemiringElem>(
             break;
         }
 
-        // Descend: narrow every participant to rows with this column value.
+        // Descend: bind every participant to this value.
         for &ci in parts {
-            let col = cursors[ci].col_at_depth[d];
-            let range = *cursors[ci].ranges.last().unwrap();
-            let narrowed = cursors[ci].factor.prefix_range(range, col, candidate);
-            cursors[ci].ranges.push(narrowed);
+            cursors[ci].open(candidate);
         }
         binding.push(candidate);
         search(
@@ -253,7 +382,7 @@ fn search<E: SemiringElem>(
         );
         binding.pop();
         for &ci in parts {
-            cursors[ci].ranges.pop();
+            cursors[ci].up();
         }
 
         if candidate == u32::MAX {
@@ -439,23 +568,26 @@ mod tests {
         let inputs = [JoinInput::value(&f1), JoinInput::value(&f2)];
         let full = collect_join(&d, &order, &inputs);
         // Any partition of [0, u32::MAX) into value ranges reproduces the
-        // full output stream by concatenation.
-        for cuts in [vec![4u32], vec![2, 5], vec![1, 2, 3, 4, 5, 6, 7]] {
-            let mut pieces = Vec::new();
-            let mut lo = 0u32;
-            for &c in cuts.iter().chain(std::iter::once(&u32::MAX)) {
-                multiway_join_range(
-                    &d,
-                    &order,
-                    &inputs,
-                    (lo, c),
-                    1u64,
-                    |a, b| a * b,
-                    |b, val| pieces.push((b.to_vec(), val)),
-                );
-                lo = c;
+        // full output stream by concatenation — under both representations.
+        for rep in [JoinRep::Listing, JoinRep::Trie] {
+            for cuts in [vec![4u32], vec![2, 5], vec![1, 2, 3, 4, 5, 6, 7]] {
+                let mut pieces = Vec::new();
+                let mut lo = 0u32;
+                for &c in cuts.iter().chain(std::iter::once(&u32::MAX)) {
+                    multiway_join_range_rep(
+                        rep,
+                        &d,
+                        &order,
+                        &inputs,
+                        (lo, c),
+                        1u64,
+                        |a, b| a * b,
+                        |b, val| pieces.push((b.to_vec(), val)),
+                    );
+                    lo = c;
+                }
+                assert_eq!(pieces, full, "rep {rep:?} cuts {cuts:?}");
             }
-            assert_eq!(pieces, full, "cuts {cuts:?}");
         }
     }
 
@@ -524,6 +656,57 @@ mod tests {
                 }
             }
             assert_eq!(got, expect);
+        }
+    }
+
+    /// The two representations emit identical output streams *and* identical
+    /// seek counts on full-range joins.
+    #[test]
+    fn listing_and_trie_agree_bit_for_bit() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4242);
+        for round in 0..40 {
+            let dsize = rng.gen_range(2..8u32);
+            let d = Domains::uniform(4, dsize);
+            let mk = |rng: &mut StdRng, vars: &[u32], n: usize| {
+                let mut tuples = Vec::new();
+                for _ in 0..n {
+                    tuples.push((
+                        (0..vars.len()).map(|_| rng.gen_range(0..dsize)).collect::<Vec<u32>>(),
+                        rng.gen_range(1..9u64),
+                    ));
+                }
+                Factor::with_combine(
+                    vars.iter().map(|&i| v(i)).collect(),
+                    tuples,
+                    |a, b| a + b,
+                    |&x| x == 0,
+                )
+                .unwrap()
+            };
+            let n = rng.gen_range(0..30);
+            let f1 = mk(&mut rng, &[0, 1, 2], n);
+            let f2 = mk(&mut rng, &[1, 3], n);
+            let f3 = mk(&mut rng, &[0, 3], n);
+            let order = [v(0), v(1), v(2), v(3)];
+            let inputs = [JoinInput::value(&f1), JoinInput::value(&f2), JoinInput::filter(&f3)];
+            let run = |rep: JoinRep| {
+                let mut out = Vec::new();
+                let stats = multiway_join_rep(
+                    rep,
+                    &d,
+                    &order,
+                    &inputs,
+                    1u64,
+                    |a, b| a * b,
+                    |b, val| out.push((b.to_vec(), val)),
+                );
+                (out, stats)
+            };
+            let (out_l, stats_l) = run(JoinRep::Listing);
+            let (out_t, stats_t) = run(JoinRep::Trie);
+            assert_eq!(out_l, out_t, "round {round}");
+            assert_eq!(stats_l, stats_t, "round {round}: stats must match on full range");
         }
     }
 }

@@ -9,7 +9,9 @@
 //!
 //! * [`multiway_join`] — the optimal backtracking join; enumerates satisfying
 //!   assignments in lexicographic order of the variable ordering, which is
-//!   what lets InsideOut stream-aggregate the innermost variable.
+//!   what lets InsideOut stream-aggregate the innermost variable. The cursors
+//!   walk either the columnar trie index or the raw sorted listing
+//!   ([`JoinRep`]); the trie is the default.
 //! * [`baseline`] — pairwise hash joins and nested loops, the comparison
 //!   points for the Table 1 "Joins" row.
 
@@ -20,4 +22,7 @@ pub mod baseline;
 pub mod leapfrog;
 
 pub use baseline::{nested_loop_join, pairwise_hash_join};
-pub use leapfrog::{multiway_join, multiway_join_range, JoinInput, JoinStats};
+pub use leapfrog::{
+    multiway_join, multiway_join_range, multiway_join_range_rep, multiway_join_rep, JoinInput,
+    JoinRep, JoinStats,
+};

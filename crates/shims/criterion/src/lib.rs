@@ -101,8 +101,21 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Whether the harness was invoked in `--test` mode (`cargo bench -- --test`):
+/// run every benchmark once, unmeasured, as a smoke test — mirroring real
+/// criterion's flag so CI can exercise bench kernels without paying for
+/// sampling.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher { elapsed: Duration::ZERO };
+    if test_mode() {
+        f(&mut b);
+        println!("{label:<40} ok (--test mode: 1 unmeasured pass)");
+        return;
+    }
     // Warm-up (also primes caches and resolves lazy statics).
     f(&mut b);
     let mut times = Vec::with_capacity(samples);

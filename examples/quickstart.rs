@@ -130,7 +130,7 @@ fn parallel_engine() {
     )
     .unwrap();
     let seq = insideout(&q).unwrap();
-    let policy = ExecPolicy { threads, min_chunk_rows: 16 };
+    let policy = ExecPolicy { threads, min_chunk_rows: 16, ..ExecPolicy::sequential() };
     let par = insideout_par(&q, &policy).unwrap();
     assert_eq!(par.factor, seq.factor, "parallel output must be bit-identical");
     println!("threads                : {threads}");

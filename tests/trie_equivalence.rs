@@ -1,0 +1,307 @@
+//! Property tests: the columnar trie index is an exact, drop-in equivalent of
+//! the sorted listing representation.
+//!
+//! Three layers of evidence over random factors and queries:
+//!
+//! 1. **Structure** — depth-first trie-cursor enumeration visits exactly the
+//!    listing's rows, in order, ending at the right row indices;
+//! 2. **Conditional queries** — trie seeks ([`faq::factor::TrieLevel`] lub)
+//!    and range-restricted root views agree with the listing's
+//!    `seek_column`/`prefix_range` oracle at every depth, and `Factor::get`
+//!    agrees with a linear scan;
+//! 3. **Joins** — InsideOut outputs are bit-identical between the listing and
+//!    trie join kernels across the counting, max-tropical, and boolean
+//!    semirings for thread counts {1, 2, 4}.
+
+use faq::core::{insideout_par, ExecPolicy, FaqQuery, JoinRep, VarAgg};
+use faq::factor::{Domains, Factor, TrieCursor};
+use faq::hypergraph::Var;
+use faq::semiring::{AggDomain, BoolDomain, CountDomain, MaxPlus, SingleSemiringDomain};
+use proptest::prelude::*;
+
+const DOM: u32 = 4;
+
+/// Build an arity-3 factor over `DOM³` from a support/value bitmap.
+fn factor3(cells: &[u32]) -> Factor<u64> {
+    let tuples: Vec<(Vec<u32>, u64)> = cells
+        .iter()
+        .enumerate()
+        .filter(|(_, &x)| x > 0)
+        .map(|(i, &x)| {
+            let i = i as u32;
+            (vec![i / (DOM * DOM), (i / DOM) % DOM, i % DOM], x as u64)
+        })
+        .collect();
+    Factor::new(vec![Var(0), Var(1), Var(2)], tuples).unwrap()
+}
+
+/// Depth-first enumeration through a trie cursor: every `(row, row_index)`
+/// reachable below the cursor's current position, in lexicographic order.
+fn dfs(cur: &mut TrieCursor<'_>, prefix: &mut Vec<u32>, out: &mut Vec<(Vec<u32>, usize)>) {
+    if cur.at_leaf() {
+        out.push((prefix.clone(), cur.row()));
+        return;
+    }
+    let mut value = cur.seek(0);
+    while let Some(x) = value {
+        cur.open(x);
+        prefix.push(x);
+        dfs(cur, prefix, out);
+        prefix.pop();
+        cur.up();
+        value = cur.next();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cursor enumeration (open/up/seek/next) visits exactly the listing.
+    #[test]
+    fn cursor_enumerates_the_listing(
+        cells in proptest::collection::vec(0u32..3, (DOM * DOM * DOM) as usize),
+    ) {
+        let f = factor3(&cells);
+        let mut got = Vec::new();
+        dfs(&mut TrieCursor::new(f.trie()), &mut Vec::new(), &mut got);
+        let expect: Vec<(Vec<u32>, usize)> =
+            (0..f.len()).map(|i| (f.row(i).to_vec(), i)).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Trie seeks match the listing's `seek_column` oracle along random
+    /// descents, and `Factor::get` matches a linear scan.
+    #[test]
+    fn seeks_match_listing_oracle(
+        cells in proptest::collection::vec(0u32..2, (DOM * DOM * DOM) as usize),
+        probes in proptest::collection::vec(0u32..(DOM * DOM * DOM + 7), 24),
+    ) {
+        let f = factor3(&cells);
+        for &p in &probes {
+            // Decode the probe into a descent prefix and a seek bound.
+            let tuple = [p / (DOM * DOM) % DOM, (p / DOM) % DOM, p % DOM];
+            let bound = p % (DOM + 2); // may exceed the domain
+            let depth = (p as usize) % 3;
+
+            // Listing descent (reference): prefix_range per column.
+            let mut range = (0usize, f.len());
+            let mut alive = true;
+            for (d, &value) in tuple.iter().enumerate().take(depth) {
+                range = f.prefix_range(range, d, value);
+                if range.0 == range.1 {
+                    alive = false;
+                    break;
+                }
+            }
+            // Trie descent: find per level.
+            let mut cur = TrieCursor::new(f.trie());
+            let mut trie_alive = true;
+            for &value in tuple.iter().take(depth) {
+                match cur.seek(value) {
+                    Some(v) if v == value => cur.open(v),
+                    _ => {
+                        trie_alive = false;
+                        break;
+                    }
+                }
+            }
+            prop_assert_eq!(alive, trie_alive, "descent to {:?}", &tuple[..depth]);
+            if alive {
+                prop_assert_eq!(
+                    f.seek_column(range, depth, bound),
+                    cur.seek(bound),
+                    "seek {} at depth {} under {:?}", bound, depth, &tuple[..depth]
+                );
+            }
+
+            // Point lookups.
+            let expect = f.iter().find(|(r, _)| *r == tuple.as_slice()).map(|(_, v)| v);
+            prop_assert_eq!(f.get(&tuple), expect);
+        }
+    }
+
+    /// Range-restricted root views see exactly the listing rows whose first
+    /// column lies in the range.
+    #[test]
+    fn range_views_match_filtered_listing(
+        cells in proptest::collection::vec(0u32..2, (DOM * DOM * DOM) as usize),
+        lo in 0u32..DOM + 1,
+        width in 0u32..DOM + 1,
+    ) {
+        let f = factor3(&cells);
+        let hi = lo + width;
+        let view = f.trie().view((lo, hi));
+        let expect: Vec<Vec<u32>> = f
+            .iter()
+            .filter(|(r, _)| lo <= r[0] && r[0] < hi)
+            .map(|(r, _)| r.to_vec())
+            .collect();
+        prop_assert_eq!(view.num_rows(), expect.len());
+        let mut got = Vec::new();
+        dfs(&mut view.cursor(), &mut Vec::new(), &mut got);
+        let got_rows: Vec<Vec<u32>> = got.into_iter().map(|(r, _)| r).collect();
+        prop_assert_eq!(got_rows, expect);
+    }
+}
+
+/// Thread counts under test for the join-equivalence layer.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Evaluate under both representations for every thread count and assert the
+/// outputs are bit-identical (listing 1-thread is the reference).
+fn assert_rep_equivalent<D: AggDomain + Sync>(q: &FaqQuery<D>) {
+    let reference =
+        insideout_par(q, &ExecPolicy { threads: 1, min_chunk_rows: 1, rep: JoinRep::Listing })
+            .unwrap();
+    for threads in THREADS {
+        for rep in [JoinRep::Listing, JoinRep::Trie] {
+            let policy = ExecPolicy { threads, min_chunk_rows: 1, rep };
+            let out = insideout_par(q, &policy).unwrap();
+            assert_eq!(
+                out.factor, reference.factor,
+                "diverged under rep={rep:?} threads={threads}"
+            );
+        }
+    }
+}
+
+/// Decode a support bitmap into factor tuples over `(a, b)`.
+fn pairs_factor<E: Clone + PartialEq + std::fmt::Debug + Send + Sync>(
+    a: u32,
+    b: u32,
+    support: &[u32],
+    mut value_at: impl FnMut(usize) -> E,
+) -> Factor<E> {
+    let tuples: Vec<(Vec<u32>, E)> = support
+        .iter()
+        .enumerate()
+        .filter(|(_, &x)| x > 0)
+        .map(|(i, _)| (vec![i as u32 / DOM, i as u32 % DOM], value_at(i)))
+        .collect();
+    Factor::new(vec![Var(a), Var(b)], tuples).unwrap()
+}
+
+/// The triangle-shaped query skeleton shared by the three families.
+fn skeleton(
+    free: usize,
+    aggs: &[usize],
+    pick: impl Fn(usize) -> VarAgg,
+) -> (Vec<Var>, Vec<(Var, VarAgg)>) {
+    let free_vars: Vec<Var> = (0..free as u32).map(Var).collect();
+    let bound: Vec<(Var, VarAgg)> = (free..3).map(|i| (Var(i as u32), pick(aggs[i]))).collect();
+    (free_vars, bound)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Counting semiring: sum / max / product aggregate mixes.
+    #[test]
+    fn counting_listing_equals_trie(
+        s01 in proptest::collection::vec(0u32..3, (DOM * DOM) as usize),
+        s12 in proptest::collection::vec(0u32..3, (DOM * DOM) as usize),
+        s02 in proptest::collection::vec(0u32..3, (DOM * DOM) as usize),
+        aggs in proptest::collection::vec(0usize..3, 3),
+        free in 0usize..3,
+    ) {
+        let f01 = pairs_factor(0, 1, &s01, |i| s01[i] as u64);
+        let f12 = pairs_factor(1, 2, &s12, |i| s12[i] as u64);
+        let f02 = pairs_factor(0, 2, &s02, |i| s02[i] as u64);
+        let (free_vars, bound) = skeleton(free, &aggs, |a| match a {
+            0 => VarAgg::Semiring(CountDomain::SUM),
+            1 => VarAgg::Semiring(CountDomain::MAX),
+            _ => VarAgg::Product,
+        });
+        let q = FaqQuery::new(
+            CountDomain,
+            Domains::uniform(3, DOM),
+            free_vars,
+            bound,
+            vec![f01, f12, f02],
+        ).unwrap();
+        assert_rep_equivalent(&q);
+    }
+
+    /// Max-tropical semiring on an f64 carrier: bit-identity, not tolerance.
+    #[test]
+    fn max_tropical_listing_equals_trie(
+        s01 in proptest::collection::vec(0u32..4, (DOM * DOM) as usize),
+        s12 in proptest::collection::vec(0u32..4, (DOM * DOM) as usize),
+        aggs in proptest::collection::vec(0usize..2, 3),
+        free in 0usize..3,
+    ) {
+        let val = |s: &[u32]| {
+            let s = s.to_vec();
+            move |i: usize| s[i] as f64 * 0.25
+        };
+        let f01 = pairs_factor(0, 1, &s01, val(&s01));
+        let f12 = pairs_factor(1, 2, &s12, val(&s12));
+        let (free_vars, bound) = skeleton(free, &aggs, |a| match a {
+            0 => VarAgg::Semiring(SingleSemiringDomain::<MaxPlus>::OP),
+            _ => VarAgg::Product,
+        });
+        let q = FaqQuery::new(
+            SingleSemiringDomain::new(MaxPlus),
+            Domains::uniform(3, DOM),
+            free_vars,
+            bound,
+            vec![f01, f12],
+        ).unwrap();
+        assert_rep_equivalent(&q);
+    }
+
+    /// Boolean semiring: ∃ / ∀ quantifier mixes.
+    #[test]
+    fn boolean_listing_equals_trie(
+        s01 in proptest::collection::vec(0u32..2, (DOM * DOM) as usize),
+        s12 in proptest::collection::vec(0u32..2, (DOM * DOM) as usize),
+        s02 in proptest::collection::vec(0u32..2, (DOM * DOM) as usize),
+        aggs in proptest::collection::vec(0usize..2, 3),
+        free in 0usize..3,
+    ) {
+        let f01 = pairs_factor(0, 1, &s01, |_| true);
+        let f12 = pairs_factor(1, 2, &s12, |_| true);
+        let f02 = pairs_factor(0, 2, &s02, |_| true);
+        let (free_vars, bound) = skeleton(free, &aggs, |a| match a {
+            0 => VarAgg::Semiring(BoolDomain::OR),
+            _ => VarAgg::Product,
+        });
+        let q = FaqQuery::new(
+            BoolDomain,
+            Domains::uniform(3, DOM),
+            free_vars,
+            bound,
+            vec![f01, f12, f02],
+        ).unwrap();
+        assert_rep_equivalent(&q);
+    }
+}
+
+/// Larger single-shot case: enough rows that real chunking engages under
+/// both representations, with a free variable so the guard phase and final
+/// output join run too.
+#[test]
+fn large_query_listing_equals_trie_under_chunking() {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut r = StdRng::seed_from_u64(90210);
+    let d = 48u32;
+    let mut mk = |a: u32, b: u32| {
+        let mut tuples = std::collections::BTreeMap::new();
+        for _ in 0..2500 {
+            tuples.insert(vec![r.gen_range(0..d), r.gen_range(0..d)], r.gen_range(1..5u64));
+        }
+        Factor::new(vec![Var(a), Var(b)], tuples.into_iter().collect()).unwrap()
+    };
+    let q = FaqQuery::new(
+        CountDomain,
+        Domains::uniform(3, d),
+        vec![Var(0)],
+        vec![
+            (Var(1), VarAgg::Semiring(CountDomain::SUM)),
+            (Var(2), VarAgg::Semiring(CountDomain::MAX)),
+        ],
+        vec![mk(0, 1), mk(1, 2), mk(0, 2)],
+    )
+    .unwrap();
+    assert_rep_equivalent(&q);
+}
