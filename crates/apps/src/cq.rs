@@ -91,8 +91,8 @@ impl ConjunctiveQuery {
     pub fn count_answers(&self) -> Result<u64, FaqError> {
         let q = self.to_count_faq()?;
         let shape = q.shape();
-        let best = faq_core::width::faqw_optimize(&shape, 5_000, 14);
-        let out = insideout_with_order(&q, &best.order)?;
+        let order = crate::width_order_or(&shape, q.ordering(), 5_000, 14)?;
+        let out = insideout_with_order(&q, &order)?;
         Ok(out.scalar().copied().unwrap_or(0))
     }
 

@@ -32,8 +32,8 @@ pub fn is_k_colorable(n: u32, edges: &[(u32, u32)], k: u32) -> Result<bool, FaqE
         factors,
     )?;
     let shape = q.shape();
-    let best = faq_core::width::faqw_optimize(&shape, 2_000, 14);
-    Ok(insideout_with_order(&q, &best.order)?.scalar().copied().unwrap_or(false))
+    let order = crate::width_order_or(&shape, q.ordering(), 2_000, 14)?;
+    Ok(insideout_with_order(&q, &order)?.scalar().copied().unwrap_or(false))
 }
 
 /// The number of proper `k`-colorings of the graph.
@@ -48,8 +48,8 @@ pub fn count_k_colorings(n: u32, edges: &[(u32, u32)], k: u32) -> Result<u64, Fa
         factors,
     )?;
     let shape = q.shape();
-    let best = faq_core::width::faqw_optimize(&shape, 2_000, 14);
-    Ok(insideout_with_order(&q, &best.order)?.scalar().copied().unwrap_or(0))
+    let order = crate::width_order_or(&shape, q.ordering(), 2_000, 14)?;
+    Ok(insideout_with_order(&q, &order)?.scalar().copied().unwrap_or(0))
 }
 
 /// The permanent of an `n×n` non-negative integer matrix via FAQ
@@ -104,8 +104,8 @@ impl Csp {
     pub fn is_satisfiable(&self) -> Result<bool, FaqError> {
         let q = self.bool_query()?;
         let shape = q.shape();
-        let best = faq_core::width::faqw_optimize(&shape, 2_000, 12);
-        Ok(insideout_with_order(&q, &best.order)?.scalar().copied().unwrap_or(false))
+        let order = crate::width_order_or(&shape, q.ordering(), 2_000, 12)?;
+        Ok(insideout_with_order(&q, &order)?.scalar().copied().unwrap_or(false))
     }
 
     /// The number of solutions (counting FAQ).
@@ -126,8 +126,8 @@ impl Csp {
             factors,
         )?;
         let shape = q.shape();
-        let best = faq_core::width::faqw_optimize(&shape, 2_000, 12);
-        Ok(insideout_with_order(&q, &best.order)?.scalar().copied().unwrap_or(0))
+        let order = crate::width_order_or(&shape, q.ordering(), 2_000, 12)?;
+        Ok(insideout_with_order(&q, &order)?.scalar().copied().unwrap_or(0))
     }
 
     /// Enumerate all solutions (all variables free).
@@ -231,6 +231,16 @@ mod tests {
         assert!(!is_k_colorable(5, &cycle(5), 2).unwrap());
         assert!(is_k_colorable(5, &cycle(5), 3).unwrap());
         assert!(is_k_colorable(6, &cycle(6), 2).unwrap());
+    }
+
+    #[test]
+    fn isolated_vertices_color_freely() {
+        // Vertex 2 touches no edge: the width is undefined (Uncoverable) but
+        // the coloring query must still evaluate — regression for the
+        // fallible-faqw migration.
+        assert!(is_k_colorable(3, &[(0, 1)], 2).unwrap());
+        // 2 choices for the edge's proper colorings (2·1) × 2 free for v2 = 4.
+        assert_eq!(count_k_colorings(3, &[(0, 1)], 2).unwrap(), 4);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! `N^{3/2}` AGM bound against the `N²` of any pairwise join plan.
 
 use faq_core::{insideout_par_with_order, insideout_with_order, ExecPolicy};
-use faq_core::{FaqError, FaqOutput, FaqQuery};
+use faq_core::{FaqError, FaqOutput, FaqQuery, Planner, PreparedQuery};
 use faq_factor::{Domains, Factor};
 use faq_hypergraph::Var;
 use faq_semiring::{CountSumProd, SingleSemiringDomain};
@@ -80,6 +80,22 @@ impl NaturalJoin {
     /// The join size (number of output tuples).
     pub fn count(&self) -> Result<u64, FaqError> {
         Ok(self.evaluate()?.factor.len() as u64)
+    }
+
+    /// Prepare the join for repeated evaluation with the default planner:
+    /// cost-based ordering choice plus cached aligned/indexed inputs, so
+    /// each [`PreparedQuery::evaluate`] skips planning, alignment, and index
+    /// builds — the serving path.
+    pub fn prepare(&self) -> Result<PreparedQuery<SingleSemiringDomain<CountSumProd>>, FaqError> {
+        self.prepare_with(&Planner::default())
+    }
+
+    /// [`NaturalJoin::prepare`] under an explicit planner configuration.
+    pub fn prepare_with(
+        &self,
+        planner: &Planner,
+    ) -> Result<PreparedQuery<SingleSemiringDomain<CountSumProd>>, FaqError> {
+        planner.prepare(&self.to_faq()?)
     }
 }
 
@@ -232,6 +248,18 @@ mod tests {
     fn empty_relation_empty_join() {
         let q = triangle_query(&[], 4);
         assert_eq!(q.count().unwrap(), 0);
+    }
+
+    #[test]
+    fn prepared_join_matches_cold_evaluation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let edges = random_graph(12, 40, &mut rng);
+        let q = triangle_query(&edges, 12);
+        let cold = q.evaluate().unwrap();
+        let prepared = q.prepare_with(&faq_core::Planner::sequential()).unwrap();
+        for _ in 0..3 {
+            assert_eq!(prepared.evaluate().unwrap().factor, cold.factor);
+        }
     }
 
     #[test]

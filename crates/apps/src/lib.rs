@@ -22,3 +22,21 @@ pub mod junction;
 pub mod matrix;
 pub mod pgm;
 pub mod qcq;
+
+/// A width-optimized ordering for `shape`, falling back to `query_order` when
+/// the width is undefined (`FaqError::Uncoverable`: some free/semiring
+/// variable appears in no factor — an isolated k-coloring vertex, a
+/// conditioned-away potential). Such queries evaluate fine by domain
+/// iteration; only `ρ*`-based width optimization is meaningless for them.
+pub(crate) fn width_order_or(
+    shape: &faq_core::QueryShape,
+    query_order: Vec<faq_hypergraph::Var>,
+    linex_cap: usize,
+    exact_limit: usize,
+) -> Result<Vec<faq_hypergraph::Var>, faq_core::FaqError> {
+    match faq_core::width::faqw_optimize(shape, linex_cap, exact_limit) {
+        Ok(best) => Ok(best.order),
+        Err(faq_core::FaqError::Uncoverable(_)) => Ok(query_order),
+        Err(e) => Err(e),
+    }
+}

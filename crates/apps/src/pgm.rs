@@ -6,7 +6,6 @@
 //! variable elimination with the fractional-hypertree-width guarantee —
 //! improving the classical treewidth bound the PGM literature states.
 
-use faq_core::width::faqw_optimize;
 use faq_core::{insideout_with_order, naive_eval, FaqError, FaqQuery, VarAgg};
 use faq_factor::{Domains, Factor};
 use faq_hypergraph::Var;
@@ -44,9 +43,11 @@ impl GraphicalModel {
     }
 
     fn run(&self, q: &FaqQuery<RealDomain>) -> Result<Factor<f64>, FaqError> {
-        let shape = q.shape();
-        let best = faqw_optimize(&shape, 2_000, 14);
-        Ok(insideout_with_order(q, &best.order)?.factor)
+        // Conditioning can leave a variable with no potential at all; `faqw`
+        // is then undefined (Uncoverable) but elimination still is — fall
+        // back to the query's own ordering for such degenerate models.
+        let order = crate::width_order_or(&q.shape(), q.ordering(), 2_000, 14)?;
+        Ok(insideout_with_order(q, &order)?.factor)
     }
 
     /// The unnormalized marginal over `free`: `Σ_{rest} Π ψ`.

@@ -93,8 +93,8 @@ impl QuantifiedCq {
         // Careful with idempotence: BoolDomain's ⊗ = ∧ is idempotent on the
         // whole domain, so the §6.2 expression tree is used as-is.
         let shape = q.shape();
-        let best = faq_core::width::faqw_optimize(&shape, 5_000, 14);
-        Ok(insideout_with_order(&q, &best.order)?.factor)
+        let order = crate::width_order_or(&shape, q.ordering(), 5_000, 14)?;
+        Ok(insideout_with_order(&q, &order)?.factor)
     }
 
     /// The sentence value of a fully quantified QCQ.
@@ -108,8 +108,8 @@ impl QuantifiedCq {
         let q = self.to_count_faq()?;
         // Input factors are {0,1}-valued: the F(D_I) promise of Def 5.8 holds.
         let shape = q.shape_promising_idempotent_inputs();
-        let best = faq_core::width::faqw_optimize(&shape, 5_000, 14);
-        let out = insideout_with_order(&q, &best.order)?;
+        let order = crate::width_order_or(&shape, q.ordering(), 5_000, 14)?;
+        let out = insideout_with_order(&q, &order)?;
         Ok(out.scalar().copied().unwrap_or(0))
     }
 

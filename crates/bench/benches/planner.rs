@@ -1,0 +1,73 @@
+//! Cold vs prepared evaluation on the triangle workload, plus planning cost.
+//!
+//! The serving-path claim of the planner: a [`faq_core::PreparedQuery`] pays
+//! for ordering search, factor alignment, and trie-index builds **once**, so
+//! repeated `evaluate()` calls beat the cold path (build the FAQ instance
+//! from raw relations, plan, align, index, evaluate) on every request. Both
+//! paths are asserted bit-identical to the plain InsideOut engine before any
+//! timing.
+//!
+//! Run in `--test` mode (one unmeasured pass per benchmark) via
+//! `cargo bench -p faq_bench --bench planner -- --test` — CI does this on
+//! every push.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faq_bench::rng;
+use faq_core::{PlanCache, Planner};
+
+fn planner() -> Planner {
+    // Sequential plans: the dev container and CI runners have few cores, and
+    // the cold-vs-prepared comparison is about planning/alignment/indexing
+    // overhead, not parallel speedup.
+    Planner::sequential()
+}
+
+fn bench_cold_vs_prepared(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner/triangle_cold_vs_prepared");
+    group.sample_size(10);
+    let mut r = rng(31);
+    for &m in &[2000usize, 8000] {
+        let edges = faq_apps::joins::random_graph(128, m, &mut r);
+        let q = faq_apps::joins::triangle_query(&edges, 128);
+        let prepared = q.prepare_with(&planner()).unwrap();
+        let reference = q.evaluate().unwrap();
+        assert_eq!(
+            prepared.evaluate().unwrap().factor,
+            reference.factor,
+            "prepared plan diverged from InsideOut at m={m}"
+        );
+        group.bench_with_input(BenchmarkId::new("cold", m), &m, |b, _| {
+            // Cold serving: raw relations → FAQ instance → plan → align →
+            // index → evaluate, every time.
+            b.iter(|| planner().prepare(&q.to_faq().unwrap()).unwrap().evaluate().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("prepared", m), &m, |b, _| {
+            // Warm serving: the handle re-evaluates with no re-plan,
+            // re-align, or re-index.
+            b.iter(|| prepared.evaluate().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner/plan_cache");
+    group.sample_size(10);
+    let mut r = rng(33);
+    let edges = faq_apps::joins::random_graph(96, 3000, &mut r);
+    let q = faq_apps::joins::triangle_query(&edges, 96).to_faq().unwrap();
+    let p = planner();
+    group.bench_with_input(BenchmarkId::from_parameter("plan_uncached"), &(), |b, _| {
+        b.iter(|| p.plan(&q).unwrap())
+    });
+    let cache = PlanCache::new();
+    cache.get_or_plan(&p, &q).unwrap();
+    group.bench_with_input(BenchmarkId::from_parameter("plan_cached"), &(), |b, _| {
+        b.iter(|| cache.get_or_plan(&p, &q).unwrap())
+    });
+    assert_eq!(cache.len(), 1);
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_prepared, bench_plan_cache);
+criterion_main!(benches);

@@ -39,10 +39,10 @@ fn bench_width(c: &mut Criterion) {
     group.sample_size(10);
     let shape = example_6_2_shape();
     group.bench_with_input(BenchmarkId::new("exact_linex", "ex6.2"), &(), |b, _| {
-        b.iter(|| faqw_exact(&shape, 1_000_000))
+        b.iter(|| faqw_exact(&shape, 1_000_000).unwrap())
     });
     group.bench_with_input(BenchmarkId::new("approx_thm7.5", "ex6.2"), &(), |b, _| {
-        b.iter(|| faqw_approx(&shape, 14))
+        b.iter(|| faqw_approx(&shape, 14).unwrap())
     });
     group.finish();
 }

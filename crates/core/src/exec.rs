@@ -104,6 +104,31 @@ impl Default for ExecPolicy {
     }
 }
 
+/// Supplies the execution policy for each elimination step.
+///
+/// The engine consults the source once per step, so policies can differ per
+/// eliminated variable. A bare [`ExecPolicy`] is the uniform source (every
+/// step runs the same policy); a [`crate::plan::QueryPlan`] fixes a
+/// cost-model-chosen policy — representation, thread count, chunk floor —
+/// for every step individually.
+pub trait PolicySource: Sync {
+    /// Policy for the elimination join of `var` (bound-variable semiring
+    /// steps and free-variable guard steps alike).
+    fn policy_for(&self, var: Var) -> &ExecPolicy;
+    /// Policy for the final OutsideIn join over the free variables.
+    fn output_policy(&self) -> &ExecPolicy;
+}
+
+impl PolicySource for ExecPolicy {
+    fn policy_for(&self, _var: Var) -> &ExecPolicy {
+        self
+    }
+
+    fn output_policy(&self) -> &ExecPolicy {
+        self
+    }
+}
+
 /// Run InsideOut under an execution policy with the query's own ordering.
 ///
 /// Bit-identical to [`crate::insideout::insideout`] for every semiring and
@@ -142,6 +167,11 @@ type GroupedRows<E> = (Vec<(Vec<u32>, E)>, JoinStats);
 ///
 /// The policy decides sequential vs chunked execution; both produce the same
 /// rows in the same order.
+///
+/// Errors (instead of panicking) when the chunking invariant is violated —
+/// no aligned input holds the first join variable in its leading column even
+/// though an input contains it — so degenerate queries surface as
+/// [`FaqError`], never as a crash.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn grouped_join<E: SemiringElem>(
     policy: &ExecPolicy,
@@ -153,7 +183,7 @@ pub(crate) fn grouped_join<E: SemiringElem>(
     mul: &(impl Fn(&E, &E) -> E + Sync),
     fold: &(impl Fn(&E, &E) -> E + Sync),
     is_zero: &(impl Fn(&E) -> bool + Sync),
-) -> GroupedRows<E> {
+) -> Result<GroupedRows<E>, FaqError> {
     debug_assert!(group_arity <= order.len());
     let rep = policy.rep;
     let run_range = |range: (u32, u32)| {
@@ -165,7 +195,7 @@ pub(crate) fn grouped_join<E: SemiringElem>(
     // A zero group arity means the whole output is ONE fold group; chunking
     // it would re-associate the ⊕-fold, which is observable on f64.
     if threads <= 1 || group_arity == 0 || order.is_empty() {
-        return run_range(full);
+        return Ok(run_range(full));
     }
 
     // Chunking basis: the largest input containing the first join variable.
@@ -177,12 +207,12 @@ pub(crate) fn grouped_join<E: SemiringElem>(
         .map(|f| f.len())
         .max()
     else {
-        return run_range(full); // first variable unconstrained — rare and cheap
+        return Ok(run_range(full)); // first variable unconstrained — rare and cheap
     };
     let per_chunk = policy.min_chunk_rows.clamp(1, usize::MAX / 2);
     let max_chunks = threads.min(basis_len / per_chunk);
     if max_chunks <= 1 {
-        return run_range(full);
+        return Ok(run_range(full));
     }
 
     // Align every input to the join order once, up front: the join kernel
@@ -205,7 +235,7 @@ pub(crate) fn grouped_join<E: SemiringElem>(
         .map(|i| i.factor)
         .filter(|f| f.schema().first() == Some(&first))
         .max_by_key(|f| f.len())
-        .expect("a factor containing order[0] exists");
+        .ok_or_else(|| FaqError::Uncoverable(vec![first]))?;
     let ranges = match rep {
         JoinRep::Trie => basis.trie().partition_root(max_chunks),
         JoinRep::Listing => basis.column_partition(0, max_chunks),
@@ -214,7 +244,7 @@ pub(crate) fn grouped_join<E: SemiringElem>(
         // Too few distinct values to chunk. Run sequentially over the inputs
         // aligned above — not the originals — so the alignment copies (and
         // the basis trie just built) are used, not discarded and redone.
-        return grouped_join_range(
+        return Ok(grouped_join_range(
             rep,
             domains,
             order,
@@ -225,7 +255,7 @@ pub(crate) fn grouped_join<E: SemiringElem>(
             mul,
             fold,
             is_zero,
-        );
+        ));
     }
 
     // Scoped worker pool: one worker per chunk (ranges.len() ≤ threads), each
@@ -265,7 +295,7 @@ pub(crate) fn grouped_join<E: SemiringElem>(
     // disjoint and ascending: the merge is a concatenation that would also
     // combine duplicates correctly if they could arise.
     let rows = merge_sorted_rows(chunks, |a, b| fold(a, b), |v| is_zero(v));
-    (rows, stats)
+    Ok((rows, stats))
 }
 
 /// The sequential kernel: one range-restricted leapfrog join with streaming

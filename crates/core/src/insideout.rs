@@ -25,7 +25,7 @@
 //! backtracking branch extends to a real output tuple (Yannakakis' algorithm
 //! re-emerges; the output phase costs `O~(‖ϕ‖)`).
 
-use crate::exec::{grouped_join, ExecPolicy};
+use crate::exec::{grouped_join, ExecPolicy, PolicySource};
 use crate::query::{FaqError, FaqQuery, VarAgg};
 use faq_factor::Factor;
 use faq_hypergraph::{Var, VarSet};
@@ -152,7 +152,17 @@ pub(crate) fn insideout_with_policy<D: AggDomain + Sync>(
     sigma: &[Var],
     policy: &ExecPolicy,
 ) -> Result<FaqOutput<D::E>, FaqError> {
-    let art = run_elimination_with_policy(q, sigma, policy)?;
+    insideout_with_source(q, sigma, policy)
+}
+
+/// [`insideout_with_policy`] over an arbitrary per-step [`PolicySource`] —
+/// the entry point of plan-driven execution ([`crate::plan::QueryPlan`]).
+pub(crate) fn insideout_with_source<D: AggDomain + Sync, P: PolicySource>(
+    q: &FaqQuery<D>,
+    sigma: &[Var],
+    policies: &P,
+) -> Result<FaqOutput<D::E>, FaqError> {
+    let art = run_elimination_with_source(q, sigma, policies)?;
     let dom = &q.domain;
     let mut stats = art.stats;
 
@@ -166,7 +176,7 @@ pub(crate) fn insideout_with_policy<D: AggDomain + Sync>(
         inputs.push(JoinInput::filter(g));
     }
     let (rows, join_stats) = grouped_join(
-        policy,
+        policies.output_policy(),
         &q.domains,
         &art.free_order,
         &inputs,
@@ -175,7 +185,7 @@ pub(crate) fn insideout_with_policy<D: AggDomain + Sync>(
         &|a, b| dom.mul(a, b),
         &|a: &D::E, _: &D::E| a.clone(),
         &|x| dom.is_zero(x),
-    );
+    )?;
     stats.output_join = Some(join_stats);
     let factor = Factor::new(art.free_order, rows).expect("join emits distinct bindings");
     Ok(FaqOutput { factor, stats })
@@ -198,6 +208,17 @@ pub fn run_elimination_with_policy<D: AggDomain + Sync>(
     sigma: &[Var],
     policy: &ExecPolicy,
 ) -> Result<EliminationArtifacts<D::E>, FaqError> {
+    run_elimination_with_source(q, sigma, policy)
+}
+
+/// [`run_elimination_with_policy`] over an arbitrary per-step
+/// [`PolicySource`], so a [`crate::plan::QueryPlan`] can fix every step's
+/// policy individually.
+pub(crate) fn run_elimination_with_source<D: AggDomain + Sync, P: PolicySource>(
+    q: &FaqQuery<D>,
+    sigma: &[Var],
+    policies: &P,
+) -> Result<EliminationArtifacts<D::E>, FaqError> {
     q.validate()?;
     q.check_ordering(sigma)?;
     let f = q.free.len();
@@ -215,7 +236,14 @@ pub fn run_elimination_with_policy<D: AggDomain + Sync>(
         let agg = q.agg_of(var).expect("bound variable has an aggregate");
         match agg {
             VarAgg::Semiring(op) => {
-                let step = eliminate_semiring(q, policy, &mut edges, var, op, &sigma_pos);
+                let step = eliminate_semiring(
+                    q,
+                    policies.policy_for(var),
+                    &mut edges,
+                    var,
+                    op,
+                    &sigma_pos,
+                )?;
                 stats.record(step);
             }
             VarAgg::Product => {
@@ -253,7 +281,7 @@ pub fn run_elimination_with_policy<D: AggDomain + Sync>(
         // All inputs are filters, so every match's value is `1`: the grouped
         // join (group = full binding, no zero filter) lists the join support.
         let (rows, join_stats) = grouped_join(
-            policy,
+            policies.policy_for(var),
             &q.domains,
             &join_order,
             &inputs,
@@ -262,7 +290,7 @@ pub fn run_elimination_with_policy<D: AggDomain + Sync>(
             &|a, b| dom.mul(a, b),
             &|a: &D::E, _: &D::E| a.clone(),
             &|_| false,
-        );
+        )?;
         let guard = Factor::new(join_order.clone(), rows).expect("join emits distinct bindings");
         let reduced: Vec<Var> = join_order.iter().copied().filter(|&x| x != var).collect();
         let new_edge = guard.indicator_projection(&reduced, dom.one());
@@ -297,7 +325,7 @@ fn eliminate_semiring<D: AggDomain + Sync>(
     var: Var,
     op: AggId,
     sigma_pos: &dyn Fn(Var) -> usize,
-) -> StepStat {
+) -> Result<StepStat, FaqError> {
     let dom = &q.domain;
     let (incident, rest): (Vec<_>, Vec<_>) =
         edges.drain(..).partition(|e: &Factor<D::E>| e.schema().contains(&var));
@@ -317,7 +345,7 @@ fn eliminate_semiring<D: AggDomain + Sync>(
         };
         *edges = rest;
         edges.push(scalar);
-        return StepStat { var, semiring: true, u_size: 0, rows_out: 1, join: None };
+        return Ok(StepStat { var, semiring: true, u_size: 0, rows_out: 1, join: None });
     }
 
     let mut u: VarSet = VarSet::new();
@@ -359,7 +387,7 @@ fn eliminate_semiring<D: AggDomain + Sync>(
         &|a, b| dom.mul(a, b),
         &|a, b| dom.add(op, a, b),
         &|x| dom.is_zero(x),
-    );
+    )?;
 
     let new_schema: Vec<Var> = join_order[..group_arity].to_vec();
     let rows_out = out_rows.len();
@@ -367,7 +395,7 @@ fn eliminate_semiring<D: AggDomain + Sync>(
 
     *edges = rest;
     edges.push(new_factor);
-    StepStat { var, semiring: true, u_size: u.len(), rows_out, join: Some(join_stats) }
+    Ok(StepStat { var, semiring: true, u_size: u.len(), rows_out, join: Some(join_stats) })
 }
 
 /// Eliminate a product-aggregated variable (paper eq. (8)).

@@ -21,6 +21,9 @@
 //!   kernels over a scoped worker pool, deterministic merge;
 //! * [`width`] — `faqw(σ)`, exact `faqw(ϕ)` search, and the approximation
 //!   algorithm of §7;
+//! * [`plan`] — the cost-based adaptive planner: data-driven ordering choice
+//!   (AGM bounds × factor statistics), per-step execution policies,
+//!   [`PreparedQuery`] serving handles, and a schema-keyed [`PlanCache`];
 //! * [`output`] — factorized output representations (§8.4).
 
 #![forbid(unsafe_code)]
@@ -32,15 +35,17 @@ pub mod exprtree;
 pub mod insideout;
 pub mod naive;
 pub mod output;
+pub mod plan;
 pub mod query;
 pub mod width;
 
-pub use exec::{insideout_par, insideout_par_with_order, ExecPolicy, JoinRep};
+pub use exec::{insideout_par, insideout_par_with_order, ExecPolicy, JoinRep, PolicySource};
 pub use exprtree::{ExprTree, QueryShape, Tag};
 pub use insideout::{
     insideout, insideout_with_order, run_elimination, run_elimination_with_policy, ElimStats,
     FaqOutput, StepStat,
 };
 pub use naive::naive_eval;
+pub use plan::{PlanCache, Planner, PreparedQuery, QueryPlan, StepPlan};
 pub use query::{FaqError, FaqQuery, VarAgg};
 pub use width::{faqw_approx, faqw_exact, faqw_of_ordering, FaqwResult};

@@ -1,0 +1,755 @@
+//! Cost-based adaptive planning and prepared (serving-path) queries.
+//!
+//! The §7 machinery of the paper ([`crate::width`]) picks orderings purely by
+//! *width*: `faqw(σ) = max_k ρ*(U_k)` bounds InsideOut's runtime by
+//! `O~(N^{faqw(σ)} + ‖ϕ‖)` (Proposition 5.9), and Theorems 7.2/7.5 search
+//! `LinEx(P)` for a small-width σ. Width is the right asymptotic yardstick,
+//! but on a *concrete database* two orderings of equal width can differ by
+//! orders of magnitude: the data enters through the per-edge sizes `‖ψ_S‖`,
+//! exactly as in the AGM bound `AGM(U) = Π_S ‖ψ_S‖^{λ*_S}` (paper eq. (3),
+//! [`faq_hypergraph::widths::agm_bound`]) — the LP that *weights* the
+//! fractional cover by the actual factor sizes instead of counting edges.
+//!
+//! This module closes that gap with a [`Planner`] that
+//!
+//! 1. enumerates candidate ϕ-equivalent orderings (the `LinEx(P)` machinery
+//!    of [`crate::evo`], the [`crate::width`] optimizers, and a data-driven
+//!    [`faq_hypergraph::ordering::best_ordering`] search re-scored against
+//!    the EVO membership test);
+//! 2. scores every elimination step of every candidate with a cost model fed
+//!    by per-factor statistics ([`faq_factor::Factor::stats`]: row counts and
+//!    trie-level distinct counts) and the AGM bounds of the step's `U`-sets;
+//! 3. emits a [`QueryPlan`] fixing the ordering **and** per-step execution
+//!    choices — join representation ([`JoinRep`]), worker-thread count, and
+//!    chunk floor — which the engine consumes through
+//!    [`crate::exec::PolicySource`].
+//!
+//! For repeated evaluation — the serving path — a [`PreparedQuery`] caches
+//! the plan *plus* the aligned, trie-indexed input factors, so `evaluate()`
+//! skips ordering search, factor alignment, and index builds entirely; and a
+//! [`PlanCache`] keyed by query schema (shape + size class) lets a fleet of
+//! same-shaped queries share one planning pass.
+//!
+//! Plan choices affect performance only, never results: every candidate
+//! ordering is ϕ-equivalent and both join representations (and every thread
+//! count) are bit-identical by construction, so a plan-driven run equals
+//! [`crate::insideout::insideout`] bit for bit.
+
+use crate::exec::{ExecPolicy, PolicySource};
+use crate::insideout::{insideout_with_source, FaqOutput};
+use crate::query::{FaqError, FaqQuery, VarAgg};
+use faq_factor::{Factor, FactorStats};
+use faq_hypergraph::ordering::best_ordering;
+use faq_hypergraph::widths::agm_bound;
+use faq_hypergraph::{Hypergraph, Var, VarSet};
+use faq_join::JoinRep;
+use faq_semiring::AggDomain;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// The execution choices the planner fixed for one elimination step.
+#[derive(Debug, Clone)]
+pub struct StepPlan {
+    /// The eliminated variable (bound semiring steps and free guard steps).
+    pub var: Var,
+    /// The step's `U`-set in join order.
+    pub u_vars: Vec<Var>,
+    /// Estimated rows the step's sub-join enumerates (its AGM bound, capped
+    /// by the cross-product of the domain sizes).
+    pub est_rows: f64,
+    /// The execution policy fixed for this step.
+    pub policy: ExecPolicy,
+}
+
+/// A cost-annotated, reusable evaluation plan for one query schema.
+///
+/// Produced by [`Planner::plan`]; consumed by the engine through
+/// [`PolicySource`], so every elimination step runs under the policy the
+/// cost model chose for it. Plans depend only on the query *schema* and the
+/// input *sizes* — never on factor values — so one plan serves arbitrarily
+/// many evaluations over fresh data of similar scale.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The chosen ϕ-equivalent variable ordering (free variables first).
+    pub order: Vec<Var>,
+    /// `faqw(order)` when defined; `None` on degenerate queries whose
+    /// `U`-sets are uncoverable (see [`FaqError::Uncoverable`]).
+    pub width: Option<f64>,
+    /// The cost model's total estimate for this ordering (sum of per-step
+    /// estimated rows) — comparable across plans for the same query only.
+    pub est_cost: f64,
+    /// Per-step choices, innermost elimination first.
+    pub steps: Vec<StepPlan>,
+    /// Policy of the final output join over the free variables.
+    pub output: ExecPolicy,
+    /// Fallback policy for steps the planner did not model (e.g. variables
+    /// eliminated without a join).
+    pub default_policy: ExecPolicy,
+    by_var: BTreeMap<Var, usize>,
+}
+
+impl QueryPlan {
+    /// The planned step for `var`, if the cost model produced one.
+    pub fn step_for(&self, var: Var) -> Option<&StepPlan> {
+        self.by_var.get(&var).map(|&i| &self.steps[i])
+    }
+}
+
+impl PolicySource for QueryPlan {
+    fn policy_for(&self, var: Var) -> &ExecPolicy {
+        self.step_for(var).map_or(&self.default_policy, |s| &s.policy)
+    }
+
+    fn output_policy(&self) -> &ExecPolicy {
+        &self.output
+    }
+}
+
+/// The cost-based adaptive planner.
+///
+/// All knobs are public with serving-oriented defaults; construct with
+/// [`Planner::default`] (one worker per hardware thread) or
+/// [`Planner::with_threads`] and adjust fields as needed.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    /// Maximum `LinEx(P)` candidates enumerated per planning pass.
+    pub linex_cap: usize,
+    /// Vertex cap for exact blackbox searches (see [`crate::width::faqw_approx`]).
+    pub exact_limit: usize,
+    /// Worker threads a plan may schedule per step.
+    pub threads: usize,
+    /// Chunk floor handed to parallel steps (see [`ExecPolicy::min_chunk_rows`]).
+    pub min_chunk_rows: usize,
+    /// Basis-row count below which a step keeps the listing kernel: for tiny
+    /// joins the `O(arity × n)` trie build costs more than it saves.
+    pub listing_rep_threshold: usize,
+}
+
+impl Default for Planner {
+    fn default() -> Planner {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Planner::with_threads(threads)
+    }
+}
+
+impl Planner {
+    /// A planner whose plans run single-threaded.
+    pub fn sequential() -> Planner {
+        Planner::with_threads(1)
+    }
+
+    /// A planner whose plans may use up to `threads` workers per step.
+    pub fn with_threads(threads: usize) -> Planner {
+        Planner {
+            linex_cap: 768,
+            exact_limit: 14,
+            threads: threads.max(1),
+            min_chunk_rows: ExecPolicy::DEFAULT_MIN_CHUNK_ROWS,
+            listing_rep_threshold: 48,
+        }
+    }
+
+    /// Plan `q`: pick a ϕ-equivalent ordering by data-driven cost and fix
+    /// per-step execution choices.
+    ///
+    /// Builds (and caches, on the factors) the trie indexes the statistics
+    /// come from — deliberate on the serving path, where the same indexes
+    /// feed every subsequent join.
+    pub fn plan<D: AggDomain>(&self, q: &FaqQuery<D>) -> Result<QueryPlan, FaqError> {
+        q.validate()?;
+        let shape = q.shape();
+        let h = q.hypergraph();
+        let sizes: Vec<u64> = q.factors.iter().map(|f| f.len() as u64).collect();
+        let stats: Vec<FactorStats> = q.factors.iter().map(|f| f.stats()).collect();
+
+        // ---- Candidate orderings. Every candidate must be ϕ-equivalent with
+        // the free variables first; LinEx extensions are equivalent by
+        // soundness (Theorems 6.8/6.23), the rest are membership-tested.
+        let mut model = CostModel::new(&h, &sizes, q);
+        let mut candidates: Vec<Vec<Var>> = vec![q.ordering()];
+        let (extensions, exhausted) = crate::evo::linear_extensions(&shape, self.linex_cap);
+        candidates.extend(extensions);
+        // Costs computed ahead of the scoring loop (the data-driven
+        // candidate annotates its own `OrderingResult::cost`); the loop
+        // reuses them instead of re-walking the model.
+        let mut precomputed: HashMap<Vec<Var>, f64> = HashMap::new();
+        if !exhausted {
+            // The enumeration was truncated: add the width optimizers' picks
+            // and a data-driven hypergraph-ordering candidate (greedy/exact
+            // search under the AGM-weighted width), annotated with its
+            // modelled cost and screened against EVO below.
+            if let Ok(r) = crate::width::faqw_optimize(&shape, 1, self.exact_limit) {
+                candidates.push(r.order);
+            }
+            let mut data_res = best_ordering(
+                &h,
+                |b| agm_bound(&h, b, &sizes).map(|a| a.log2()).unwrap_or(b.len() as f64),
+                self.exact_limit,
+            );
+            if q.check_ordering(&data_res.order).is_ok() {
+                let cost = model.ordering_cost(q, &data_res.order);
+                data_res = data_res.with_cost(cost);
+            }
+            if let Some(cost) = data_res.cost {
+                precomputed.insert(data_res.order.clone(), cost);
+            }
+            candidates.push(data_res.order);
+        }
+        candidates.retain(|sigma| {
+            q.check_ordering(sigma).is_ok() && crate::evo::is_equivalent_ordering(&shape, sigma)
+        });
+        let mut seen: std::collections::HashSet<Vec<Var>> = std::collections::HashSet::new();
+        candidates.retain(|sigma| seen.insert(sigma.clone()));
+        if candidates.is_empty() {
+            candidates.push(q.ordering()); // always valid: the query's own order
+        }
+
+        // ---- Score every candidate with the shared, memoized cost model;
+        // width (expensive: one ρ* LP per U-set) breaks ties only, so it is
+        // computed lazily for the cost finalists alone.
+        let scored: Vec<(Vec<Var>, f64)> = candidates
+            .into_iter()
+            .map(|sigma| {
+                let cost = precomputed
+                    .get(&sigma)
+                    .copied()
+                    .unwrap_or_else(|| model.ordering_cost(q, &sigma));
+                (sigma, cost)
+            })
+            .collect();
+        let min_cost = scored.iter().map(|&(_, c)| c).fold(f64::INFINITY, f64::min);
+        let mut best: Option<(Vec<Var>, f64, Option<f64>)> = None;
+        for (sigma, cost) in scored {
+            if cost > min_cost + 1e-9 {
+                continue; // not a finalist — skip the width LPs entirely
+            }
+            let width = crate::width::faqw_of_ordering(&shape, &sigma).ok();
+            let better = match &best {
+                None => true,
+                Some((_, _, bw)) => {
+                    width.unwrap_or(f64::INFINITY) < bw.unwrap_or(f64::INFINITY) - 1e-12
+                }
+            };
+            if better {
+                best = Some((sigma, cost, width));
+            }
+        }
+        let (order, est_cost, width) = best.expect("at least one candidate ordering");
+
+        // ---- Fix per-step execution choices along the winner.
+        let steps = model.step_plans(q, &order, &stats, self);
+        let by_var: BTreeMap<Var, usize> =
+            steps.iter().enumerate().map(|(i, s)| (s.var, i)).collect();
+        let output = self.policy_from_estimate(model.output_rows(q, &order));
+        Ok(QueryPlan {
+            order,
+            width,
+            est_cost,
+            steps,
+            output,
+            default_policy: ExecPolicy::sequential(),
+            by_var,
+        })
+    }
+
+    /// Plan `q` and bundle the plan with aligned, indexed inputs into a
+    /// [`PreparedQuery`] ready for repeated evaluation.
+    pub fn prepare<D: AggDomain + Clone + Sync>(
+        &self,
+        q: &FaqQuery<D>,
+    ) -> Result<PreparedQuery<D>, FaqError> {
+        let plan = Arc::new(self.plan(q)?);
+        PreparedQuery::with_plan(q, plan)
+    }
+
+    /// Translate a basis-row estimate into a step policy: parallel chunked
+    /// execution when the estimated rows clear the chunk floor, trie vs
+    /// listing representation by basis size.
+    fn policy_from_estimate(&self, est_rows: f64) -> ExecPolicy {
+        let rep = if est_rows < self.listing_rep_threshold as f64 {
+            JoinRep::Listing
+        } else {
+            JoinRep::Trie
+        };
+        let parallel = self.threads > 1 && est_rows >= 2.0 * self.min_chunk_rows.max(1) as f64;
+        ExecPolicy {
+            threads: if parallel { self.threads } else { 1 },
+            min_chunk_rows: if parallel { self.min_chunk_rows } else { usize::MAX },
+            rep,
+        }
+    }
+}
+
+/// The data-driven step cost model: AGM bounds over the original edges,
+/// capped by domain cross-products, memoized per `U`-set.
+struct CostModel<'a> {
+    h: &'a Hypergraph,
+    sizes: &'a [u64],
+    space: BTreeMap<Var, f64>,
+    memo: HashMap<Vec<Var>, f64>,
+}
+
+impl<'a> CostModel<'a> {
+    fn new<D: AggDomain>(h: &'a Hypergraph, sizes: &'a [u64], q: &FaqQuery<D>) -> CostModel<'a> {
+        let space =
+            q.ordering().into_iter().map(|v| (v, (q.domains.size(v) as f64).max(1.0))).collect();
+        CostModel { h, sizes, space, memo: HashMap::new() }
+    }
+
+    /// Estimated rows a join over `u` enumerates: `AGM(u)` under the input
+    /// sizes, capped by `Π |Dom|`; the domain cross-product alone when `u`
+    /// is uncoverable (degenerate queries never error the planner).
+    fn est_rows(&mut self, u: &VarSet) -> f64 {
+        if u.is_empty() {
+            return 1.0;
+        }
+        let key: Vec<Var> = u.iter().copied().collect();
+        if let Some(&c) = self.memo.get(&key) {
+            return c;
+        }
+        let cross: f64 = u.iter().map(|v| self.space.get(v).copied().unwrap_or(1.0)).product();
+        let est = match agm_bound(self.h, u, self.sizes) {
+            Some(a) => a.min(cross),
+            None => cross,
+        };
+        self.memo.insert(key, est);
+        est
+    }
+
+    /// Total estimated cost of eliminating along `sigma`: the sum of every
+    /// fold step's estimated sub-join rows plus the output join's.
+    fn ordering_cost<D: AggDomain>(&mut self, q: &FaqQuery<D>, sigma: &[Var]) -> f64 {
+        let mut total = 0.0;
+        self.replay(q, sigma, |model, _var, u, _join_order| {
+            total += model.est_rows(u);
+        });
+        total + self.output_rows(q, sigma)
+    }
+
+    /// Estimated rows of the final output join (the free variables).
+    fn output_rows<D: AggDomain>(&mut self, q: &FaqQuery<D>, sigma: &[Var]) -> f64 {
+        let free: VarSet = sigma[..q.free.len()].iter().copied().collect();
+        self.est_rows(&free)
+    }
+
+    /// Replay InsideOut's edge-set evolution along `sigma` symbolically
+    /// (schemas only), invoking `on_step` for every fold step with a
+    /// non-empty incident set — mirroring `run_elimination`'s phases 1–2.
+    fn replay<D: AggDomain>(
+        &mut self,
+        q: &FaqQuery<D>,
+        sigma: &[Var],
+        mut on_step: impl FnMut(&mut Self, Var, &VarSet, &[Var]),
+    ) {
+        let f = q.free.len();
+        let sigma_pos =
+            |v: Var| -> usize { sigma.iter().position(|&s| s == v).expect("var in sigma") };
+        let mut edges: Vec<VarSet> =
+            q.factors.iter().map(|fac| fac.schema().iter().copied().collect()).collect();
+        // Phase 1: bound variables, innermost first.
+        for k in (f..sigma.len()).rev() {
+            let var = sigma[k];
+            match q.agg_of(var).expect("bound variable has an aggregate") {
+                VarAgg::Semiring(_) => {
+                    let (incident, mut rest): (Vec<VarSet>, Vec<VarSet>) =
+                        edges.drain(..).partition(|e| e.contains(&var));
+                    if incident.is_empty() {
+                        edges = rest;
+                        edges.push(VarSet::new());
+                        continue;
+                    }
+                    let mut u = VarSet::new();
+                    for e in &incident {
+                        u.extend(e.iter().copied());
+                    }
+                    let mut join_order: Vec<Var> =
+                        u.iter().copied().filter(|&x| x != var).collect();
+                    join_order.sort_by_key(|&v| sigma_pos(v));
+                    join_order.push(var);
+                    on_step(self, var, &u, &join_order);
+                    let reduced: VarSet = u.iter().copied().filter(|&x| x != var).collect();
+                    rest.push(reduced);
+                    edges = rest;
+                }
+                VarAgg::Product => {
+                    for e in &mut edges {
+                        e.remove(&var);
+                    }
+                }
+            }
+        }
+        // Phase 2: free variables under 01-OR, innermost first.
+        for k in (0..f).rev() {
+            let var = sigma[k];
+            let incident: Vec<usize> =
+                (0..edges.len()).filter(|&i| edges[i].contains(&var)).collect();
+            if incident.is_empty() {
+                continue;
+            }
+            let mut u = VarSet::new();
+            for &i in &incident {
+                u.extend(edges[i].iter().copied());
+            }
+            let mut join_order: Vec<Var> = u.iter().copied().collect();
+            join_order.sort_by_key(|&v| sigma_pos(v));
+            on_step(self, var, &u, &join_order);
+            let mut kept: Vec<VarSet> = Vec::with_capacity(edges.len());
+            for (i, e) in edges.drain(..).enumerate() {
+                if !incident.contains(&i) {
+                    kept.push(e);
+                }
+            }
+            kept.push(u.iter().copied().filter(|&x| x != var).collect());
+            edges = kept;
+        }
+    }
+
+    /// Per-step execution choices along the chosen ordering, combining the
+    /// step's AGM estimate with the input factors' trie statistics (root
+    /// distinct counts bound the chunkable parallelism of input-rooted
+    /// joins).
+    fn step_plans<D: AggDomain>(
+        &mut self,
+        q: &FaqQuery<D>,
+        sigma: &[Var],
+        stats: &[FactorStats],
+        planner: &Planner,
+    ) -> Vec<StepPlan> {
+        // Distinct-value counts of input factors' leading columns, per var:
+        // if every input holding `var` in front has one distinct value there,
+        // chunking cannot help no matter the row estimate.
+        let mut root_distinct: BTreeMap<Var, usize> = BTreeMap::new();
+        for (fac, st) in q.factors.iter().zip(stats) {
+            if let Some(&lead) = fac.schema().first() {
+                let e = root_distinct.entry(lead).or_insert(0);
+                *e = (*e).max(st.root_distinct());
+            }
+        }
+        let mut steps: Vec<StepPlan> = Vec::new();
+        self.replay(q, sigma, |model, var, u, join_order| {
+            let est = model.est_rows(u);
+            let mut policy = planner.policy_from_estimate(est);
+            if let Some(&first) = join_order.first() {
+                if let Some(&d) = root_distinct.get(&first) {
+                    if d < 2 {
+                        // Provably unchunkable at the first join variable.
+                        policy.threads = 1;
+                        policy.min_chunk_rows = usize::MAX;
+                    }
+                }
+            }
+            steps.push(StepPlan { var, u_vars: join_order.to_vec(), est_rows: est, policy });
+        });
+        steps
+    }
+}
+
+/// A query prepared for repeated evaluation: the plan plus pre-aligned,
+/// pre-indexed input factors.
+///
+/// Construction pays for ordering search, factor alignment to the plan
+/// order, and trie-index builds exactly once; every [`PreparedQuery::evaluate`]
+/// after that runs straight into the join kernels (factor clones keep their
+/// built tries). Factor values can be swapped out between evaluations with
+/// [`PreparedQuery::update_factor`] — the plan is schema-keyed, so results
+/// stay exact for arbitrary new data; only the cost estimates age.
+pub struct PreparedQuery<D: AggDomain> {
+    query: FaqQuery<D>,
+    plan: Arc<QueryPlan>,
+}
+
+impl<D: AggDomain + Clone + Sync> PreparedQuery<D> {
+    /// Plan `q` with the default planner and prepare it for serving.
+    pub fn new(q: &FaqQuery<D>) -> Result<PreparedQuery<D>, FaqError> {
+        Planner::default().prepare(q)
+    }
+
+    /// Bundle an existing (possibly [`PlanCache`]-shared) plan with `q`.
+    pub fn with_plan(q: &FaqQuery<D>, plan: Arc<QueryPlan>) -> Result<PreparedQuery<D>, FaqError> {
+        q.validate()?;
+        q.check_ordering(&plan.order)?;
+        let mut query = q.clone();
+        for fac in &mut query.factors {
+            let aligned = fac.align_to(&plan.order);
+            aligned.trie(); // build (and cache) the serving index now
+            *fac = aligned;
+        }
+        Ok(PreparedQuery { query, plan })
+    }
+
+    /// Evaluate the prepared query under its plan.
+    ///
+    /// Bit-identical to [`crate::insideout::insideout`] on the same inputs;
+    /// no re-planning, re-alignment, or re-indexing happens here.
+    pub fn evaluate(&self) -> Result<FaqOutput<D::E>, FaqError> {
+        insideout_with_source(&self.query, &self.plan.order, &*self.plan)
+    }
+
+    /// Replace the values of input factor `slot` (position in the original
+    /// factor list) with fresh data over the same schema.
+    ///
+    /// The new factor is aligned to the plan order and indexed immediately,
+    /// keeping the handle serving-ready. Errors if the schema (as a variable
+    /// set) differs or the new values violate the query's domains.
+    pub fn update_factor(&mut self, slot: usize, factor: Factor<D::E>) -> Result<(), FaqError> {
+        let current = self
+            .query
+            .factors
+            .get(slot)
+            .ok_or_else(|| FaqError::BadOrdering(format!("factor slot {slot} out of range")))?;
+        let old_schema: VarSet = current.schema().iter().copied().collect();
+        let new_schema: VarSet = factor.schema().iter().copied().collect();
+        if old_schema != new_schema {
+            // Name a variable from the symmetric difference: one the new
+            // factor adds, or — when its schema is a strict subset — one it
+            // is missing. The sets differ, so one side is non-empty.
+            let offending = new_schema
+                .difference(&old_schema)
+                .next()
+                .or_else(|| old_schema.difference(&new_schema).next())
+                .copied()
+                .expect("schemas differ");
+            return Err(FaqError::UnlistedVariable(offending));
+        }
+        let aligned = factor.align_to(&self.plan.order);
+        let old = std::mem::replace(&mut self.query.factors[slot], aligned);
+        if let Err(e) = self.query.validate() {
+            self.query.factors[slot] = old; // roll back: keep the handle usable
+            return Err(e);
+        }
+        self.query.factors[slot].trie();
+        Ok(())
+    }
+
+    /// The plan this handle executes.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// The prepared query (factors aligned to the plan order).
+    pub fn query(&self) -> &FaqQuery<D> {
+        &self.query
+    }
+}
+
+/// Schema signature a plan is cached under: the tagged quantifier prefix,
+/// the hyperedges, and a log₂ size class per factor (so a plan is reused
+/// across value updates of similar scale but re-derived when the data grows
+/// past the next power of two).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    seq: Vec<(u32, u8, u32)>,
+    edges: Vec<Vec<u32>>,
+    size_classes: Vec<u32>,
+}
+
+impl PlanKey {
+    fn of<D: AggDomain>(q: &FaqQuery<D>) -> PlanKey {
+        let shape = q.shape();
+        let seq = shape
+            .seq
+            .iter()
+            .map(|&(v, tag)| match tag {
+                crate::exprtree::Tag::Free => (v.0, 0u8, 0u32),
+                crate::exprtree::Tag::Semiring(op) => (v.0, 1u8, op.0),
+                crate::exprtree::Tag::Product => (v.0, 2u8, 0u32),
+            })
+            .collect();
+        let edges = q
+            .factors
+            .iter()
+            .map(|f| f.schema().iter().map(|v| v.0).collect::<Vec<u32>>())
+            .collect();
+        let size_classes = q.factors.iter().map(|f| (f.len() as u64).max(1).ilog2()).collect();
+        PlanKey { seq, edges, size_classes }
+    }
+}
+
+/// A concurrency-safe cache of [`QueryPlan`]s keyed by query schema and size
+/// class — the "plan once, serve many" entry point for repeated traffic of
+/// same-shaped queries.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    inner: Mutex<HashMap<PlanKey, Arc<QueryPlan>>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cached plan for `q`'s schema, planning (and caching) on a miss.
+    pub fn get_or_plan<D: AggDomain>(
+        &self,
+        planner: &Planner,
+        q: &FaqQuery<D>,
+    ) -> Result<Arc<QueryPlan>, FaqError> {
+        let key = PlanKey::of(q);
+        if let Some(plan) = self.inner.lock().expect("plan cache lock").get(&key) {
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(planner.plan(q)?);
+        self.inner.lock().expect("plan cache lock").entry(key).or_insert_with(|| Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Prepare `q` against the cache: reuse the schema's plan when present.
+    pub fn prepare<D: AggDomain + Clone + Sync>(
+        &self,
+        planner: &Planner,
+        q: &FaqQuery<D>,
+    ) -> Result<PreparedQuery<D>, FaqError> {
+        let plan = self.get_or_plan(planner, q)?;
+        PreparedQuery::with_plan(q, plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insideout::insideout;
+    use faq_factor::Domains;
+    use faq_hypergraph::v;
+    use faq_semiring::{CountDomain, RealDomain};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn triangle_query(seed: u64, rows: usize) -> FaqQuery<CountDomain> {
+        let mut r = StdRng::seed_from_u64(seed);
+        let d = 12u32;
+        let mut mk = |a: u32, b: u32| {
+            let mut tuples = std::collections::BTreeMap::new();
+            for _ in 0..rows {
+                tuples.insert(vec![r.gen_range(0..d), r.gen_range(0..d)], r.gen_range(1..4u64));
+            }
+            Factor::new(vec![v(a), v(b)], tuples.into_iter().collect()).unwrap()
+        };
+        FaqQuery::new(
+            CountDomain,
+            Domains::uniform(3, d),
+            vec![v(0)],
+            vec![
+                (v(1), VarAgg::Semiring(CountDomain::SUM)),
+                (v(2), VarAgg::Semiring(CountDomain::MAX)),
+            ],
+            vec![mk(0, 1), mk(1, 2), mk(0, 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_is_equivalent_and_executable() {
+        let q = triangle_query(1, 80);
+        let plan = Planner::sequential().plan(&q).unwrap();
+        assert!(q.check_ordering(&plan.order).is_ok());
+        assert!(crate::evo::is_equivalent_ordering(&q.shape(), &plan.order));
+        assert!(plan.est_cost.is_finite() && plan.est_cost > 0.0);
+        assert!(!plan.steps.is_empty());
+        let prepared = Planner::sequential().prepare(&q).unwrap();
+        assert_eq!(prepared.evaluate().unwrap().factor, insideout(&q).unwrap().factor);
+    }
+
+    #[test]
+    fn prepared_inputs_are_aligned_and_indexed() {
+        let q = triangle_query(2, 50);
+        let prepared = Planner::sequential().prepare(&q).unwrap();
+        for fac in &prepared.query().factors {
+            assert!(fac.trie_if_built().is_some(), "prepare must index every input");
+            let aligned: Vec<Var> = prepared
+                .plan()
+                .order
+                .iter()
+                .copied()
+                .filter(|v| fac.schema().contains(v))
+                .collect();
+            assert_eq!(fac.schema(), aligned.as_slice(), "inputs follow the plan order");
+        }
+    }
+
+    #[test]
+    fn update_factor_serves_fresh_values() {
+        let q = triangle_query(3, 40);
+        let mut prepared = Planner::sequential().prepare(&q).unwrap();
+        let q2 = triangle_query(4, 40);
+        for (i, fac) in q2.factors.iter().enumerate() {
+            prepared.update_factor(i, fac.clone()).unwrap();
+        }
+        assert_eq!(prepared.evaluate().unwrap().factor, insideout(&q2).unwrap().factor);
+        // Schema mismatch is rejected and leaves the handle intact.
+        let bad = Factor::new(vec![v(0)], vec![(vec![1], 1u64)]).unwrap();
+        assert!(prepared.update_factor(0, bad).is_err());
+        assert_eq!(prepared.evaluate().unwrap().factor, insideout(&q2).unwrap().factor);
+        // Out-of-domain values are rejected with a rollback.
+        let out = Factor::new(vec![v(0), v(1)], vec![(vec![99, 0], 1u64)]).unwrap();
+        assert!(matches!(prepared.update_factor(0, out), Err(FaqError::ValueOutOfDomain { .. })));
+        assert_eq!(prepared.evaluate().unwrap().factor, insideout(&q2).unwrap().factor);
+    }
+
+    #[test]
+    fn plan_cache_reuses_schema_plans() {
+        let cache = PlanCache::new();
+        let planner = Planner::sequential();
+        let a = triangle_query(5, 60);
+        let b = triangle_query(6, 60); // same schema and size class, new values
+        let pa = cache.get_or_plan(&planner, &a).unwrap();
+        let pb = cache.get_or_plan(&planner, &b).unwrap();
+        assert_eq!(cache.len(), 1, "same schema → one cached plan");
+        assert!(Arc::ptr_eq(&pa, &pb));
+        let prepared = cache.prepare(&planner, &b).unwrap();
+        assert_eq!(prepared.evaluate().unwrap().factor, insideout(&b).unwrap().factor);
+        // A much larger instance lands in a different size class.
+        let big = triangle_query(7, 2000);
+        let _ = cache.get_or_plan(&planner, &big).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cost_model_prefers_small_intermediates() {
+        // ψ0(x1) tiny, ψ1(x1,x2) huge: eliminating x2 first joins only the
+        // huge factor; the AGM-weighted model must not cost the tiny one in.
+        let mut r = StdRng::seed_from_u64(8);
+        let small = Factor::new(vec![v(1)], vec![(vec![0], 1.0f64), (vec![1], 2.0)]).unwrap();
+        let mut tuples = std::collections::BTreeMap::new();
+        for _ in 0..400 {
+            tuples.insert(vec![r.gen_range(0..30u32), r.gen_range(0..30u32)], 1.0f64);
+        }
+        let big = Factor::new(vec![v(1), v(2)], tuples.into_iter().collect()).unwrap();
+        let q = FaqQuery::new(
+            RealDomain,
+            Domains::uniform(3, 30),
+            vec![],
+            vec![
+                (v(1), VarAgg::Semiring(RealDomain::SUM)),
+                (v(2), VarAgg::Semiring(RealDomain::SUM)),
+            ],
+            vec![small, big],
+        )
+        .unwrap();
+        let plan = Planner::sequential().plan(&q).unwrap();
+        assert!(plan.est_cost <= 2.0 * 400.0 + 8.0, "cost {} ignores data", plan.est_cost);
+        let prepared = Planner::sequential().prepare(&q).unwrap();
+        assert_eq!(prepared.evaluate().unwrap().factor, insideout(&q).unwrap().factor);
+    }
+
+    #[test]
+    fn planned_threads_match_sequential_bitwise() {
+        let q = triangle_query(9, 400);
+        let seq = insideout(&q).unwrap();
+        for threads in [1usize, 2, 4] {
+            let mut planner = Planner::with_threads(threads);
+            planner.min_chunk_rows = 1; // force chunking decisions on
+            let prepared = planner.prepare(&q).unwrap();
+            assert_eq!(prepared.evaluate().unwrap().factor, seq.factor, "threads {threads}");
+        }
+    }
+}

@@ -36,6 +36,11 @@ pub enum FaqError {
     UnknownAggregate(AggId),
     /// A supplied variable ordering is invalid for this query.
     BadOrdering(String),
+    /// A variable set is not coverable by the query's edges (some variable
+    /// appears in no factor), so `ρ*`/AGM-based widths are undefined for it.
+    /// Raised by the width and planning machinery on degenerate queries —
+    /// evaluation itself handles such variables by domain iteration.
+    Uncoverable(Vec<Var>),
 }
 
 impl fmt::Display for FaqError {
@@ -51,6 +56,9 @@ impl fmt::Display for FaqError {
             }
             FaqError::UnknownAggregate(a) => write!(f, "aggregate {a:?} unknown to the domain"),
             FaqError::BadOrdering(m) => write!(f, "bad variable ordering: {m}"),
+            FaqError::Uncoverable(vars) => {
+                write!(f, "variable set {vars:?} is not coverable by any query edge")
+            }
         }
     }
 }

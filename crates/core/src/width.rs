@@ -16,6 +16,7 @@
 //!   `faqw(σ) ≤ 2·faqw(ϕ)`.
 
 use crate::exprtree::{QueryShape, Tag};
+use crate::query::FaqError;
 use faq_hypergraph::elim::{ElimRule, EliminationSequence};
 use faq_hypergraph::ordering::best_ordering;
 use faq_hypergraph::widths::fractional_cover;
@@ -44,19 +45,22 @@ impl RhoStar {
         RhoStar { h: shape.hypergraph(), cache: HashMap::new() }
     }
 
-    fn eval(&mut self, b: &VarSet) -> f64 {
+    fn eval(&mut self, b: &VarSet) -> Result<f64, FaqError> {
         if b.is_empty() {
-            return 0.0;
+            return Ok(0.0);
         }
         let key: Vec<Var> = b.iter().copied().collect();
         if let Some(&w) = self.cache.get(&key) {
-            return w;
+            return Ok(w);
         }
-        let w = fractional_cover(&self.h, b)
-            .unwrap_or_else(|| panic!("U-set {b:?} not coverable by the query's edges"))
-            .value;
+        // A U-set containing a variable that appears in no edge (degenerate
+        // queries: a free variable constrained by nothing, all-nullary
+        // inputs) has no fractional cover — surface that as an error instead
+        // of crashing; evaluation itself stays well-defined for such queries.
+        let w =
+            fractional_cover(&self.h, b).ok_or_else(|| FaqError::Uncoverable(key.clone()))?.value;
         self.cache.insert(key, w);
-        w
+        Ok(w)
     }
 }
 
@@ -70,13 +74,42 @@ fn elimination_rules(shape: &QueryShape, sigma: &[Var]) -> Vec<ElimRule> {
         .collect()
 }
 
+/// Check that every free/semiring variable is covered by at least one edge —
+/// the premise of every `ρ*`-based width. A fold variable in no edge makes
+/// `faqw` undefined (its elimination iterates the raw domain, so the
+/// `N^{faqw}` bound says nothing); such degenerate queries — a free variable
+/// constrained by nothing, all-nullary inputs — must surface as
+/// [`FaqError::Uncoverable`] here rather than crash deeper in the LP layer.
+fn check_fold_coverage(shape: &QueryShape) -> Result<(), FaqError> {
+    let covered: VarSet = shape.edges.iter().flat_map(|e| e.iter().copied()).collect();
+    let missing: Vec<Var> = shape
+        .seq
+        .iter()
+        .filter(|&&(v, tag)| tag.is_fold() && !covered.contains(&v))
+        .map(|&(v, _)| v)
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(FaqError::Uncoverable(missing))
+    }
+}
+
 /// `faqw(σ)` for a given ordering (Definition 5.10).
-pub fn faqw_of_ordering(shape: &QueryShape, sigma: &[Var]) -> f64 {
+///
+/// Errors with [`FaqError::Uncoverable`] on degenerate queries where a
+/// free/semiring variable is covered by no edge.
+pub fn faqw_of_ordering(shape: &QueryShape, sigma: &[Var]) -> Result<f64, FaqError> {
+    check_fold_coverage(shape)?;
     let mut rho = RhoStar::new(shape);
     faqw_of_ordering_memo(shape, sigma, &mut rho)
 }
 
-fn faqw_of_ordering_memo(shape: &QueryShape, sigma: &[Var], rho: &mut RhoStar) -> f64 {
+fn faqw_of_ordering_memo(
+    shape: &QueryShape,
+    sigma: &[Var],
+    rho: &mut RhoStar,
+) -> Result<f64, FaqError> {
     let h = shape.hypergraph();
     let rules = elimination_rules(shape, sigma);
     let seq = EliminationSequence::with_rules(&h, sigma, &rules);
@@ -84,30 +117,32 @@ fn faqw_of_ordering_memo(shape: &QueryShape, sigma: &[Var], rho: &mut RhoStar) -
     for (k, &v) in sigma.iter().enumerate() {
         let fold = matches!(rules[k], ElimRule::Fold);
         if fold && !seq.u_set(k).is_empty() {
-            width = width.max(rho.eval(seq.u_set(k)));
+            width = width.max(rho.eval(seq.u_set(k))?);
         }
         let _ = v;
     }
-    width
+    Ok(width)
 }
 
 /// Exhaustive `faqw(ϕ)` over `LinEx(P)`, visiting at most `cap` extensions.
 ///
 /// Returns the best ordering found; `exact` is `true` when the enumeration
-/// completed within the cap.
-pub fn faqw_exact(shape: &QueryShape, cap: usize) -> FaqwResult {
+/// completed within the cap. Errors with [`FaqError::Uncoverable`] when the
+/// query has a variable covered by no edge.
+pub fn faqw_exact(shape: &QueryShape, cap: usize) -> Result<FaqwResult, FaqError> {
+    check_fold_coverage(shape)?;
     let (extensions, exhausted) = crate::evo::linear_extensions(shape, cap);
     assert!(!extensions.is_empty(), "a query always has at least one linear extension");
     let mut rho = RhoStar::new(shape);
     let mut best: Option<(Vec<Var>, f64)> = None;
     for sigma in extensions {
-        let w = faqw_of_ordering_memo(shape, &sigma, &mut rho);
+        let w = faqw_of_ordering_memo(shape, &sigma, &mut rho)?;
         if best.as_ref().is_none_or(|(_, bw)| w < *bw - 1e-12) {
             best = Some((sigma, w));
         }
     }
     let (order, width) = best.expect("non-empty extension list");
-    FaqwResult { order, width, exact: exhausted }
+    Ok(FaqwResult { order, width, exact: exhausted })
 }
 
 /// The Theorem 7.2 / 7.5 approximation algorithm.
@@ -119,7 +154,8 @@ pub fn faqw_exact(shape: &QueryShape, cap: usize) -> FaqwResult {
 /// ([`best_ordering`], exact up to `exact_limit` vertices), and concatenates
 /// the per-node orderings along a topological order of the node/product
 /// poset.
-pub fn faqw_approx(shape: &QueryShape, exact_limit: usize) -> FaqwResult {
+pub fn faqw_approx(shape: &QueryShape, exact_limit: usize) -> Result<FaqwResult, FaqError> {
+    check_fold_coverage(shape)?;
     let tree = shape.expr_tree();
     let eff_edges = shape.effective_edges();
 
@@ -283,24 +319,24 @@ pub fn faqw_approx(shape: &QueryShape, exact_limit: usize) -> FaqwResult {
         }
     }
 
-    let width = faqw_of_ordering(shape, &sigma);
-    FaqwResult { order: sigma, width, exact: false }
+    let width = faqw_of_ordering(shape, &sigma)?;
+    Ok(FaqwResult { order: sigma, width, exact: false })
 }
 
 /// Best-effort optimizer: exact LinEx search when the enumeration fits in
 /// `linex_cap`, otherwise the approximation algorithm (and whichever of the
 /// two is better when both run).
-pub fn faqw_optimize(shape: &QueryShape, linex_cap: usize, exact_limit: usize) -> FaqwResult {
-    let exact = faqw_exact(shape, linex_cap);
+pub fn faqw_optimize(
+    shape: &QueryShape,
+    linex_cap: usize,
+    exact_limit: usize,
+) -> Result<FaqwResult, FaqError> {
+    let exact = faqw_exact(shape, linex_cap)?;
     if exact.exact {
-        return exact;
+        return Ok(exact);
     }
-    let approx = faqw_approx(shape, exact_limit);
-    if approx.width < exact.width {
-        approx
-    } else {
-        exact
-    }
+    let approx = faqw_approx(shape, exact_limit)?;
+    Ok(if approx.width < exact.width { approx } else { exact })
 }
 
 #[cfg(test)]
@@ -325,7 +361,7 @@ mod tests {
             mul_idempotent: false,
             closed_ops: Default::default(),
         };
-        let r = faqw_exact(&shape, 1000);
+        let r = faqw_exact(&shape, 1000).unwrap();
         assert!(r.exact);
         assert!(close(r.width, 1.5), "{}", r.width);
     }
@@ -338,7 +374,7 @@ mod tests {
             mul_idempotent: false,
             closed_ops: Default::default(),
         };
-        let r = faqw_exact(&shape, 1000);
+        let r = faqw_exact(&shape, 1000).unwrap();
         assert!(close(r.width, 1.0), "{}", r.width);
     }
 
@@ -360,13 +396,13 @@ mod tests {
             closed_ops: [AggId(1)].into_iter().collect(),
         };
         let input_order = [v(1), v(2), v(3), v(4), v(5), v(6)];
-        let w_in = faqw_of_ordering(&shape, &input_order);
+        let w_in = faqw_of_ordering(&shape, &input_order).unwrap();
         assert!(close(w_in, 2.0), "input order width {w_in}");
         let good = [v(5), v(1), v(2), v(3), v(4), v(6)];
         assert!(crate::evo::is_equivalent_ordering(&shape, &good));
-        let w_good = faqw_of_ordering(&shape, &good);
+        let w_good = faqw_of_ordering(&shape, &good).unwrap();
         assert!(close(w_good, 1.0), "good order width {w_good}");
-        let r = faqw_exact(&shape, 100_000);
+        let r = faqw_exact(&shape, 100_000).unwrap();
         assert!(r.exact);
         assert!(close(r.width, 1.0), "optimal width {}", r.width);
     }
@@ -390,7 +426,7 @@ mod tests {
                 mul_idempotent: true,
                 closed_ops: [AggId(1)].into_iter().collect(),
             };
-            let r = faqw_exact(&shape, 100_000);
+            let r = faqw_exact(&shape, 100_000).unwrap();
             assert!(r.exact, "n={n}");
             assert!(close(r.width, 2.0 - 1.0 / n as f64), "n={n}: faqw {}", r.width);
             assert!(r.width <= 2.0 + 1e-9, "bounded by 2");
@@ -420,9 +456,9 @@ mod tests {
             mul_idempotent: false,
             closed_ops: Default::default(),
         };
-        let exact = faqw_exact(&shape, 1_000_000);
+        let exact = faqw_exact(&shape, 1_000_000).unwrap();
         assert!(exact.exact);
-        let approx = faqw_approx(&shape, 16);
+        let approx = faqw_approx(&shape, 16).unwrap();
         assert!(
             crate::evo::is_equivalent_ordering(&shape, &approx.order),
             "approx order {:?} not in EVO",
@@ -446,7 +482,7 @@ mod tests {
             mul_idempotent: false,
             closed_ops: Default::default(),
         };
-        let r = faqw_exact(&shape, 1000);
+        let r = faqw_exact(&shape, 1000).unwrap();
         assert!(crate::evo::is_equivalent_ordering(&shape, &r.order));
         assert!(r.width >= 1.0 - 1e-9);
     }
@@ -459,7 +495,7 @@ mod tests {
             mul_idempotent: false,
             closed_ops: Default::default(),
         };
-        let r = faqw_optimize(&shape, 100, 16);
+        let r = faqw_optimize(&shape, 100, 16).unwrap();
         assert!(r.exact);
         assert!(close(r.width, 1.0));
     }
@@ -473,7 +509,7 @@ mod tests {
             mul_idempotent: false,
             closed_ops: Default::default(),
         };
-        let w = faqw_of_ordering(&shape, &[v(0), v(1), v(2)]);
+        let w = faqw_of_ordering(&shape, &[v(0), v(1), v(2)]).unwrap();
         assert!(close(w, 1.0), "{w}");
     }
 }

@@ -4,6 +4,7 @@ use crate::trie::FactorTrie;
 use faq_hypergraph::Var;
 use faq_semiring::SemiringElem;
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::OnceLock;
 
 /// Errors raised by factor constructors.
@@ -36,6 +37,28 @@ impl fmt::Display for FactorError {
 
 impl std::error::Error for FactorError {}
 
+/// Data statistics of one factor, read off its columnar trie index — the
+/// per-input signal a cost-based planner combines with AGM bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactorStats {
+    /// Number of non-zero listing rows (`‖ψ_S‖`).
+    pub rows: usize,
+    /// Number of columns.
+    pub arity: usize,
+    /// Distinct length-`d+1` row prefixes per trie level `d`; in particular
+    /// `level_distinct[0]` is the distinct-value count of the first column.
+    pub level_distinct: Vec<usize>,
+}
+
+impl FactorStats {
+    /// Distinct values of the first column (`0` for empty or nullary factors)
+    /// — an upper bound on how many chunks a parallel join keyed on this
+    /// factor's first column can be cut into.
+    pub fn root_distinct(&self) -> usize {
+        self.level_distinct.first().copied().unwrap_or(0)
+    }
+}
+
 /// A factor in the listing representation.
 ///
 /// * `schema` — the variables of the factor, in column order;
@@ -56,19 +79,31 @@ pub struct Factor<E> {
     vals: Vec<E>,
     len: usize,
     /// Lazily-built columnar trie index (see [`crate::trie`]). Not part of
-    /// the factor's identity: cloning drops it (the clone rebuilds on
-    /// demand) and equality ignores it.
+    /// the factor's identity: equality ignores it. The index is immutable
+    /// relative to `rows`/`vals`, so clones carry it over instead of
+    /// re-paying the build.
     trie: OnceLock<FactorTrie>,
+    /// Point lookups served off the cold (trie-less) listing so far; once it
+    /// reaches [`Factor::GETS_BEFORE_TRIE`], [`Factor::get`] builds the index.
+    gets: AtomicU32,
 }
 
 impl<E: Clone> Clone for Factor<E> {
     fn clone(&self) -> Self {
+        // The trie is a pure function of (schema, rows), both cloned verbatim,
+        // so a built index stays valid for the clone — dropping it here would
+        // silently re-pay the O(arity × len) build on every cloned factor.
+        let trie = OnceLock::new();
+        if let Some(t) = self.trie.get() {
+            let _ = trie.set(t.clone());
+        }
         Factor {
             schema: self.schema.clone(),
             rows: self.rows.clone(),
             vals: self.vals.clone(),
             len: self.len,
-            trie: OnceLock::new(),
+            trie,
+            gets: AtomicU32::new(self.gets.load(Ordering::Relaxed)),
         }
     }
 }
@@ -158,27 +193,21 @@ impl<E: SemiringElem> Factor<E> {
             rows.extend_from_slice(&t);
             vals.push(v);
         }
-        Factor { schema, rows, vals, len, trie: OnceLock::new() }
+        Factor { schema, rows, vals, len, trie: OnceLock::new(), gets: AtomicU32::new(0) }
     }
 
     /// A nullary (constant) factor: `Some(v)` is the scalar `v`, `None` is the
     /// empty factor (the constant zero).
     pub fn nullary(value: Option<E>) -> Self {
-        match value {
-            Some(v) => Factor {
-                schema: Vec::new(),
-                rows: Vec::new(),
-                vals: vec![v],
-                len: 1,
-                trie: OnceLock::new(),
-            },
-            None => Factor {
-                schema: Vec::new(),
-                rows: Vec::new(),
-                vals: Vec::new(),
-                len: 0,
-                trie: OnceLock::new(),
-            },
+        let vals = value.into_iter().collect::<Vec<E>>();
+        let len = vals.len();
+        Factor {
+            schema: Vec::new(),
+            rows: Vec::new(),
+            vals,
+            len,
+            trie: OnceLock::new(),
+            gets: AtomicU32::new(0),
         }
     }
 
@@ -271,13 +300,56 @@ impl<E: SemiringElem> Factor<E> {
         self.trie.get()
     }
 
-    /// Look up a tuple by descending the trie index: one binary search over
-    /// the *distinct* values of each level, instead of re-scanning rows with
-    /// whole-row comparisons. Builds (and caches) the index on first call.
+    /// Per-factor statistics for cost-based planning: row count plus the
+    /// distinct-prefix count of every trie level (`level_distinct[0]` is the
+    /// number of distinct first-column values — the chunkable parallelism of
+    /// a join rooted at this factor).
+    ///
+    /// Builds (and caches) the trie index, which is what a planner wants
+    /// anyway: the same index then serves every join and lookup.
+    pub fn stats(&self) -> FactorStats {
+        let trie = self.trie();
+        FactorStats {
+            rows: self.len,
+            arity: self.arity(),
+            level_distinct: (0..trie.arity()).map(|d| trie.level(d).len()).collect(),
+        }
+    }
+
+    /// The cold lookup on which [`Factor::get`] builds the trie index: the
+    /// first `GETS_BEFORE_TRIE − 1` probes of a cold factor use columnar
+    /// binary search over the listing (a one-off probe must not pay the full
+    /// `O(arity × len)` index build); the `GETS_BEFORE_TRIE`-th builds and
+    /// caches the index, since a factor probed repeatedly is about to
+    /// amortize it.
+    pub const GETS_BEFORE_TRIE: u32 = 4;
+
+    /// Look up a tuple.
+    ///
+    /// When the trie index is already built (by a join, the planner, or
+    /// earlier repeated lookups) the descent is one binary search over the
+    /// *distinct* values of each level. On a cold factor the lookup falls
+    /// back to columnar binary search over the sorted listing
+    /// ([`Factor::prefix_range`] per column) — same `O(arity × log len)`
+    /// complexity, no index build; the [`Factor::GETS_BEFORE_TRIE`]-th cold
+    /// lookup builds (and caches) the index on the factor.
     pub fn get(&self, tuple: &[u32]) -> Option<&E> {
         assert_eq!(tuple.len(), self.arity());
         if self.arity() == 0 {
             return self.vals.first();
+        }
+        if self.trie_if_built().is_none() {
+            let cold_gets = self.gets.fetch_add(1, Ordering::Relaxed) + 1;
+            if cold_gets < Self::GETS_BEFORE_TRIE {
+                let mut range = (0usize, self.len);
+                for (depth, &value) in tuple.iter().enumerate() {
+                    range = self.prefix_range(range, depth, value);
+                    if range.0 == range.1 {
+                        return None;
+                    }
+                }
+                return Some(&self.vals[range.0]);
+            }
         }
         let trie = self.trie();
         let mut window = trie.root();
@@ -739,6 +811,52 @@ mod tests {
         let f = sample();
         assert_eq!(f.get(&[1, 0]), Some(&10));
         assert_eq!(f.get(&[1, 1]), None);
+    }
+
+    #[test]
+    fn one_off_get_builds_no_trie() {
+        let f = sample();
+        assert_eq!(f.get(&[0, 1]), Some(&5));
+        assert!(f.trie_if_built().is_none(), "a single point lookup must not pay the index build");
+        // Cold lookups agree with the trie descent for hits and misses alike.
+        assert_eq!(f.get(&[9, 9]), None);
+        assert!(f.trie_if_built().is_none());
+    }
+
+    #[test]
+    fn repeated_gets_eventually_build_the_trie() {
+        let f = sample();
+        for _ in 0..Factor::<u64>::GETS_BEFORE_TRIE {
+            assert_eq!(f.get(&[2, 2]), Some(&7));
+        }
+        assert!(f.trie_if_built().is_some(), "repeated lookups should amortize into an index");
+        assert_eq!(f.get(&[2, 2]), Some(&7));
+    }
+
+    #[test]
+    fn clone_preserves_built_trie() {
+        let f = sample();
+        let cold = f.clone();
+        assert!(cold.trie_if_built().is_none(), "clone of a cold factor stays cold");
+        let _ = f.trie();
+        let warm = f.clone();
+        assert!(warm.trie_if_built().is_some(), "clone must keep the built index");
+        assert_eq!(warm.trie_if_built(), f.trie_if_built());
+        assert_eq!(warm, f);
+    }
+
+    #[test]
+    fn stats_report_trie_cardinalities() {
+        let f = sample(); // rows (0,0) (0,1) (1,0) (2,2): 3 distinct first values
+        let s = f.stats();
+        assert_eq!(s.rows, 4);
+        assert_eq!(s.arity, 2);
+        assert_eq!(s.level_distinct, vec![3, 4]);
+        assert_eq!(s.root_distinct(), 3);
+        assert!(f.trie_if_built().is_some(), "stats() builds and caches the index");
+        let n = Factor::nullary(Some(1u64));
+        assert_eq!(n.stats(), FactorStats { rows: 1, arity: 0, level_distinct: vec![] });
+        assert_eq!(n.stats().root_distinct(), 0);
     }
 
     #[test]

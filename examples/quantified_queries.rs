@@ -66,7 +66,7 @@ fn width_table() {
             mul_idempotent: true,
             closed_ops: [AggId(1)].into_iter().collect(),
         };
-        let r = faqw_exact(&shape, 100_000);
+        let r = faqw_exact(&shape, 100_000).unwrap();
         println!("  {n} |    {}    | {:.3}", n + 1, r.width);
     }
     // An instantiated member of the family:

@@ -91,7 +91,7 @@ fn mixed_aggregates_pipeline() {
 
     let shape = q.shape();
     println!("expression tree:\n{}", shape.expr_tree());
-    let best = faqw_optimize(&shape, 10_000, 14);
+    let best = faqw_optimize(&shape, 10_000, 14).expect("quickstart query is coverable");
     println!(
         "chosen ordering {:?} with faqw(σ) = {:.3} (exact = {})",
         best.order, best.width, best.exact

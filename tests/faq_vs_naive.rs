@@ -137,7 +137,7 @@ fn width_optimized_orderings_stay_correct() {
         let q = FaqQuery::new(BoolDomain, domains, vec![], bound, factors).unwrap();
         let expect = naive_eval(&q);
         let shape = q.shape();
-        let best = faqw_optimize(&shape, 2_000, 12);
+        let best = faqw_optimize(&shape, 2_000, 12).unwrap();
         assert!(
             is_equivalent_ordering(&shape, &best.order),
             "optimizer returned non-equivalent ordering {:?}",

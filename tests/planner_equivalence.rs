@@ -1,0 +1,369 @@
+//! Property tests: cost-based plans are a pure performance choice — outputs
+//! are bit-identical to the sequential InsideOut engine — plus the planner
+//! edge-case suite and the degenerate-query panic regressions.
+//!
+//! Three layers:
+//!
+//! 1. **Proptests** — random triangle-shaped queries over the counting,
+//!    max-tropical, and boolean semirings: `PreparedQuery::evaluate` under
+//!    planners with threads ∈ {1, 2, 4} equals `insideout` bit for bit
+//!    (mirroring `tests/trie_equivalence.rs`).
+//! 2. **Edge cases** — empty factors, single-row factors, single-variable
+//!    queries, and repeated evaluation/updating through one handle.
+//! 3. **Regressions** — the two former panic paths (a free variable covered
+//!    by no edge; all-nullary inputs) now surface as
+//!    `FaqError::Uncoverable` from the width API while evaluation —
+//!    sequential, parallel, and planned — keeps working.
+
+use faq::core::width::{faqw_exact, faqw_of_ordering};
+use faq::core::{insideout, insideout_par, naive_eval};
+use faq::core::{ExecPolicy, FaqError, FaqQuery, PlanCache, Planner, VarAgg};
+use faq::factor::{Domains, Factor};
+use faq::hypergraph::Var;
+use faq::semiring::{AggDomain, BoolDomain, CountDomain, MaxPlus, SingleSemiringDomain};
+use proptest::prelude::*;
+
+const DOM: u32 = 4;
+
+/// Planners under test: sequential plus parallel with an adversarial chunk
+/// floor, so thread-count plan choices actually engage on tiny inputs.
+fn planners() -> Vec<Planner> {
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            let mut p = Planner::with_threads(threads);
+            p.min_chunk_rows = 1;
+            p
+        })
+        .collect()
+}
+
+/// Assert every planner's prepared evaluation equals plain `insideout`.
+fn assert_plan_equivalent<D: AggDomain + Clone + Sync>(q: &FaqQuery<D>) {
+    let reference = insideout(q).unwrap();
+    for planner in planners() {
+        let prepared = planner.prepare(q).unwrap();
+        let out = prepared.evaluate().unwrap();
+        assert_eq!(
+            out.factor,
+            reference.factor,
+            "plan diverged under threads={} (order {:?})",
+            planner.threads,
+            prepared.plan().order
+        );
+        // Serving path: a second evaluation through the same handle is
+        // equally exact.
+        assert_eq!(prepared.evaluate().unwrap().factor, reference.factor);
+    }
+}
+
+/// Decode a support bitmap into factor tuples over `(a, b)`.
+fn pairs_factor<E: Clone + PartialEq + std::fmt::Debug + Send + Sync>(
+    a: u32,
+    b: u32,
+    support: &[u32],
+    mut value_at: impl FnMut(usize) -> E,
+) -> Factor<E> {
+    let tuples: Vec<(Vec<u32>, E)> = support
+        .iter()
+        .enumerate()
+        .filter(|(_, &x)| x > 0)
+        .map(|(i, _)| (vec![i as u32 / DOM, i as u32 % DOM], value_at(i)))
+        .collect();
+    Factor::new(vec![Var(a), Var(b)], tuples).unwrap()
+}
+
+/// The triangle-shaped query skeleton shared by the three families.
+fn skeleton(
+    free: usize,
+    aggs: &[usize],
+    pick: impl Fn(usize) -> VarAgg,
+) -> (Vec<Var>, Vec<(Var, VarAgg)>) {
+    let free_vars: Vec<Var> = (0..free as u32).map(Var).collect();
+    let bound: Vec<(Var, VarAgg)> = (free..3).map(|i| (Var(i as u32), pick(aggs[i]))).collect();
+    (free_vars, bound)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Counting semiring: sum / max / product aggregate mixes.
+    #[test]
+    fn counting_plans_equal_insideout(
+        s01 in proptest::collection::vec(0u32..3, (DOM * DOM) as usize),
+        s12 in proptest::collection::vec(0u32..3, (DOM * DOM) as usize),
+        s02 in proptest::collection::vec(0u32..3, (DOM * DOM) as usize),
+        aggs in proptest::collection::vec(0usize..3, 3),
+        free in 0usize..3,
+    ) {
+        let f01 = pairs_factor(0, 1, &s01, |i| s01[i] as u64);
+        let f12 = pairs_factor(1, 2, &s12, |i| s12[i] as u64);
+        let f02 = pairs_factor(0, 2, &s02, |i| s02[i] as u64);
+        let (free_vars, bound) = skeleton(free, &aggs, |a| match a {
+            0 => VarAgg::Semiring(CountDomain::SUM),
+            1 => VarAgg::Semiring(CountDomain::MAX),
+            _ => VarAgg::Product,
+        });
+        let q = FaqQuery::new(
+            CountDomain,
+            Domains::uniform(3, DOM),
+            free_vars,
+            bound,
+            vec![f01, f12, f02],
+        ).unwrap();
+        assert_plan_equivalent(&q);
+    }
+
+    /// Max-tropical semiring on an f64 carrier: bit-identity, not tolerance.
+    #[test]
+    fn max_tropical_plans_equal_insideout(
+        s01 in proptest::collection::vec(0u32..4, (DOM * DOM) as usize),
+        s12 in proptest::collection::vec(0u32..4, (DOM * DOM) as usize),
+        aggs in proptest::collection::vec(0usize..2, 3),
+        free in 0usize..3,
+    ) {
+        let val = |s: &[u32]| {
+            let s = s.to_vec();
+            move |i: usize| s[i] as f64 * 0.25
+        };
+        let f01 = pairs_factor(0, 1, &s01, val(&s01));
+        let f12 = pairs_factor(1, 2, &s12, val(&s12));
+        let (free_vars, bound) = skeleton(free, &aggs, |a| match a {
+            0 => VarAgg::Semiring(SingleSemiringDomain::<MaxPlus>::OP),
+            _ => VarAgg::Product,
+        });
+        let q = FaqQuery::new(
+            SingleSemiringDomain::new(MaxPlus),
+            Domains::uniform(3, DOM),
+            free_vars,
+            bound,
+            vec![f01, f12],
+        ).unwrap();
+        assert_plan_equivalent(&q);
+    }
+
+    /// Boolean semiring: ∃ / ∀ quantifier mixes.
+    #[test]
+    fn boolean_plans_equal_insideout(
+        s01 in proptest::collection::vec(0u32..2, (DOM * DOM) as usize),
+        s12 in proptest::collection::vec(0u32..2, (DOM * DOM) as usize),
+        s02 in proptest::collection::vec(0u32..2, (DOM * DOM) as usize),
+        aggs in proptest::collection::vec(0usize..2, 3),
+        free in 0usize..3,
+    ) {
+        let f01 = pairs_factor(0, 1, &s01, |_| true);
+        let f12 = pairs_factor(1, 2, &s12, |_| true);
+        let f02 = pairs_factor(0, 2, &s02, |_| true);
+        let (free_vars, bound) = skeleton(free, &aggs, |a| match a {
+            0 => VarAgg::Semiring(BoolDomain::OR),
+            _ => VarAgg::Product,
+        });
+        let q = FaqQuery::new(
+            BoolDomain,
+            Domains::uniform(3, DOM),
+            free_vars,
+            bound,
+            vec![f01, f12, f02],
+        ).unwrap();
+        assert_plan_equivalent(&q);
+    }
+}
+
+// ---- Edge cases ------------------------------------------------------------
+
+#[test]
+fn empty_factor_plans_to_empty_output() {
+    let empty = Factor::<u64>::new(vec![Var(0), Var(1)], vec![]).unwrap();
+    let other =
+        Factor::new(vec![Var(1), Var(2)], vec![(vec![0, 0], 2u64), (vec![1, 2], 3)]).unwrap();
+    let q = FaqQuery::new(
+        CountDomain,
+        Domains::uniform(3, DOM),
+        vec![Var(0)],
+        vec![
+            (Var(1), VarAgg::Semiring(CountDomain::SUM)),
+            (Var(2), VarAgg::Semiring(CountDomain::SUM)),
+        ],
+        vec![empty, other],
+    )
+    .unwrap();
+    assert_plan_equivalent(&q);
+    let out = Planner::sequential().prepare(&q).unwrap().evaluate().unwrap();
+    assert!(out.factor.is_empty());
+}
+
+#[test]
+fn single_row_factors_plan_and_evaluate() {
+    let f01 = Factor::new(vec![Var(0), Var(1)], vec![(vec![1, 2], 5u64)]).unwrap();
+    let f12 = Factor::new(vec![Var(1), Var(2)], vec![(vec![2, 3], 7u64)]).unwrap();
+    let q = FaqQuery::new(
+        CountDomain,
+        Domains::uniform(3, DOM),
+        vec![Var(0)],
+        vec![
+            (Var(1), VarAgg::Semiring(CountDomain::SUM)),
+            (Var(2), VarAgg::Semiring(CountDomain::MAX)),
+        ],
+        vec![f01, f12],
+    )
+    .unwrap();
+    assert_plan_equivalent(&q);
+    assert_eq!(naive_eval(&q), insideout(&q).unwrap().factor);
+}
+
+#[test]
+fn single_variable_queries_plan_and_evaluate() {
+    // Bound-only: a scalar aggregate over one unary factor.
+    let f = Factor::new(vec![Var(0)], vec![(vec![0], 2u64), (vec![2], 3)]).unwrap();
+    let q = FaqQuery::new(
+        CountDomain,
+        Domains::uniform(1, DOM),
+        vec![],
+        vec![(Var(0), VarAgg::Semiring(CountDomain::SUM))],
+        vec![f.clone()],
+    )
+    .unwrap();
+    assert_plan_equivalent(&q);
+    let out = Planner::sequential().prepare(&q).unwrap().evaluate().unwrap();
+    assert_eq!(out.scalar(), Some(&5));
+
+    // Free-only: the same factor listed as output.
+    let qf = FaqQuery::new(CountDomain, Domains::uniform(1, DOM), vec![Var(0)], vec![], vec![f])
+        .unwrap();
+    assert_plan_equivalent(&qf);
+}
+
+#[test]
+fn thread_counts_choose_plans_not_results() {
+    // Large enough that a parallel planner actually schedules chunked steps.
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut r = StdRng::seed_from_u64(77);
+    let d = 32u32;
+    let mut mk = |a: u32, b: u32| {
+        let mut tuples = std::collections::BTreeMap::new();
+        for _ in 0..1500 {
+            tuples.insert(vec![r.gen_range(0..d), r.gen_range(0..d)], r.gen_range(1..5u64));
+        }
+        Factor::new(vec![Var(a), Var(b)], tuples.into_iter().collect()).unwrap()
+    };
+    let q = FaqQuery::new(
+        CountDomain,
+        Domains::uniform(3, d),
+        vec![Var(0)],
+        vec![
+            (Var(1), VarAgg::Semiring(CountDomain::SUM)),
+            (Var(2), VarAgg::Semiring(CountDomain::MAX)),
+        ],
+        vec![mk(0, 1), mk(1, 2), mk(0, 2)],
+    )
+    .unwrap();
+    let seq_plan = Planner::sequential().prepare(&q).unwrap();
+    let par_plan = Planner::with_threads(4).prepare(&q).unwrap();
+    assert!(seq_plan.plan().steps.iter().all(|s| s.policy.threads == 1));
+    assert!(
+        par_plan.plan().steps.iter().any(|s| s.policy.threads > 1)
+            || par_plan.plan().output.threads > 1,
+        "a 4-thread planner should schedule at least one parallel step on 1500-row inputs"
+    );
+    assert_eq!(seq_plan.evaluate().unwrap().factor, par_plan.evaluate().unwrap().factor);
+    assert_eq!(seq_plan.evaluate().unwrap().factor, insideout(&q).unwrap().factor);
+}
+
+#[test]
+fn plan_cache_serves_many_instances() {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let cache = PlanCache::new();
+    let planner = Planner::sequential();
+    let mut r = StdRng::seed_from_u64(5);
+    let mut reference = None;
+    for round in 0..4 {
+        // Exactly 10 rows per factor so every round lands in the same size
+        // class (plans are keyed by schema + log₂ size bucket).
+        let mut mk = |a: u32, b: u32| {
+            let mut tuples = std::collections::BTreeMap::new();
+            while tuples.len() < 10 {
+                tuples.insert(vec![r.gen_range(0..DOM), r.gen_range(0..DOM)], r.gen_range(1..5u64));
+            }
+            Factor::new(vec![Var(a), Var(b)], tuples.into_iter().collect()).unwrap()
+        };
+        let q = FaqQuery::new(
+            CountDomain,
+            Domains::uniform(3, DOM),
+            vec![Var(0)],
+            vec![
+                (Var(1), VarAgg::Semiring(CountDomain::SUM)),
+                (Var(2), VarAgg::Semiring(CountDomain::SUM)),
+            ],
+            vec![mk(0, 1), mk(1, 2), mk(0, 2)],
+        )
+        .unwrap();
+        let prepared = cache.prepare(&planner, &q).unwrap();
+        assert_eq!(prepared.evaluate().unwrap().factor, insideout(&q).unwrap().factor);
+        let order = prepared.plan().order.clone();
+        match &reference {
+            None => reference = Some(order),
+            Some(o) => assert_eq!(*o, order, "round {round}: cached plan must be reused"),
+        }
+    }
+    assert_eq!(cache.len(), 1, "one schema → one plan");
+}
+
+// ---- Panic-path regressions (degenerate queries) ---------------------------
+
+/// A free variable covered by no edge: `ϕ(x0, x1) = ψ(x0)` with `x1` free.
+fn free_var_no_edge_query() -> FaqQuery<CountDomain> {
+    let f = Factor::new(vec![Var(0)], vec![(vec![0], 2u64), (vec![1], 3)]).unwrap();
+    FaqQuery::new(CountDomain, Domains::uniform(2, 3), vec![Var(0), Var(1)], vec![], vec![f])
+        .unwrap()
+}
+
+/// All-nullary inputs: `ϕ = Σ_{x0} c₁ · c₂` — every edge is empty.
+fn all_nullary_query() -> FaqQuery<CountDomain> {
+    FaqQuery::new(
+        CountDomain,
+        Domains::uniform(1, 3),
+        vec![],
+        vec![(Var(0), VarAgg::Semiring(CountDomain::SUM))],
+        vec![Factor::nullary(Some(2u64)), Factor::nullary(Some(3u64))],
+    )
+    .unwrap()
+}
+
+#[test]
+fn free_variable_in_no_edge_errs_instead_of_panicking() {
+    let q = free_var_no_edge_query();
+    let shape = q.shape();
+    // The width API returns Err(Uncoverable) — previously a panic in
+    // `RhoStar::eval` ("U-set not coverable by the query's edges").
+    assert!(matches!(faqw_exact(&shape, 100), Err(FaqError::Uncoverable(_))));
+    assert!(matches!(faqw_of_ordering(&shape, &[Var(0), Var(1)]), Err(FaqError::Uncoverable(_))));
+    // Evaluation is well-defined: the free variable iterates its domain.
+    let expect = naive_eval(&q);
+    assert_eq!(insideout(&q).unwrap().factor, expect);
+    for threads in [1usize, 2, 4] {
+        let policy = ExecPolicy { threads, min_chunk_rows: 1, ..ExecPolicy::sequential() };
+        assert_eq!(insideout_par(&q, &policy).unwrap().factor, expect);
+    }
+    // The planner degrades gracefully (cost falls back to domain products)
+    // and records that no width is defined.
+    let prepared = Planner::with_threads(4).prepare(&q).unwrap();
+    assert_eq!(prepared.plan().width, None);
+    assert_eq!(prepared.evaluate().unwrap().factor, expect);
+}
+
+#[test]
+fn all_nullary_inputs_err_instead_of_panicking() {
+    let q = all_nullary_query();
+    let shape = q.shape();
+    assert!(matches!(faqw_exact(&shape, 100), Err(FaqError::Uncoverable(_))));
+    assert!(matches!(faqw_of_ordering(&shape, &[Var(0)]), Err(FaqError::Uncoverable(_))));
+    // Σ_{x0∈Dom(3)} 2·3 = 18, from every engine and from a plan.
+    assert_eq!(insideout(&q).unwrap().scalar(), Some(&18));
+    for threads in [1usize, 4] {
+        let policy = ExecPolicy { threads, min_chunk_rows: 1, ..ExecPolicy::sequential() };
+        assert_eq!(insideout_par(&q, &policy).unwrap().scalar(), Some(&18));
+    }
+    let prepared = Planner::with_threads(4).prepare(&q).unwrap();
+    assert_eq!(prepared.plan().width, None);
+    assert_eq!(prepared.evaluate().unwrap().scalar(), Some(&18));
+}

@@ -91,13 +91,14 @@ fn linex_is_sound_and_width_complete() {
         }
 
         // Width completeness: each accepted ordering's width appears in LinEx.
-        let linex_widths: Vec<f64> = linex.iter().map(|s| faqw_of_ordering(&shape, s)).collect();
+        let linex_widths: Vec<f64> =
+            linex.iter().map(|s| faqw_of_ordering(&shape, s).unwrap()).collect();
         let ids: Vec<u32> = (0..n).collect();
         for pi in permutations(&ids) {
             if !is_equivalent_ordering(&shape, &pi) {
                 continue;
             }
-            let w = faqw_of_ordering(&shape, &pi);
+            let w = faqw_of_ordering(&shape, &pi).unwrap();
             let matched = linex_widths.iter().any(|lw| (lw - w).abs() < 1e-9);
             assert!(
                 matched,
@@ -119,13 +120,15 @@ fn optimum_over_evo_equals_optimum_over_linex() {
         let n = rng.gen_range(3..6u32);
         let shape = random_shape(&mut rng, n, false);
         let (linex, _) = linear_extensions(&shape, 5_000);
-        let best_linex =
-            linex.iter().map(|s| faqw_of_ordering(&shape, s)).fold(f64::INFINITY, f64::min);
+        let best_linex = linex
+            .iter()
+            .map(|s| faqw_of_ordering(&shape, s).unwrap())
+            .fold(f64::INFINITY, f64::min);
         let ids: Vec<u32> = (0..n).collect();
         let best_evo = permutations(&ids)
             .into_iter()
             .filter(|pi| is_equivalent_ordering(&shape, pi))
-            .map(|pi| faqw_of_ordering(&shape, &pi))
+            .map(|pi| faqw_of_ordering(&shape, &pi).unwrap())
             .fold(f64::INFINITY, f64::min);
         assert!(
             (best_linex - best_evo).abs() < 1e-9,
