@@ -1,10 +1,12 @@
 //! Regenerate the tables and figures of the FAQ paper on laptop-scale
 //! workloads. Output is recorded in `EXPERIMENTS.md`.
 //!
-//! Usage: `cargo run -p faq_bench --release --bin paper_tables [--fast] [--threads N]`
+//! Usage: `cargo run -p faq_bench --release --bin paper_tables [--fast] [--threads N] [--json [PATH]]`
 //!
 //! `--threads N` sets the worker-pool size of the parallel-engine table
-//! (default: the host's available parallelism).
+//! (default: the host's available parallelism). `--json` additionally writes
+//! the hot-path table (H1) as machine-readable JSON — the per-PR perf
+//! trajectory CI uploads as an artifact — to `PATH` (default `BENCH_5.json`).
 
 use faq_apps::{cq, joins, matrix, pgm, qcq};
 use faq_bench::{example_5_6_good_order, example_5_6_input_order, example_5_6_query};
@@ -30,6 +32,12 @@ fn main() {
         }
         None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
     };
+    let json_path: Option<String> = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_5.json".to_string())
+    });
     let iters = if fast { 1 } else { 3 };
     println!("# FAQ paper reproduction — measured tables\n");
     println!(
@@ -45,6 +53,7 @@ fn main() {
     rep_table(iters, fast);
     par_table(iters, fast, threads);
     plan_table(iters, fast);
+    hot_table(iters, fast, json_path.as_deref());
     width_table();
     sat_tables(iters, fast);
     composition_table();
@@ -349,6 +358,77 @@ fn plan_table(iters: usize, fast: bool) {
         );
     }
     println!();
+}
+
+/// H1: the hot-path perf trajectory — absolute wall-clock of the flat-row
+/// InsideOut pipeline (PR 5) on the triangle / path4 / PGM-chain workloads
+/// the `hot_path` bench measures, plus the conditional-query volume and
+/// output size per workload. With `--json`, the same rows are written to a
+/// machine-readable file (`BENCH_5.json` by default) so CI can archive one
+/// perf point per push.
+fn hot_table(iters: usize, fast: bool, json_path: Option<&str>) {
+    println!("## H1 Hot path — flat-row InsideOut pipeline (perf trajectory)\n");
+    println!("| workload | median (ms) | seeks | out rows |");
+    println!("|---|---|---|---|");
+    let policy = ExecPolicy::sequential();
+    let mut entries: Vec<(String, f64, u64, usize)> = Vec::new();
+
+    // Workloads shared with benches/hot_path.rs via faq_bench::hot_path —
+    // one definition, so the JSON trajectory measures what the bench does.
+    let tri_sizes: &[usize] = if fast { &[1000, 2000] } else { &[2000, 8000] };
+    for (m, q) in faq_bench::hot_path::triangles(tri_sizes) {
+        // One untimed pass reads the counters and warms the timing loop.
+        let out = q.evaluate_par(&policy).unwrap();
+        let t = time_median(iters, || q.evaluate_par(&policy).unwrap());
+        entries.push((
+            format!("triangle_m{m}"),
+            t * 1e3,
+            out.stats.total_seeks(),
+            out.factor.len(),
+        ));
+    }
+    let path_m = if fast { 300 } else { 800 };
+    let q = faq_bench::hot_path::path4(path_m);
+    let out = q.evaluate_par(&policy).unwrap();
+    let t = time_median(iters, || q.evaluate_par(&policy).unwrap());
+    entries.push((format!("path4_m{path_m}"), t * 1e3, out.stats.total_seeks(), out.factor.len()));
+
+    // PGM chain marginal, evaluated as a plain FAQ over (ℝ₊, +, ×) along the
+    // chain's own ordering so the seek counter is observable.
+    let (n, d) = if fast { (16usize, 12u32) } else { (48, 48) };
+    let (q, sigma) = faq_bench::hot_path::pgm_chain_marginal(n, d);
+    let out = insideout_with_order(&q, &sigma).unwrap();
+    let t = time_median(iters, || insideout_with_order(&q, &sigma).unwrap());
+    entries.push((
+        format!("pgm_chain_n{n}_d{d}"),
+        t * 1e3,
+        out.stats.total_seeks(),
+        out.factor.len(),
+    ));
+
+    for (name, ms, seeks, rows) in &entries {
+        println!("| {name} | {ms:.3} | {seeks} | {rows} |");
+    }
+    println!();
+
+    if let Some(path) = json_path {
+        // Record the run configuration: fast mode shrinks the workloads, so
+        // trajectories are only comparable within the same mode.
+        let mut s = format!(
+            "{{\n  \"bench\": \"hot_path\",\n  \"fast\": {fast},\n  \"iters\": {iters},\n  \
+             \"workloads\": [\n"
+        );
+        for (i, (name, ms, seeks, rows)) in entries.iter().enumerate() {
+            let sep = if i + 1 < entries.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"median_ms\": {ms:.3}, \"seeks\": {seeks}, \
+                 \"rows\": {rows}}}{sep}\n"
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        std::fs::write(path, s).expect("write the perf-trajectory JSON");
+        println!("wrote perf trajectory to {path}\n");
+    }
 }
 
 /// §7.2.1: faqw vs Chen–Dalmau prefix width on the ∀…∀∃ family.

@@ -106,6 +106,64 @@ pub fn example_5_6_query(n: u32, seed: u64) -> FaqQuery<RealDomain> {
     .unwrap()
 }
 
+/// The hot-path workload family — the *single* definition shared by
+/// `benches/hot_path.rs` and the `paper_tables` H1 table / `BENCH_5.json`
+/// perf trajectory, so the archived trajectory always measures exactly what
+/// the bench measures (same seeds, sizes, and query shapes).
+pub mod hot_path {
+    use super::rng;
+    use faq_apps::{joins, pgm};
+    use faq_core::{FaqQuery, VarAgg};
+    use faq_hypergraph::Var;
+    use faq_semiring::RealDomain;
+
+    /// Triangle joins over 128-node random graphs (seed 21). Pass the whole
+    /// size list at once: the instances share one RNG stream, so the graph
+    /// for a given `m` depends on the sizes drawn before it.
+    pub fn triangles(ms: &[usize]) -> Vec<(usize, joins::NaturalJoin)> {
+        let mut r = rng(21);
+        ms.iter()
+            .map(|&m| {
+                let edges = joins::random_graph(128, m, &mut r);
+                (m, joins::triangle_query(&edges, 128))
+            })
+            .collect()
+    }
+
+    /// The path4 join over a sparse 96-node random graph (seed 23).
+    pub fn path4(m: usize) -> joins::NaturalJoin {
+        let mut r = rng(23);
+        let edges = joins::random_graph(96, m, &mut r);
+        joins::path_query(&edges, 96, 4)
+    }
+
+    /// An `n`-variable chain PGM with domain `d` (seed 31), posed as the
+    /// plain FAQ marginal over `Var(0)` along the chain's own ordering —
+    /// every elimination is a two-factor join of ~d² rows, isolating the
+    /// elimination kernels from `GraphicalModel::marginal`'s per-call
+    /// width-ordering search.
+    pub fn pgm_chain_marginal(n: usize, d: u32) -> (FaqQuery<RealDomain>, Vec<Var>) {
+        let mut r = rng(31);
+        let model = pgm::random_chain(n, d, &mut r);
+        let bound: Vec<(Var, VarAgg)> = model
+            .domains
+            .vars()
+            .filter(|&v| v != Var(0))
+            .map(|v| (v, VarAgg::Semiring(RealDomain::SUM)))
+            .collect();
+        let q = FaqQuery::new(
+            RealDomain,
+            model.domains.clone(),
+            vec![Var(0)],
+            bound,
+            model.potentials.clone(),
+        )
+        .expect("chain PGM is a valid FAQ");
+        let sigma = q.ordering();
+        (q, sigma)
+    }
+}
+
 /// The paper's good ordering for Example 5.6: `(5, 1, 2, 3, 4, 6)`.
 pub fn example_5_6_good_order() -> Vec<Var> {
     [5u32, 1, 2, 3, 4, 6].iter().map(|&i| Var(i)).collect()

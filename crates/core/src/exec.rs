@@ -17,11 +17,14 @@
 //!    ([`faq_factor::Factor::column_partition`]);
 //! 2. run the leapfrog join kernel per chunk on a `std::thread::scope`
 //!    worker pool ([`faq_join::multiway_join_range_rep`]), each worker
-//!    walking a range-restricted view of the same cached tries,
-//!    stream-folding each chunk's groups locally;
-//! 3. merge the per-chunk sorted outputs ([`faq_factor::merge_sorted_rows`]),
-//!    combining any duplicate tuples with the step's `⊕` in sorted-tuple
-//!    order.
+//!    stream-folding its groups column-flat into its own
+//!    [`faq_factor::FactorBuilder`] — no per-row allocations — while walking
+//!    a range-restricted view of the same cached tries;
+//! 3. concatenate the per-chunk builders in range order (chunk key ranges
+//!    are disjoint and ascending, so the k-way merge is an append) into the
+//!    output factor's builder, growing the output's trie index *during* the
+//!    merge ([`faq_factor::FactorBuilder::with_streaming_trie`]) so the next
+//!    elimination step never re-indexes the intermediate.
 //!
 //! **Determinism.** The output factor is bit-identical to the sequential
 //! engine's for every semiring and every thread count: a fold group's first
@@ -36,7 +39,7 @@
 
 use crate::insideout::FaqOutput;
 use crate::query::{FaqError, FaqQuery};
-use faq_factor::{merge_sorted_rows, Domains};
+use faq_factor::{Domains, Factor, FactorBuilder};
 use faq_hypergraph::Var;
 use faq_join::{multiway_join_range_rep, JoinInput, JoinStats};
 use faq_semiring::{AggDomain, SemiringElem};
@@ -153,20 +156,26 @@ pub fn insideout_par_with_order<D: AggDomain + Sync>(
     crate::insideout::insideout_with_policy(q, sigma, policy)
 }
 
-/// Rows and search statistics produced by one (chunk of a) grouped join.
-type GroupedRows<E> = (Vec<(Vec<u32>, E)>, JoinStats);
-
 /// One elimination-step join: enumerate matches of `inputs` under `order`,
 /// group them by the first `group_arity` binding columns, fold each group's
-/// values with `fold`, and drop groups whose folded value `is_zero`.
+/// values with `fold`, drop groups whose folded value `is_zero`, and return
+/// the surviving groups as a built factor over `order[..group_arity]`.
 ///
 /// With `group_arity == order.len()` this is plain enumeration with a zero
 /// filter (every binding is its own group) — the shape of the guard joins and
 /// the final output join. With `group_arity == order.len() - 1` it is the
 /// semiring elimination of eq. (7).
 ///
+/// The output factor is assembled column-flat through a
+/// [`FactorBuilder`] — the join emits bindings in lexicographic order with
+/// distinct group keys, so no sort, duplicate scan, or per-row allocation
+/// ever happens. With `build_trie` the factor's trie index is grown while
+/// rows are emitted (and, under a parallel policy, while per-chunk outputs
+/// are merged), so callers that join the result — every elimination step —
+/// receive a pre-indexed intermediate.
+///
 /// The policy decides sequential vs chunked execution; both produce the same
-/// rows in the same order.
+/// factor, bit for bit.
 ///
 /// Errors (instead of panicking) when the chunking invariant is violated —
 /// no aligned input holds the first join variable in its leading column even
@@ -180,49 +189,76 @@ pub(crate) fn grouped_join<E: SemiringElem>(
     inputs: &[JoinInput<'_, E>],
     one: &E,
     group_arity: usize,
+    build_trie: bool,
     mul: &(impl Fn(&E, &E) -> E + Sync),
     fold: &(impl Fn(&E, &E) -> E + Sync),
     is_zero: &(impl Fn(&E) -> bool + Sync),
-) -> Result<GroupedRows<E>, FaqError> {
+) -> Result<(Factor<E>, JoinStats), FaqError> {
     debug_assert!(group_arity <= order.len());
     let rep = policy.rep;
-    let run_range = |range: (u32, u32)| {
-        grouped_join_range(rep, domains, order, inputs, range, one, group_arity, mul, fold, is_zero)
+    let schema: Vec<Var> = order[..group_arity].to_vec();
+    let out_builder = || {
+        let b = FactorBuilder::new(schema.clone()).expect("join-order variables are distinct");
+        if build_trie {
+            b.with_streaming_trie()
+        } else {
+            b
+        }
     };
     let full = (0u32, u32::MAX);
 
     let threads = policy.effective_threads();
     // A zero group arity means the whole output is ONE fold group; chunking
     // it would re-associate the ⊕-fold, which is observable on f64.
-    if threads <= 1 || group_arity == 0 || order.is_empty() {
-        return Ok(run_range(full));
-    }
+    let sequential = threads <= 1 || group_arity == 0 || order.is_empty();
 
     // Chunking basis: the largest input containing the first join variable.
-    let first = order[0];
-    let Some(basis_len) = inputs
-        .iter()
-        .map(|i| i.factor)
-        .filter(|f| f.schema().contains(&first))
-        .map(|f| f.len())
-        .max()
-    else {
-        return Ok(run_range(full)); // first variable unconstrained — rare and cheap
+    let basis_len = if sequential {
+        None
+    } else {
+        inputs
+            .iter()
+            .map(|i| i.factor)
+            .filter(|f| f.schema().contains(&order[0]))
+            .map(|f| f.len())
+            .max()
     };
     let per_chunk = policy.min_chunk_rows.clamp(1, usize::MAX / 2);
-    let max_chunks = threads.min(basis_len / per_chunk);
-    if max_chunks <= 1 {
-        return Ok(run_range(full));
+    let max_chunks = threads.min(basis_len.unwrap_or(0) / per_chunk);
+    if sequential || max_chunks <= 1 {
+        let mut out = out_builder();
+        let stats = grouped_join_range(
+            rep,
+            domains,
+            order,
+            inputs,
+            full,
+            one,
+            group_arity,
+            mul,
+            fold,
+            is_zero,
+            &mut out,
+        );
+        return Ok((out.finish(), stats));
     }
+    let first = order[0];
 
     // Align every input to the join order once, up front: the join kernel
     // aligns per invocation, and without this each chunk worker would re-copy
-    // (and re-sort, when misaligned) every factor.
-    let aligned: Vec<_> = inputs.iter().map(|i| i.factor.align_to_cow(order)).collect();
+    // (and re-sort, when misaligned) every factor. Prefix filters skip
+    // alignment by contract (their leading columns already follow the order).
+    let aligned: Vec<_> = inputs
+        .iter()
+        .map(|i| match i.prefix {
+            Some(_) => std::borrow::Cow::Borrowed(i.factor),
+            None => i.factor.align_to_cow(order),
+        })
+        .collect();
     let chunk_inputs: Vec<JoinInput<'_, E>> = aligned
         .iter()
         .zip(inputs)
-        .map(|(f, i)| JoinInput { factor: f.as_ref(), use_value: i.use_value })
+        .map(|(f, i)| JoinInput { factor: f.as_ref(), use_value: i.use_value, prefix: i.prefix })
         .collect();
 
     // Cut the basis column for the first variable into value ranges. Aligned
@@ -244,7 +280,8 @@ pub(crate) fn grouped_join<E: SemiringElem>(
         // Too few distinct values to chunk. Run sequentially over the inputs
         // aligned above — not the originals — so the alignment copies (and
         // the basis trie just built) are used, not discarded and redone.
-        return Ok(grouped_join_range(
+        let mut out = out_builder();
+        let stats = grouped_join_range(
             rep,
             domains,
             order,
@@ -255,18 +292,23 @@ pub(crate) fn grouped_join<E: SemiringElem>(
             mul,
             fold,
             is_zero,
-        ));
+            &mut out,
+        );
+        return Ok((out.finish(), stats));
     }
 
     // Scoped worker pool: one worker per chunk (ranges.len() ≤ threads), each
-    // writing into its own slot.
-    let mut slots: Vec<Option<GroupedRows<E>>> = Vec::new();
+    // stream-folding into its own flat builder.
+    let mut slots: Vec<Option<(FactorBuilder<E>, JoinStats)>> = Vec::new();
     slots.resize_with(ranges.len(), || None);
     std::thread::scope(|s| {
         for (&range, slot) in ranges.iter().zip(slots.iter_mut()) {
             let chunk_inputs = &chunk_inputs;
+            let schema = &schema;
             s.spawn(move || {
-                *slot = Some(grouped_join_range(
+                let mut out =
+                    FactorBuilder::new(schema.clone()).expect("join-order variables are distinct");
+                let stats = grouped_join_range(
                     rep,
                     domains,
                     order,
@@ -277,30 +319,32 @@ pub(crate) fn grouped_join<E: SemiringElem>(
                     mul,
                     fold,
                     is_zero,
-                ))
+                    &mut out,
+                );
+                *slot = Some((out, stats));
             });
         }
     });
 
+    // Group keys begin with the chunked variable, so chunk outputs are
+    // disjoint and ascending: the k-way merge is a concatenating append,
+    // growing the output trie in stream order when one was requested.
     let mut stats = JoinStats::default();
-    let mut chunks: Vec<Vec<(Vec<u32>, E)>> = Vec::with_capacity(slots.len());
+    let mut out = out_builder();
     for slot in slots {
-        let (rows, chunk_stats) = slot.expect("worker completed");
+        let (chunk, chunk_stats) = slot.expect("worker completed");
         stats.matches += chunk_stats.matches;
         stats.seeks += chunk_stats.seeks;
         stats.nodes += chunk_stats.nodes;
-        chunks.push(rows);
+        out.append(chunk);
     }
-    // Group keys begin with the chunked variable, so chunk outputs are
-    // disjoint and ascending: the merge is a concatenation that would also
-    // combine duplicates correctly if they could arise.
-    let rows = merge_sorted_rows(chunks, |a, b| fold(a, b), |v| is_zero(v));
-    Ok((rows, stats))
+    Ok((out.finish(), stats))
 }
 
 /// The sequential kernel: one range-restricted leapfrog join with streaming
 /// group-fold, exactly the paper's stream-aggregation over consecutive
-/// outputs.
+/// outputs — emitted straight into the caller's flat builder. The only
+/// per-group state is one reusable key buffer; nothing is allocated per row.
 #[allow(clippy::too_many_arguments)]
 fn grouped_join_range<E: SemiringElem>(
     rep: JoinRep,
@@ -313,10 +357,10 @@ fn grouped_join_range<E: SemiringElem>(
     mul: impl Fn(&E, &E) -> E,
     fold: impl Fn(&E, &E) -> E,
     is_zero: impl Fn(&E) -> bool,
-) -> GroupedRows<E> {
-    let mut rows: Vec<(Vec<u32>, E)> = Vec::new();
-    let mut cur_key: Option<Vec<u32>> = None;
-    let mut cur_acc: Option<E> = None;
+    out: &mut FactorBuilder<E>,
+) -> JoinStats {
+    let mut key: Vec<u32> = Vec::with_capacity(group_arity);
+    let mut acc: Option<E> = None;
     let stats = multiway_join_range_rep(
         rep,
         domains,
@@ -326,29 +370,28 @@ fn grouped_join_range<E: SemiringElem>(
         one.clone(),
         |a, b| mul(a, b),
         |binding, val| {
-            let key = &binding[..group_arity];
-            match (&mut cur_key, &mut cur_acc) {
-                (Some(k), Some(acc)) if k.as_slice() == key => {
-                    *acc = fold(acc, &val);
-                }
+            let group = &binding[..group_arity];
+            match &mut acc {
+                Some(a) if key == group => *a = fold(a, &val),
                 _ => {
-                    if let (Some(k), Some(acc)) = (cur_key.take(), cur_acc.take()) {
-                        if !is_zero(&acc) {
-                            rows.push((k, acc));
+                    if let Some(done) = acc.take() {
+                        if !is_zero(&done) {
+                            out.push(&key, done);
                         }
                     }
-                    cur_key = Some(key.to_vec());
-                    cur_acc = Some(val);
+                    key.clear();
+                    key.extend_from_slice(group);
+                    acc = Some(val);
                 }
             }
         },
     );
-    if let (Some(k), Some(acc)) = (cur_key.take(), cur_acc.take()) {
-        if !is_zero(&acc) {
-            rows.push((k, acc));
+    if let Some(done) = acc.take() {
+        if !is_zero(&done) {
+            out.push(&key, done);
         }
     }
-    (rows, stats)
+    stats
 }
 
 #[cfg(test)]

@@ -175,19 +175,22 @@ pub(crate) fn insideout_with_source<D: AggDomain + Sync, P: PolicySource>(
     for g in &art.guards {
         inputs.push(JoinInput::filter(g));
     }
-    let (rows, join_stats) = grouped_join(
+    // The output factor is not an intermediate — nothing joins it next — so
+    // no streaming trie: the flat builder path alone replaces the former
+    // sort-and-dedup (`Factor::new` + expect) construction.
+    let (factor, join_stats) = grouped_join(
         policies.output_policy(),
         &q.domains,
         &art.free_order,
         &inputs,
         &dom.one(),
         art.free_order.len(),
+        false,
         &|a, b| dom.mul(a, b),
         &|a: &D::E, _: &D::E| a.clone(),
         &|x| dom.is_zero(x),
     )?;
     stats.output_join = Some(join_stats);
-    let factor = Factor::new(art.free_order, rows).expect("join emits distinct bindings");
     Ok(FaqOutput { factor, stats })
 }
 
@@ -271,27 +274,28 @@ pub(crate) fn run_elimination_with_source<D: AggDomain + Sync, P: PolicySource>(
         let mut join_order: Vec<Var> = u.iter().copied().collect();
         join_order.sort_by_key(|&v| sigma_pos(v));
 
-        // ψ_{U_k}: join of the indicator projections of every edge touching U.
-        let projections: Vec<Factor<D::E>> = edges
-            .iter()
-            .filter(|e| e.schema().iter().any(|v| u.contains(v)))
-            .map(|e| e.indicator_projection(&join_order, dom.one()))
-            .collect();
-        let inputs: Vec<JoinInput<'_, D::E>> = projections.iter().map(JoinInput::filter).collect();
+        // ψ_{U_k}: join of the indicator projections of every edge touching
+        // U. Edges whose surviving columns are a sigma-compatible prefix of
+        // their schema join lazily (a depth-capped cursor over their own
+        // cached trie); only the rest materialize a projection.
+        let (filters, projections) = plan_filters(&edges, &u, &join_order, dom);
+        let inputs = filter_inputs(&filters, &edges, &projections);
         // All inputs are filters, so every match's value is `1`: the grouped
         // join (group = full binding, no zero filter) lists the join support.
-        let (rows, join_stats) = grouped_join(
+        // The guard is joined again by the final output phase, so its trie is
+        // grown while its rows stream out.
+        let (guard, join_stats) = grouped_join(
             policies.policy_for(var),
             &q.domains,
             &join_order,
             &inputs,
             &dom.one(),
             join_order.len(),
+            true,
             &|a, b| dom.mul(a, b),
             &|a: &D::E, _: &D::E| a.clone(),
             &|_| false,
         )?;
-        let guard = Factor::new(join_order.clone(), rows).expect("join emits distinct bindings");
         let reduced: Vec<Var> = join_order.iter().copied().filter(|&x| x != var).collect();
         let new_edge = guard.indicator_projection(&reduced, dom.one());
         stats.record(StepStat {
@@ -358,44 +362,117 @@ fn eliminate_semiring<D: AggDomain + Sync>(
     let group_arity = join_order.len();
     join_order.push(var);
 
-    // Indicator projections of surviving edges that overlap U (eq. (7)).
-    let projections: Vec<Factor<D::E>> = rest
-        .iter()
-        .filter(|e| e.arity() > 0 && e.schema().iter().any(|v| u.contains(v)))
-        .map(|e| e.indicator_projection(&join_order, dom.one()))
-        .collect();
+    // Indicator projections of surviving edges that overlap U (eq. (7)) —
+    // lazy depth-capped cursors over the edges' own tries wherever the
+    // surviving columns form a sigma-compatible prefix, materialized
+    // projections otherwise.
+    let (filters, projections) = plan_filters(&rest, &u, &join_order, dom);
 
     let mut inputs: Vec<JoinInput<'_, D::E>> = Vec::new();
     for e in &incident {
         inputs.push(JoinInput::value(e));
     }
-    for p in &projections {
-        inputs.push(JoinInput::filter(p));
-    }
+    inputs.extend(filter_inputs(&filters, &rest, &projections));
 
     // Stream-aggregate over the innermost variable: the join emits bindings in
     // lexicographic order of `join_order`, so rows sharing the group prefix
     // are consecutive — per chunk under a parallel policy, with chunk outputs
-    // merged back in sorted order.
-    let (out_rows, join_stats) = grouped_join(
+    // appended back in sorted order. The intermediate is joined by the next
+    // elimination step, so its trie index is grown while rows stream out.
+    let (new_factor, join_stats) = grouped_join(
         policy,
         &q.domains,
         &join_order,
         &inputs,
         &dom.one(),
         group_arity,
+        true,
         &|a, b| dom.mul(a, b),
         &|a, b| dom.add(op, a, b),
         &|x| dom.is_zero(x),
     )?;
-
-    let new_schema: Vec<Var> = join_order[..group_arity].to_vec();
-    let rows_out = out_rows.len();
-    let new_factor = Factor::new(new_schema, out_rows).expect("grouped keys are distinct");
+    let rows_out = new_factor.len();
 
     *edges = rest;
     edges.push(new_factor);
     Ok(StepStat { var, semiring: true, u_size: u.len(), rows_out, join: Some(join_stats) })
+}
+
+/// How one surviving edge participates in an elimination join as a filter.
+#[derive(Debug, Clone, Copy)]
+enum FilterPlan {
+    /// `Lazy(i, k)`: edge `i` joins through [`JoinInput::prefix_filter`] at
+    /// depth `k` — its first `k` columns are exactly the columns surviving
+    /// the indicator projection, already in join order, so its own (cached)
+    /// trie doubles as the projection's index.
+    Lazy(usize, usize),
+    /// `Materialized(j)`: the projection had to be materialized; `j` indexes
+    /// the side table of materialized projections.
+    Materialized(usize),
+}
+
+/// Split the edges overlapping `u` into lazy prefix filters and materialized
+/// indicator projections, preserving edge order (cursor order is part of the
+/// engine's deterministic seek accounting).
+fn plan_filters<D: AggDomain>(
+    edges: &[Factor<D::E>],
+    u: &VarSet,
+    join_order: &[Var],
+    dom: &D,
+) -> (Vec<FilterPlan>, Vec<Factor<D::E>>) {
+    let mut filters: Vec<FilterPlan> = Vec::new();
+    let mut projections: Vec<Factor<D::E>> = Vec::new();
+    for (i, e) in edges.iter().enumerate() {
+        if e.arity() == 0 || !e.schema().iter().any(|v| u.contains(v)) {
+            continue;
+        }
+        match prefix_filter_depth(e.schema(), join_order) {
+            Some(depth) => filters.push(FilterPlan::Lazy(i, depth)),
+            None => {
+                filters.push(FilterPlan::Materialized(projections.len()));
+                projections.push(e.indicator_projection(join_order, dom.one()));
+            }
+        }
+    }
+    (filters, projections)
+}
+
+/// Realize planned filters as join inputs, in plan order — the one place the
+/// [`FilterPlan`] variants map onto [`JoinInput`] constructors.
+fn filter_inputs<'a, E: faq_semiring::SemiringElem>(
+    filters: &[FilterPlan],
+    edges: &'a [Factor<E>],
+    projections: &'a [Factor<E>],
+) -> Vec<JoinInput<'a, E>> {
+    filters
+        .iter()
+        .map(|f| match *f {
+            FilterPlan::Lazy(i, depth) => JoinInput::prefix_filter(&edges[i], depth),
+            FilterPlan::Materialized(j) => JoinInput::filter(&projections[j]),
+        })
+        .collect()
+}
+
+/// The depth `k` at which joining `schema[..k]` as a lazy prefix filter is
+/// equivalent to materializing the indicator projection onto `join_order`:
+/// the schema columns surviving the projection must be exactly `schema[..k]`
+/// (a prefix), already in `join_order`-relative order. `None` otherwise — the
+/// caller falls back to materialization.
+fn prefix_filter_depth(schema: &[Var], join_order: &[Var]) -> Option<usize> {
+    let pos = |v: &Var| join_order.iter().position(|o| o == v);
+    let k = schema.iter().take_while(|v| pos(v).is_some()).count();
+    if k == 0 || schema[k..].iter().any(|v| pos(v).is_some()) {
+        return None; // surviving columns are not a schema prefix
+    }
+    let mut prev: Option<usize> = None;
+    for v in &schema[..k] {
+        let p = pos(v).expect("validated by the prefix scan");
+        if prev.is_some_and(|q| q >= p) {
+            return None; // prefix not in join-order-relative order
+        }
+        prev = Some(p);
+    }
+    Some(k)
 }
 
 /// Eliminate a product-aggregated variable (paper eq. (8)).

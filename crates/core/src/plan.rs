@@ -450,7 +450,11 @@ impl<'a> CostModel<'a> {
 /// Construction pays for ordering search, factor alignment to the plan
 /// order, and trie-index builds exactly once; every [`PreparedQuery::evaluate`]
 /// after that runs straight into the join kernels (factor clones keep their
-/// built tries). Factor values can be swapped out between evaluations with
+/// built tries). *Intermediate* factors need no index build either: each
+/// elimination step's output streams into its trie as rows are emitted
+/// (see [`faq_factor::FactorBuilder::with_streaming_trie`]), so the serving
+/// path never re-indexes a listing — inputs are indexed here, intermediates
+/// at birth. Factor values can be swapped out between evaluations with
 /// [`PreparedQuery::update_factor`] — the plan is schema-keyed, so results
 /// stay exact for arbitrary new data; only the cost estimates age.
 pub struct PreparedQuery<D: AggDomain> {
@@ -470,9 +474,13 @@ impl<D: AggDomain + Clone + Sync> PreparedQuery<D> {
         q.check_ordering(&plan.order)?;
         let mut query = q.clone();
         for fac in &mut query.factors {
-            let aligned = fac.align_to(&plan.order);
-            aligned.trie(); // build (and cache) the serving index now
-            *fac = aligned;
+            // Re-sort only the factors the plan order actually misaligns; an
+            // aligned input (the common serving case) is kept as-is instead
+            // of being cloned row by row.
+            if let std::borrow::Cow::Owned(aligned) = fac.align_to_cow(&plan.order) {
+                *fac = aligned;
+            }
+            fac.trie(); // build (and cache) the serving index now
         }
         Ok(PreparedQuery { query, plan })
     }

@@ -1,6 +1,8 @@
-//! The [`Factor`] type: a sorted listing of non-zero entries.
+//! The [`Factor`] type: a sorted listing of non-zero entries, plus the
+//! [`FactorBuilder`] that assembles factors column-flat from sorted row
+//! streams.
 
-use crate::trie::FactorTrie;
+use crate::trie::{FactorTrie, TrieBuilder};
 use faq_hypergraph::Var;
 use faq_semiring::SemiringElem;
 use std::fmt;
@@ -194,6 +196,49 @@ impl<E: SemiringElem> Factor<E> {
             vals.push(v);
         }
         Factor { schema, rows, vals, len, trie: OnceLock::new(), gets: AtomicU32::new(0) }
+    }
+
+    /// Build a factor directly from column-flat storage whose rows are
+    /// **already sorted and distinct** — the zero-copy fast path for join
+    /// output, which is emitted in lexicographic order with distinct
+    /// bindings, so the sort + duplicate scan of [`Factor::new`] is pure
+    /// overhead.
+    ///
+    /// `rows` holds `vals.len() × schema.len()` values row-major. The
+    /// sortedness contract is the caller's: it is verified with an `O(n)`
+    /// pass in debug builds (the assertion fires on an out-of-order or
+    /// duplicate row) and trusted in release builds. Errors only on malformed
+    /// schemas or a `rows`/`vals` length mismatch — never on data, which it
+    /// does not inspect outside debug mode.
+    pub fn from_sorted_distinct(
+        schema: Vec<Var>,
+        rows: Vec<u32>,
+        vals: Vec<E>,
+    ) -> Result<Self, FactorError> {
+        check_schema(&schema)?;
+        let arity = schema.len();
+        let len = vals.len();
+        if arity == 0 && len > 1 {
+            // Two values over the empty schema are two copies of the empty
+            // tuple — report that, not a (vacuous) arity mismatch.
+            return Err(FactorError::DuplicateTuple(Vec::new()));
+        }
+        if rows.len() != len * arity {
+            return Err(FactorError::ArityMismatch {
+                expected: arity,
+                got: rows.len().checked_div(len).unwrap_or(rows.len()),
+            });
+        }
+        debug_assert!(
+            arity == 0
+                || rows.len() <= arity
+                || rows
+                    .chunks_exact(arity)
+                    .zip(rows[arity..].chunks_exact(arity))
+                    .all(|(a, b)| a < b),
+            "from_sorted_distinct requires strictly ascending rows"
+        );
+        Ok(Factor { schema, rows, vals, len, trie: OnceLock::new(), gets: AtomicU32::new(0) })
     }
 
     /// A nullary (constant) factor: `Some(v)` is the scalar `v`, `None` is the
@@ -400,15 +445,29 @@ impl<E: SemiringElem> Factor<E> {
                     .unwrap_or_else(|| panic!("{v} not in schema {:?}", self.schema))
             })
             .collect();
+        // Identity permutation: nothing to reorder, clone (keeping the built
+        // trie) instead of re-sorting.
         if perm.iter().enumerate().all(|(i, &p)| i == p) {
             return self.clone();
         }
-        let mut pairs: Vec<(Vec<u32>, E)> = self
-            .iter()
-            .map(|(row, v)| (perm.iter().map(|&p| row[p]).collect(), v.clone()))
-            .collect();
-        pairs.sort_by(|a, b| a.0.cmp(&b.0));
-        Self::from_sorted_pairs(new_schema.to_vec(), pairs)
+        // Sort row *indices* under the permuted comparison, then write the
+        // permuted rows column-flat — no per-row tuple is ever allocated.
+        let mut idx: Vec<usize> = (0..self.len).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            let (ra, rb) = (self.row(a), self.row(b));
+            perm.iter().map(|&p| ra[p]).cmp(perm.iter().map(|&p| rb[p]))
+        });
+        let mut out = FactorBuilder::new(new_schema.to_vec()).expect("permuted schema stays valid");
+        out.reserve(self.len);
+        let mut buf = vec![0u32; self.arity()];
+        for &i in &idx {
+            let row = self.row(i);
+            for (slot, &p) in buf.iter_mut().zip(&perm) {
+                *slot = row[p];
+            }
+            out.push(&buf, self.vals[i].clone());
+        }
+        out.finish()
     }
 
     /// Reorder columns so the schema follows the relative order of `global`
@@ -445,18 +504,12 @@ impl<E: SemiringElem> Factor<E> {
     pub fn project_combine(
         &self,
         keep: &[Var],
-        combine: impl FnMut(&E, &E) -> E,
+        mut combine: impl FnMut(&E, &E) -> E,
         is_zero: impl FnMut(&E) -> bool,
     ) -> Factor<E> {
         let positions: Vec<usize> =
             (0..self.arity()).filter(|&i| keep.contains(&self.schema[i])).collect();
-        let new_schema: Vec<Var> = positions.iter().map(|&i| self.schema[i]).collect();
-        let tuples: Vec<(Vec<u32>, E)> = self
-            .iter()
-            .map(|(row, v)| (positions.iter().map(|&p| row[p]).collect(), v.clone()))
-            .collect();
-        Factor::with_combine(new_schema, tuples, combine, is_zero)
-            .expect("projection preserves arity")
+        self.project_fold(&positions, |v| v.clone(), |a, b| combine(a, b), is_zero)
     }
 
     /// The indicator projection `ψ_{S/T}` of paper Definition 4.2: project
@@ -464,13 +517,69 @@ impl<E: SemiringElem> Factor<E> {
     pub fn indicator_projection(&self, keep: &[Var], one: E) -> Factor<E> {
         let positions: Vec<usize> =
             (0..self.arity()).filter(|&i| keep.contains(&self.schema[i])).collect();
+        self.project_fold(&positions, |_| one.clone(), |a, _| a.clone(), |_| false)
+    }
+
+    /// Shared engine of the projection family: project rows onto `positions`
+    /// (columns of `self`, in output order), derive each row's contribution
+    /// with `contribution`, fold group contributions in row order with
+    /// `combine`, and drop groups whose fold `is_zero`.
+    ///
+    /// When `positions` is a prefix of the column order, the input's
+    /// sortedness already groups equal keys consecutively — one streaming
+    /// pass. Otherwise row *indices* are stably sorted under the projected
+    /// key (ties keep row order, so non-commutative folds match the previous
+    /// sort-of-pairs behaviour bit for bit). Neither path allocates per row.
+    fn project_fold(
+        &self,
+        positions: &[usize],
+        mut contribution: impl FnMut(&E) -> E,
+        mut combine: impl FnMut(&E, &E) -> E,
+        mut is_zero: impl FnMut(&E) -> bool,
+    ) -> Factor<E> {
         let new_schema: Vec<Var> = positions.iter().map(|&i| self.schema[i]).collect();
-        let tuples: Vec<(Vec<u32>, E)> = self
-            .iter()
-            .map(|(row, _)| (positions.iter().map(|&p| row[p]).collect::<Vec<u32>>(), one.clone()))
-            .collect();
-        Factor::with_combine(new_schema, tuples, |a, _| a.clone(), |_| false)
-            .expect("projection preserves arity")
+        let k = positions.len();
+        let mut out = FactorBuilder::new(new_schema).expect("projected schema stays valid");
+        let is_prefix = positions.iter().enumerate().all(|(i, &p)| i == p);
+        // The prefix path streams the rows as-is; only a genuine reordering
+        // pays for (and fills) an index sort.
+        let sorted: Option<Vec<usize>> = (!is_prefix).then(|| {
+            let mut idx: Vec<usize> = (0..self.len).collect();
+            idx.sort_by(|&a, &b| {
+                let (ra, rb) = (self.row(a), self.row(b));
+                positions.iter().map(|&p| ra[p]).cmp(positions.iter().map(|&p| rb[p]))
+            });
+            idx
+        });
+        let mut key: Vec<u32> = Vec::with_capacity(k);
+        let mut buf: Vec<u32> = vec![0; k];
+        let mut acc: Option<E> = None;
+        for pos in 0..self.len {
+            let i = sorted.as_ref().map_or(pos, |s| s[pos]);
+            let row = self.row(i);
+            for (slot, &p) in buf.iter_mut().zip(positions) {
+                *slot = row[p];
+            }
+            match &mut acc {
+                Some(a) if key == buf => *a = combine(a, &contribution(&self.vals[i])),
+                _ => {
+                    if let Some(done) = acc.take() {
+                        if !is_zero(&done) {
+                            out.push(&key, done);
+                        }
+                    }
+                    key.clear();
+                    key.extend_from_slice(&buf);
+                    acc = Some(contribution(&self.vals[i]));
+                }
+            }
+        }
+        if let Some(done) = acc.take() {
+            if !is_zero(&done) {
+                out.push(&key, done);
+            }
+        }
+        out.finish()
     }
 
     /// Product marginalization (paper Assumption 2):
@@ -494,33 +603,46 @@ impl<E: SemiringElem> Factor<E> {
         let positions: Vec<usize> = (0..self.arity()).filter(|&i| i != vpos).collect();
         let new_schema: Vec<Var> = positions.iter().map(|&i| self.schema[i]).collect();
 
-        // Group rows by the projected key. Rows are sorted by the full schema;
-        // after dropping one column they are not necessarily grouped, so sort.
-        let mut pairs: Vec<(Vec<u32>, E)> = self
-            .iter()
-            .map(|(row, v)| (positions.iter().map(|&p| row[p]).collect::<Vec<u32>>(), v.clone()))
-            .collect();
-        pairs.sort_by(|a, b| a.0.cmp(&b.0));
-
-        let mut out: Vec<(Vec<u32>, E)> = Vec::new();
+        // Group rows by the projected key via a stable index sort (dropping
+        // the *last* column keeps rows grouped already, so skip the sort —
+        // and the index allocation with it).
+        let sorted: Option<Vec<usize>> = (vpos + 1 != self.arity()).then(|| {
+            let mut idx: Vec<usize> = (0..self.len).collect();
+            idx.sort_by(|&a, &b| {
+                let (ra, rb) = (self.row(a), self.row(b));
+                positions.iter().map(|&p| ra[p]).cmp(positions.iter().map(|&p| rb[p]))
+            });
+            idx
+        });
+        let at = |pos: usize| sorted.as_ref().map_or(pos, |s| s[pos]);
+        let projected_eq = |a: usize, b: usize| {
+            let (ra, rb) = (self.row(a), self.row(b));
+            positions.iter().all(|&p| ra[p] == rb[p])
+        };
+        let mut out = FactorBuilder::new(new_schema).expect("projected schema stays valid");
+        let mut key: Vec<u32> = vec![0; positions.len()];
         let mut i = 0;
-        while i < pairs.len() {
+        while i < self.len {
             let mut j = i + 1;
-            while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+            while j < self.len && projected_eq(at(i), at(j)) {
                 j += 1;
             }
             if (j - i) as u64 == dom_size as u64 {
-                let mut acc = pairs[i].1.clone();
-                for item in &pairs[i + 1..j] {
-                    acc = mul(&acc, &item.1);
+                let mut acc = self.vals[at(i)].clone();
+                for r in i + 1..j {
+                    acc = mul(&acc, &self.vals[at(r)]);
                 }
                 if !is_zero(&acc) {
-                    out.push((pairs[i].0.clone(), acc));
+                    let row = self.row(at(i));
+                    for (slot, &p) in key.iter_mut().zip(&positions) {
+                        *slot = row[p];
+                    }
+                    out.push(&key, acc);
                 }
             }
             i = j;
         }
-        Self::from_sorted_pairs(new_schema, out)
+        out.finish()
     }
 
     /// Apply `f` to every value, dropping rows that become zero.
@@ -529,18 +651,15 @@ impl<E: SemiringElem> Factor<E> {
         mut f: impl FnMut(&E) -> E,
         mut is_zero: impl FnMut(&E) -> bool,
     ) -> Factor<E> {
-        let pairs: Vec<(Vec<u32>, E)> = self
-            .iter()
-            .filter_map(|(row, v)| {
-                let nv = f(v);
-                if is_zero(&nv) {
-                    None
-                } else {
-                    Some((row.to_vec(), nv))
-                }
-            })
-            .collect();
-        Self::from_sorted_pairs(self.schema.clone(), pairs)
+        let mut out = FactorBuilder::new(self.schema.clone()).expect("schema already valid");
+        out.reserve(self.len);
+        for i in 0..self.len {
+            let nv = f(&self.vals[i]);
+            if !is_zero(&nv) {
+                out.push(self.row(i), nv);
+            }
+        }
+        out.finish()
     }
 
     /// Partition the values of column `col` into at most `max_chunks`
@@ -641,13 +760,22 @@ impl<E: SemiringElem> Factor<E> {
             .unwrap_or_else(|| panic!("{var} not in schema {:?}", self.schema));
         let positions: Vec<usize> = (0..self.arity()).filter(|&i| i != vpos).collect();
         let new_schema: Vec<Var> = positions.iter().map(|&i| self.schema[i]).collect();
-        let mut pairs: Vec<(Vec<u32>, E)> = self
-            .iter()
-            .filter(|(row, _)| row[vpos] == value)
-            .map(|(row, v)| (positions.iter().map(|&p| row[p]).collect::<Vec<u32>>(), v.clone()))
-            .collect();
-        pairs.sort_by(|a, b| a.0.cmp(&b.0));
-        Self::from_sorted_pairs(new_schema, pairs)
+        // Removing a column whose value is fixed preserves both sortedness
+        // and distinctness: any two surviving rows first differ at some other
+        // column, and that comparison is unchanged — stream, don't sort.
+        let mut out = FactorBuilder::new(new_schema).expect("reduced schema stays valid");
+        let mut buf: Vec<u32> = vec![0; positions.len()];
+        for i in 0..self.len {
+            let row = self.row(i);
+            if row[vpos] != value {
+                continue;
+            }
+            for (slot, &p) in buf.iter_mut().zip(&positions) {
+                *slot = row[p];
+            }
+            out.push(&buf, self.vals[i].clone());
+        }
+        out.finish()
     }
 }
 
@@ -658,6 +786,159 @@ fn check_schema(schema: &[Var]) -> Result<(), FactorError> {
         }
     }
     Ok(())
+}
+
+/// Flat-row construction of a [`Factor`] from a stream of rows arriving in
+/// **strictly ascending lexicographic order** — the allocation-free spine of
+/// the InsideOut hot path.
+///
+/// Every [`FactorBuilder::push`] copies the binding straight into the final
+/// column-flat `rows` storage: no per-row `Vec<u32>` is ever allocated, and
+/// [`FactorBuilder::finish`] hands the buffers to the factor as-is (the
+/// [`Factor::from_sorted_distinct`] fast path — no sort, no duplicate scan).
+/// Heap traffic is therefore `O(arity + log rows)` per factor (amortized
+/// buffer doubling), not `O(rows)`.
+///
+/// # Sortedness contract
+///
+/// Rows must arrive sorted and distinct. The contract is the caller's — join
+/// kernels satisfy it by construction, since the backtracking search
+/// enumerates bindings in lexicographic order of the join's variable
+/// ordering. Debug builds verify it on every push: the debug assertion fires
+/// as soon as a row is `≤` its predecessor (or, for a nullary schema, on a
+/// second row). Release builds trust the stream.
+///
+/// # Streaming trie construction
+///
+/// [`FactorBuilder::with_streaming_trie`] additionally grows the factor's
+/// columnar trie index ([`FactorTrie`]) *while* rows are appended, for
+/// amortized `O(arity)` extra work per row. The finished factor then carries
+/// a built index from birth — structurally identical to the lazily built one
+/// — so a consumer that would force the index anyway (every elimination step
+/// joins its intermediates) never re-indexes the listing.
+pub struct FactorBuilder<E> {
+    schema: Vec<Var>,
+    arity: usize,
+    rows: Vec<u32>,
+    vals: Vec<E>,
+    len: usize,
+    trie: Option<TrieBuilder>,
+}
+
+impl<E: SemiringElem> FactorBuilder<E> {
+    /// An empty builder over `schema` (rejects duplicate schema variables).
+    pub fn new(schema: Vec<Var>) -> Result<Self, FactorError> {
+        check_schema(&schema)?;
+        let arity = schema.len();
+        Ok(FactorBuilder { schema, arity, rows: Vec::new(), vals: Vec::new(), len: 0, trie: None })
+    }
+
+    /// Grow the trie index incrementally as rows are appended (see the type
+    /// docs). Must be enabled before the first push.
+    pub fn with_streaming_trie(mut self) -> Self {
+        assert_eq!(self.len, 0, "enable the streaming trie before pushing rows");
+        self.trie = Some(TrieBuilder::new(self.arity));
+        self
+    }
+
+    /// Pre-allocate room for `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        self.rows.reserve(additional * self.arity);
+        self.vals.reserve(additional);
+    }
+
+    /// The column order of the factor under construction.
+    pub fn schema(&self) -> &[Var] {
+        &self.schema
+    }
+
+    /// Rows appended so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no row has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a row. `row` must sort strictly after every row already pushed
+    /// (debug-asserted — see the type docs for the contract).
+    pub fn push(&mut self, row: &[u32], val: E) {
+        debug_assert_eq!(row.len(), self.arity, "row arity must match the schema");
+        debug_assert!(self.arity > 0 || self.len == 0, "a nullary factor holds at most one row");
+        if let Some(trie) = &mut self.trie {
+            let prev =
+                if self.len == 0 { None } else { Some(&self.rows[(self.len - 1) * self.arity..]) };
+            trie.push(row, prev);
+        } else {
+            debug_assert!(
+                self.len == 0 || &self.rows[(self.len - 1) * self.arity..] < row,
+                "builder rows must be strictly ascending"
+            );
+        }
+        self.rows.extend_from_slice(row);
+        self.vals.push(val);
+        self.len += 1;
+    }
+
+    /// Append every row of `other` (same schema), all of which must sort
+    /// strictly after this builder's rows.
+    ///
+    /// This is the k-way chunk merge of the parallel engine: per-chunk
+    /// outputs cover disjoint ascending value ranges of the first column, so
+    /// the merge is a concatenation. Without a streaming trie the row block
+    /// is copied in bulk; with one, rows are re-pushed individually so the
+    /// index keeps growing in stream order.
+    pub fn append(&mut self, other: FactorBuilder<E>) {
+        assert_eq!(self.schema, other.schema, "append requires identical schemas");
+        if other.len == 0 {
+            return;
+        }
+        debug_assert!(
+            self.len == 0
+                || self.arity == 0
+                || self.rows[(self.len - 1) * self.arity..] < other.rows[..self.arity],
+            "appended chunks must be disjoint and ascending"
+        );
+        match &mut self.trie {
+            None => {
+                self.rows.extend_from_slice(&other.rows);
+                self.vals.extend(other.vals);
+                self.len += other.len;
+            }
+            Some(_) => {
+                self.reserve(other.len);
+                let mut vals = other.vals.into_iter();
+                if self.arity == 0 {
+                    for val in vals {
+                        self.push(&[], val);
+                    }
+                } else {
+                    for row in other.rows.chunks_exact(self.arity) {
+                        self.push(row, vals.next().expect("one value per row"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finish: hand the flat buffers (and the streamed trie index, when
+    /// enabled) to the factor without copying or re-sorting anything.
+    pub fn finish(self) -> Factor<E> {
+        let trie_slot = OnceLock::new();
+        if let Some(trie) = self.trie {
+            let _ = trie_slot.set(trie.finish());
+        }
+        Factor {
+            schema: self.schema,
+            rows: self.rows,
+            vals: self.vals,
+            len: self.len,
+            trie: trie_slot,
+            gets: AtomicU32::new(0),
+        }
+    }
 }
 
 /// k-way merge of row lists that are each sorted by tuple, combining duplicate

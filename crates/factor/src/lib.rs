@@ -28,5 +28,5 @@ pub mod factor;
 pub mod trie;
 
 pub use domains::{AssignmentIter, Domains};
-pub use factor::{merge_sorted_rows, Factor, FactorError, FactorStats};
+pub use factor::{merge_sorted_rows, Factor, FactorBuilder, FactorError, FactorStats};
 pub use trie::{FactorTrie, TrieCursor, TrieLevel, TrieView};

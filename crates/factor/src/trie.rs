@@ -253,6 +253,88 @@ impl FactorTrie {
     }
 }
 
+/// One level of a trie under streaming construction: the columnar arrays of a
+/// [`TrieLevel`] minus their end sentinels, which [`TrieBuilder::finish`]
+/// appends.
+#[derive(Debug, Clone, Default)]
+struct LevelBuilder {
+    values: Vec<u32>,
+    child: Vec<usize>,
+    rows: Vec<usize>,
+}
+
+/// Incremental construction of a [`FactorTrie`] from rows arriving in strictly
+/// ascending lexicographic order — the streaming twin of [`FactorTrie::build`].
+///
+/// Elimination joins emit their output rows already sorted, so the trie of an
+/// intermediate factor can be grown entry by entry as rows are appended: a row
+/// whose first difference from its predecessor is at column `c` opens exactly
+/// one new entry at every level `≥ c`. Amortized `O(arity)` per row, and the
+/// result is structurally identical (`==`) to what [`FactorTrie::build`] would
+/// produce from the finished listing — asserted by tests and relied on by
+/// [`crate::FactorBuilder`], which is the only way rows reach this type.
+#[derive(Debug, Clone)]
+pub(crate) struct TrieBuilder {
+    levels: Vec<LevelBuilder>,
+    num_rows: usize,
+}
+
+impl TrieBuilder {
+    /// An empty trie under construction, one level per column.
+    pub(crate) fn new(arity: usize) -> TrieBuilder {
+        TrieBuilder { levels: (0..arity).map(|_| LevelBuilder::default()).collect(), num_rows: 0 }
+    }
+
+    /// Append the next row. `prev` is the previously appended row (`None` for
+    /// the first); the caller guarantees `prev < row` (checked in debug).
+    pub(crate) fn push(&mut self, row: &[u32], prev: Option<&[u32]>) {
+        let arity = self.levels.len();
+        debug_assert_eq!(row.len(), arity);
+        // First column where the prefix changes: every level at or below it
+        // opens a new entry; shallower levels extend their current entry.
+        let start = match prev {
+            None => 0,
+            Some(p) => {
+                debug_assert!(p < row, "streaming trie rows must be strictly ascending");
+                row.iter().zip(p).position(|(a, b)| a != b).expect("rows are distinct")
+            }
+        };
+        for (d, &value) in row.iter().enumerate().skip(start) {
+            // The new entry's first child is the entry the next level is
+            // about to open for this same row (the row index itself at the
+            // deepest level) — levels are appended top-down, so the next
+            // level's current length is exactly that index.
+            let child_start =
+                if d + 1 < arity { self.levels[d + 1].values.len() } else { self.num_rows };
+            let level = &mut self.levels[d];
+            level.values.push(value);
+            level.child.push(child_start);
+            level.rows.push(self.num_rows);
+        }
+        self.num_rows += 1;
+    }
+
+    /// Seal the trie: append the end sentinels and assemble the levels.
+    pub(crate) fn finish(self) -> FactorTrie {
+        let num_rows = self.num_rows;
+        let arity = self.levels.len();
+        let next_len: Vec<usize> = (0..arity)
+            .map(|d| if d + 1 < arity { self.levels[d + 1].values.len() } else { num_rows })
+            .collect();
+        let levels = self
+            .levels
+            .into_iter()
+            .zip(next_len)
+            .map(|(mut lb, end)| {
+                lb.child.push(end);
+                lb.rows.push(num_rows);
+                TrieLevel { values: lb.values, child: lb.child, rows: lb.rows }
+            })
+            .collect();
+        FactorTrie { levels, num_rows }
+    }
+}
+
 /// A borrowed slice of a [`FactorTrie`]: the subtries whose root value lies in
 /// a half-open value range. The parallel InsideOut engine gives each worker
 /// one such view; a view over the full value range is the whole trie.

@@ -27,23 +27,49 @@ use std::borrow::Cow;
 pub struct JoinInput<'a, E> {
     /// The factor; its schema must be a subsequence of the join's variable
     /// ordering restricted to its variables (call [`Factor::align_to`] first —
-    /// [`multiway_join`] does this automatically).
+    /// [`multiway_join`] does this automatically, except for
+    /// [`JoinInput::prefix_filter`] inputs, whose column order is the
+    /// caller's contract).
     pub factor: &'a Factor<E>,
     /// Whether the factor's values participate in the output product.
     /// Indicator projections and guard factors set this to `false`: they
     /// filter the search but contribute the multiplicative identity.
     pub use_value: bool,
+    /// `Some(k)`: only the first `k` columns of the factor participate — a
+    /// *lazy indicator projection*. The cursors walk the factor's own
+    /// (cached) index, never descending past depth `k`; because trie level
+    /// `d < k` lists exactly the distinct length-`d+1` prefixes, this is
+    /// search-for-search identical to joining a materialized prefix
+    /// projection, without building one. Caller contract: `schema[..k]` must
+    /// already follow the join order (a *sigma-compatible prefix*), and such
+    /// inputs are never value-carrying.
+    pub prefix: Option<usize>,
 }
 
 impl<'a, E> JoinInput<'a, E> {
     /// A value-carrying input.
     pub fn value(factor: &'a Factor<E>) -> Self {
-        JoinInput { factor, use_value: true }
+        JoinInput { factor, use_value: true, prefix: None }
     }
 
     /// A filter-only input (indicator projection / guard).
     pub fn filter(factor: &'a Factor<E>) -> Self {
-        JoinInput { factor, use_value: false }
+        JoinInput { factor, use_value: false, prefix: None }
+    }
+}
+
+impl<'a, E: SemiringElem> JoinInput<'a, E> {
+    /// A filter over the first `depth` columns only: the lazy replacement for
+    /// `factor.indicator_projection(...)` when the kept columns are a
+    /// sigma-compatible prefix of the factor's schema (see
+    /// [`JoinInput::prefix`] for the exact contract).
+    pub fn prefix_filter(factor: &'a Factor<E>, depth: usize) -> Self {
+        assert!(
+            depth >= 1 && depth <= factor.arity(),
+            "prefix depth {depth} out of range for arity {}",
+            factor.arity()
+        );
+        JoinInput { factor, use_value: false, prefix: Some(depth) }
     }
 }
 
@@ -87,6 +113,9 @@ struct Cursor<'b, E: SemiringElem> {
     /// The aligned factor, for value reads at full bindings.
     factor: &'b Factor<E>,
     use_value: bool,
+    /// Number of leading schema columns that participate in the search:
+    /// the full arity, or the depth cap of a prefix-filter input.
+    eff_arity: usize,
 }
 
 impl<'b, E: SemiringElem> Cursor<'b, E> {
@@ -95,6 +124,7 @@ impl<'b, E: SemiringElem> Cursor<'b, E> {
         factor: &'b Factor<E>,
         restrict_root: Option<(u32, u32)>,
         use_value: bool,
+        eff_arity: usize,
     ) -> Self {
         let kernel = match rep {
             JoinRep::Listing => Kernel::Listing { factor, ranges: vec![(0, factor.len())] },
@@ -105,7 +135,7 @@ impl<'b, E: SemiringElem> Cursor<'b, E> {
                 None => TrieCursor::new(factor.trie()),
             }),
         };
-        Cursor { kernel, factor, use_value }
+        Cursor { kernel, factor, use_value, eff_arity }
     }
 
     /// Least value `≥ bound` in the column now being sought, or `None`.
@@ -228,10 +258,13 @@ pub fn multiway_join_range_rep<E: SemiringElem>(
 
     // Fold nullary factors into a constant prefix value; align the rest.
     // Aligned factors are kept alive in `aligned` so cursors (and the trie
-    // indices they walk) can borrow from them.
+    // indices they walk) can borrow from them. Prefix-filter inputs are
+    // never realigned — their leading columns already follow the order (the
+    // caller's contract), and realigning would invalidate the depth cap.
     let mut prefix = one.clone();
-    let mut aligned: Vec<(Cow<'_, Factor<E>>, bool)> = Vec::new();
+    let mut aligned: Vec<(Cow<'_, Factor<E>>, bool, Option<usize>)> = Vec::new();
     for inp in inputs {
+        debug_assert!(inp.prefix.is_none() || !inp.use_value, "prefix filters carry no value");
         if inp.factor.arity() == 0 {
             if inp.factor.is_empty() {
                 return stats; // join annihilated by a zero scalar
@@ -244,15 +277,30 @@ pub fn multiway_join_range_rep<E: SemiringElem>(
         if inp.factor.is_empty() {
             return stats;
         }
-        aligned.push((inp.factor.align_to_cow(order), inp.use_value));
+        let cow = match inp.prefix {
+            Some(_) => Cow::Borrowed(inp.factor),
+            None => inp.factor.align_to_cow(order),
+        };
+        aligned.push((cow, inp.use_value, inp.prefix));
     }
 
     let mut cursors: Vec<Cursor<'_, E>> = Vec::with_capacity(aligned.len());
-    for (f, use_value) in &aligned {
-        // Every factor column must be bound by the ordering.
+    for (f, use_value, prefix_depth) in &aligned {
+        let eff = prefix_depth.unwrap_or_else(|| f.arity());
+        // Every participating column must be bound by the ordering, in the
+        // ordering's relative order (prefix filters skip alignment, so check
+        // the relative order too).
         debug_assert!(
-            f.schema().iter().all(|v| order.contains(v)),
-            "factor schema not covered by join order"
+            {
+                let mut last: Option<usize> = None;
+                f.schema()[..eff].iter().all(|v| {
+                    let p = order.iter().position(|o| o == v);
+                    let ok = p.is_some() && p > last;
+                    last = p;
+                    ok
+                })
+            },
+            "factor columns not covered by the join order in order"
         );
         // Factors constrained at the first join variable have it as their
         // first aligned column; restrict their trie root to the chunk range.
@@ -260,13 +308,18 @@ pub fn multiway_join_range_rep<E: SemiringElem>(
             (f.schema().first() == order.first()).then_some(first_range).filter(|&(lo, hi)| {
                 (lo, hi) != (0, u32::MAX) // full range needs no view
             });
-        cursors.push(Cursor::new(rep, f.as_ref(), restrict, *use_value));
+        cursors.push(Cursor::new(rep, f.as_ref(), restrict, *use_value, eff));
     }
 
     // participants[d] = cursor indices constrained at depth d.
     let participants: Vec<Vec<usize>> = (0..order.len())
         .map(|d| {
-            (0..cursors.len()).filter(|&c| cursors[c].factor.schema().contains(&order[d])).collect()
+            (0..cursors.len())
+                .filter(|&c| {
+                    let cur = &cursors[c];
+                    cur.factor.schema()[..cur.eff_arity].contains(&order[d])
+                })
+                .collect()
         })
         .collect();
 

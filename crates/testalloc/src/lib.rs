@@ -1,0 +1,50 @@
+//! A counting global allocator for allocation-budget tests.
+//!
+//! The InsideOut hot path claims `O(arity + chunks)` heap allocations per
+//! elimination step (amortized buffer doubling aside) — a claim only a real
+//! allocator can verify. Test binaries install [`CountingAllocator`] with
+//! `#[global_allocator]` and assert deltas of [`allocation_count`] around the
+//! code under test.
+//!
+//! This crate is the one place in the workspace allowed to use `unsafe`
+//! (implementing [`GlobalAlloc`] requires it); it must stay a dev-dependency
+//! of test targets only.
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The system allocator plus a global counter of allocation events
+/// (`alloc`, `alloc_zeroed`, and growth via `realloc` — frees are not
+/// counted). Install with `#[global_allocator]` in a test binary.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total allocation events since process start. Take a snapshot before and
+/// after the code under test; the difference is its allocation count.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}

@@ -1,0 +1,94 @@
+//! Allocation-budget tests for the flat-row InsideOut hot path.
+//!
+//! The elimination pipeline (PR 5) claims per-step heap allocations of
+//! `O(arity + chunks)` — plus `O(log rows)` amortized buffer doubling — where
+//! it used to allocate a `Vec<u32>` per emitted row. A counting global
+//! allocator ([`faq_testalloc::CountingAllocator`]) verifies the claim on a
+//! workload big enough that the old per-row behaviour would blow the budget
+//! by two orders of magnitude.
+//!
+//! The budgets below are deliberately loose (×4-ish headroom over measured
+//! counts) so they don't flake across allocator or std versions, while
+//! staying far below one allocation per output row.
+
+use faq::core::{insideout_par_with_order, insideout_with_order, ExecPolicy, FaqQuery};
+use faq::factor::{Domains, Factor};
+use faq::hypergraph::Var;
+use faq::semiring::{CountSumProd, SingleSemiringDomain};
+use faq_testalloc::{allocation_count, CountingAllocator};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// A triangle join (all variables free: guard steps + output join) over a
+/// random graph — the hot-path shape the benchmarks measure.
+fn triangle(m: usize) -> FaqQuery<SingleSemiringDomain<CountSumProd>> {
+    let mut rng = StdRng::seed_from_u64(97);
+    let n = 64u32;
+    let mut edges = std::collections::BTreeSet::new();
+    while edges.len() < m {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            edges.insert((a, b));
+        }
+    }
+    let tuples: Vec<(Vec<u32>, u64)> = edges.iter().map(|&(a, b)| (vec![a, b], 1)).collect();
+    let fac = |x: u32, y: u32| {
+        Factor::new(vec![Var(x), Var(y)], tuples.iter().map(|(t, v)| (t.clone(), *v)).collect())
+            .unwrap()
+    };
+    FaqQuery::new(
+        SingleSemiringDomain::new(CountSumProd),
+        Domains::uniform(3, n),
+        vec![Var(0), Var(1), Var(2)],
+        vec![],
+        vec![fac(0, 1), fac(1, 2), fac(0, 2)],
+    )
+    .unwrap()
+}
+
+#[test]
+fn elimination_allocates_per_step_not_per_row() {
+    let q = triangle(1500);
+    let sigma = q.ordering();
+    // Pre-build the input indexes (the serving path does this in `prepare`);
+    // clones carry built tries, so the runs below never pay the input build.
+    for f in &q.factors {
+        f.trie();
+    }
+
+    // Warm once outside the measurement (lazy statics, thread-local setup).
+    let warm = insideout_with_order(&q, &sigma).unwrap();
+    let total_rows: usize = q.factors.iter().map(|f| f.len()).sum::<usize>() + warm.factor.len();
+    assert!(total_rows > 4_000, "workload too small to witness O(rows) allocation");
+
+    let before = allocation_count();
+    let out = insideout_with_order(&q, &sigma).unwrap();
+    let sequential_allocs = allocation_count() - before;
+    assert_eq!(out.factor, warm.factor);
+
+    // The old pipeline allocated ≥ 1 Vec per emitted row (plus tuple vectors
+    // per projection and a full re-sort buffer); the flat pipeline's budget
+    // is per *step*, not per row. 3 guard steps + 1 output join over >17k
+    // rows measured ~510 allocations (mostly amortized buffer doubling);
+    // budget 1024 ≪ total_rows.
+    assert!(
+        (sequential_allocs as usize) < 1024,
+        "sequential run allocated {sequential_allocs} times for {total_rows} rows"
+    );
+    assert!((sequential_allocs as usize) < total_rows / 4);
+
+    // Chunked execution adds O(chunks) per step (worker builders, spawn
+    // bookkeeping), not O(rows).
+    let policy = ExecPolicy { threads: 4, min_chunk_rows: 64, ..ExecPolicy::sequential() };
+    let before = allocation_count();
+    let par = insideout_par_with_order(&q, &sigma, &policy).unwrap();
+    let parallel_allocs = allocation_count() - before;
+    assert_eq!(par.factor, warm.factor);
+    assert!(
+        (parallel_allocs as usize) < 2048,
+        "parallel run allocated {parallel_allocs} times for {total_rows} rows"
+    );
+}

@@ -1,0 +1,161 @@
+//! Property tests for the flat-row construction path (PR 5):
+//!
+//! 1. [`Factor::from_sorted_distinct`] and the [`FactorBuilder`] push path
+//!    are drop-in equivalents of `Factor::new` on adversarial inputs;
+//! 2. streaming-built tries ([`FactorBuilder::with_streaming_trie`]) are
+//!    structurally identical (`==` on levels) to lazily built ones — for
+//!    direct pushes and for the chunked `append` path the parallel engine's
+//!    k-way merge uses;
+//!
+//! each across the counting (`u64`), max-tropical (`f64`), and boolean
+//! carriers.
+
+use faq::factor::{Factor, FactorBuilder};
+use faq::hypergraph::Var;
+use faq::semiring::SemiringElem;
+use proptest::prelude::*;
+
+const DOM: u32 = 4;
+
+/// Decode a support bitmap over `DOM³` into sorted, distinct arity-3 rows.
+fn rows_of(cells: &[u32]) -> Vec<(Vec<u32>, u32)> {
+    cells
+        .iter()
+        .enumerate()
+        .filter(|(_, &x)| x > 0)
+        .map(|(i, &x)| {
+            let i = i as u32;
+            (vec![i / (DOM * DOM), (i / DOM) % DOM, i % DOM], x)
+        })
+        .collect()
+}
+
+fn schema3() -> Vec<Var> {
+    vec![Var(0), Var(1), Var(2)]
+}
+
+/// Assert the three construction paths agree for one carrier type, and that
+/// the streaming trie (plain pushes and chunked appends alike) equals the
+/// lazily built one.
+fn check_paths<E: SemiringElem>(rows: &[(Vec<u32>, E)]) {
+    // Reference: the sorting constructor, fed the rows in reverse (it may
+    // not rely on input order).
+    let mut reversed: Vec<(Vec<u32>, E)> = rows.to_vec();
+    reversed.reverse();
+    let reference = Factor::new(schema3(), reversed).unwrap();
+
+    // Path 1: from_sorted_distinct over pre-flattened storage.
+    let flat: Vec<u32> = rows.iter().flat_map(|(t, _)| t.iter().copied()).collect();
+    let vals: Vec<E> = rows.iter().map(|(_, v)| v.clone()).collect();
+    let direct = Factor::from_sorted_distinct(schema3(), flat, vals).unwrap();
+    assert_eq!(direct, reference);
+
+    // Path 2: builder pushes, with the streaming trie on.
+    let mut builder = FactorBuilder::new(schema3()).unwrap().with_streaming_trie();
+    for (t, v) in rows {
+        builder.push(t, v.clone());
+    }
+    let streamed = builder.finish();
+    assert_eq!(streamed, reference);
+    assert_eq!(
+        streamed.trie_if_built().expect("streaming build leaves a trie"),
+        reference.trie(),
+        "streamed trie must be structurally identical to the lazy build"
+    );
+
+    // Path 3: chunked appends (the parallel k-way merge shape): split the
+    // stream at first-column boundaries, build a chunk builder per piece,
+    // append them into a streaming-trie builder.
+    let mut merged = FactorBuilder::new(schema3()).unwrap().with_streaming_trie();
+    let mut i = 0;
+    while i < rows.len() {
+        let cut = rows[i].0[0];
+        let mut chunk = FactorBuilder::new(schema3()).unwrap();
+        while i < rows.len() && rows[i].0[0] == cut {
+            chunk.push(&rows[i].0, rows[i].1.clone());
+            i += 1;
+        }
+        merged.append(chunk);
+    }
+    let merged = merged.finish();
+    assert_eq!(merged, reference);
+    assert_eq!(merged.trie_if_built().expect("append keeps streaming"), reference.trie());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Counting carrier (`u64`).
+    #[test]
+    fn counting_flat_paths_agree(
+        cells in proptest::collection::vec(0u32..3, (DOM * DOM * DOM) as usize),
+    ) {
+        let rows: Vec<(Vec<u32>, u64)> =
+            rows_of(&cells).into_iter().map(|(t, x)| (t, x as u64)).collect();
+        check_paths(&rows);
+    }
+
+    /// Max-tropical carrier (`f64` in log space — bit-level equality).
+    #[test]
+    fn max_tropical_flat_paths_agree(
+        cells in proptest::collection::vec(0u32..4, (DOM * DOM * DOM) as usize),
+    ) {
+        let rows: Vec<(Vec<u32>, f64)> =
+            rows_of(&cells).into_iter().map(|(t, x)| (t, x as f64 * 0.25)).collect();
+        check_paths(&rows);
+    }
+
+    /// Boolean carrier.
+    #[test]
+    fn boolean_flat_paths_agree(
+        cells in proptest::collection::vec(0u32..2, (DOM * DOM * DOM) as usize),
+    ) {
+        let rows: Vec<(Vec<u32>, bool)> =
+            rows_of(&cells).into_iter().map(|(t, _)| (t, true)).collect();
+        check_paths(&rows);
+    }
+
+    /// Reorder (now index-sorted through the builder) matches a
+    /// reference rebuild under the permuted schema.
+    #[test]
+    fn reorder_matches_reference(
+        cells in proptest::collection::vec(0u32..3, (DOM * DOM * DOM) as usize),
+    ) {
+        let rows: Vec<(Vec<u32>, u64)> =
+            rows_of(&cells).into_iter().map(|(t, x)| (t, x as u64)).collect();
+        let f = Factor::new(schema3(), rows.clone()).unwrap();
+        for perm in [[2u32, 0, 1], [1, 2, 0], [2, 1, 0], [0, 1, 2]] {
+            let new_schema: Vec<Var> = perm.iter().map(|&i| Var(i)).collect();
+            let got = f.reorder(&new_schema);
+            let expect = Factor::new(
+                new_schema.clone(),
+                rows.iter()
+                    .map(|(t, v)| (perm.iter().map(|&i| t[i as usize]).collect(), *v))
+                    .collect(),
+            )
+            .unwrap();
+            assert_eq!(got, expect, "perm {perm:?}");
+        }
+    }
+}
+
+#[test]
+fn from_sorted_distinct_rejects_malformed_storage() {
+    // rows/vals length mismatch surfaces as an arity error, not a panic.
+    assert!(Factor::<u64>::from_sorted_distinct(schema3(), vec![0, 0], vec![1]).is_err());
+    // Nullary schemas hold at most one value.
+    assert!(Factor::<u64>::from_sorted_distinct(vec![], vec![], vec![1, 2]).is_err());
+    assert_eq!(
+        Factor::<u64>::from_sorted_distinct(vec![], vec![], vec![7]).unwrap().get(&[]),
+        Some(&7)
+    );
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "strictly ascending")]
+fn builder_rejects_unsorted_rows_in_debug() {
+    let mut b = FactorBuilder::<u64>::new(schema3()).unwrap();
+    b.push(&[1, 0, 0], 1);
+    b.push(&[0, 0, 0], 1);
+}
