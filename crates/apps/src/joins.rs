@@ -9,7 +9,7 @@
 
 use faq_core::{insideout_par_with_order, insideout_with_order, ExecPolicy};
 use faq_core::{FaqError, FaqOutput, FaqQuery, Planner, PreparedQuery};
-use faq_factor::{Domains, Factor};
+use faq_factor::{DeltaFactor, Domains, Factor};
 use faq_hypergraph::Var;
 use faq_semiring::{CountSumProd, SingleSemiringDomain};
 use rand::Rng;
@@ -96,6 +96,41 @@ impl NaturalJoin {
         planner: &Planner,
     ) -> Result<PreparedQuery<SingleSemiringDomain<CountSumProd>>, FaqError> {
         planner.prepare(&self.to_faq()?)
+    }
+
+    /// A delta batch inserting `tuples` into relation `slot` with
+    /// multiplicity 1, ready for [`PreparedQuery::apply_delta`] on a handle
+    /// from [`NaturalJoin::prepare`]. Tuples already present keep
+    /// multiplicity 1 (set semantics, like [`Relation::new`]); duplicates in
+    /// the batch are dropped.
+    ///
+    /// # Panics
+    ///
+    /// If a tuple's arity differs from the relation's schema.
+    pub fn insert_delta(&self, slot: usize, tuples: &[Vec<u32>]) -> DeltaFactor<u64> {
+        let mut tuples: Vec<Vec<u32>> = tuples.to_vec();
+        tuples.sort();
+        tuples.dedup();
+        DeltaFactor::inserts(
+            self.relations[slot].vars.clone(),
+            tuples.into_iter().map(|t| (t, 1u64)).collect(),
+        )
+        .expect("deduplicated tuples over the relation schema")
+    }
+
+    /// A delta batch deleting `tuples` from relation `slot` — the incremental
+    /// counterpart of rebuilding the relation without them. Deleting an
+    /// absent tuple is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// If a tuple's arity differs from the relation's schema.
+    pub fn delete_delta(&self, slot: usize, tuples: &[Vec<u32>]) -> DeltaFactor<u64> {
+        let mut tuples: Vec<Vec<u32>> = tuples.to_vec();
+        tuples.sort();
+        tuples.dedup();
+        DeltaFactor::deletes(self.relations[slot].vars.clone(), tuples)
+            .expect("deduplicated tuples over the relation schema")
     }
 }
 
@@ -260,6 +295,32 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(prepared.evaluate().unwrap().factor, cold.factor);
         }
+    }
+
+    #[test]
+    fn incremental_deltas_match_rebuild() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let edges = random_graph(12, 50, &mut rng);
+        let q = triangle_query(&edges, 12);
+        let planner = faq_core::Planner::sequential();
+        let mut prepared = q.prepare_with(&planner).unwrap();
+        let mut oracle = q.prepare_with(&planner).unwrap();
+        let mut tuples: Vec<Vec<u32>> = edges.iter().map(|&(x, y)| vec![x, y]).collect();
+
+        // Insert two fresh edges into R(a,b) only.
+        let new_edges = [vec![3u32, 7], vec![9, 2]];
+        let got = prepared.apply_delta(0, &q.insert_delta(0, &new_edges)).unwrap();
+        tuples.extend(new_edges.iter().cloned());
+        oracle
+            .update_factor(0, Relation::new(vec![Var(0), Var(1)], tuples.clone()).to_factor())
+            .unwrap();
+        assert_eq!(got.factor, oracle.evaluate().unwrap().factor);
+
+        // Delete one of them again; deltas accumulate on the same handle.
+        let got = prepared.apply_delta(0, &q.delete_delta(0, &[vec![3, 7]])).unwrap();
+        tuples.retain(|t| t != &[3, 7]);
+        oracle.update_factor(0, Relation::new(vec![Var(0), Var(1)], tuples).to_factor()).unwrap();
+        assert_eq!(got.factor, oracle.evaluate().unwrap().factor);
     }
 
     #[test]

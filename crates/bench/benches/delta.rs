@@ -1,0 +1,74 @@
+//! Incremental delta evaluation vs full recompute on the triangle workload.
+//!
+//! A prepared triangle query takes a 1-row point update to `R(a,b)` two ways:
+//! through [`PreparedQuery::apply_delta`] (range-restricted replay over the
+//! cached per-step intermediates) and through the pre-existing
+//! `update_factor` + `evaluate` path (full re-evaluation). Each iteration
+//! applies an insert then a delete of the same absent edge, so both engines do
+//! real work every round and the instance returns to its starting state.
+//! The two paths are asserted bit-identical before any timing starts.
+//!
+//! The workloads are the `faq_bench::hot_path::triangles` instances (shared
+//! with `benches/hot_path.rs` and the paper_tables H1/D1 tables), so the
+//! headline — a point update is orders of magnitude cheaper than recompute on
+//! the m=8000 triangle — is measured on the exact graphs the perf trajectory
+//! archives.
+//!
+//! Run in `--test` mode (one unmeasured pass per benchmark) via
+//! `cargo bench -p faq_bench --bench delta -- --test` — CI does this on
+//! every push.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faq_bench::hot_path;
+use faq_core::Planner;
+
+fn bench_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta/triangle_point_update");
+    group.sample_size(10);
+    let planner = Planner::sequential();
+    for (m, q) in hot_path::triangles(&[2000, 8000]) {
+        let edge = hot_path::absent_edge(&q, 0);
+        let ins = q.insert_delta(0, std::slice::from_ref(&edge));
+        let del = q.delete_delta(0, std::slice::from_ref(&edge));
+
+        // Incremental handle, plus an oracle that takes the same updates via
+        // full factor replacement + re-evaluation.
+        let mut prepared = q.prepare_with(&planner).unwrap();
+        let mut oracle = q.prepare_with(&planner).unwrap();
+        let base = q.relations[0].to_factor();
+        let mut with_edge = q.relations[0].clone();
+        with_edge.tuples.push(edge.clone());
+        with_edge.tuples.sort();
+        let with_edge = with_edge.to_factor();
+
+        // Correctness guard before timing: insert then delete, each
+        // bit-identical to the recompute path.
+        let after_ins = prepared.apply_delta(0, &ins).unwrap();
+        oracle.update_factor(0, with_edge.clone()).unwrap();
+        assert_eq!(after_ins.factor, oracle.evaluate().unwrap().factor);
+        let after_del = prepared.apply_delta(0, &del).unwrap();
+        oracle.update_factor(0, base.clone()).unwrap();
+        assert_eq!(after_del.factor, oracle.evaluate().unwrap().factor);
+
+        group.bench_with_input(BenchmarkId::new("apply_delta", m), &m, |b, _| {
+            b.iter(|| {
+                let up = prepared.apply_delta(0, &ins).unwrap();
+                let down = prepared.apply_delta(0, &del).unwrap();
+                (up, down)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("update_and_recompute", m), &m, |b, _| {
+            b.iter(|| {
+                oracle.update_factor(0, with_edge.clone()).unwrap();
+                let up = oracle.evaluate().unwrap();
+                oracle.update_factor(0, base.clone()).unwrap();
+                let down = oracle.evaluate().unwrap();
+                (up, down)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta);
+criterion_main!(benches);

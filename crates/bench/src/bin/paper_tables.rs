@@ -5,8 +5,9 @@
 //!
 //! `--threads N` sets the worker-pool size of the parallel-engine table
 //! (default: the host's available parallelism). `--json` additionally writes
-//! the hot-path table (H1) as machine-readable JSON — the per-PR perf
-//! trajectory CI uploads as an artifact — to `PATH` (default `BENCH_5.json`).
+//! the hot-path (H1) and incremental-delta (D1) tables as machine-readable
+//! JSON — the per-PR perf trajectory CI uploads as an artifact — to `PATH`
+//! (default `BENCH_6.json`).
 
 use faq_apps::{cq, joins, matrix, pgm, qcq};
 use faq_bench::{example_5_6_good_order, example_5_6_input_order, example_5_6_query};
@@ -36,7 +37,7 @@ fn main() {
         args.get(i + 1)
             .filter(|v| !v.starts_with("--"))
             .cloned()
-            .unwrap_or_else(|| "BENCH_5.json".to_string())
+            .unwrap_or_else(|| "BENCH_6.json".to_string())
     });
     let iters = if fast { 1 } else { 3 };
     println!("# FAQ paper reproduction — measured tables\n");
@@ -53,7 +54,8 @@ fn main() {
     rep_table(iters, fast);
     par_table(iters, fast, threads);
     plan_table(iters, fast);
-    hot_table(iters, fast, json_path.as_deref());
+    let delta_rows = delta_table(iters, fast);
+    hot_table(iters, fast, json_path.as_deref(), &delta_rows);
     width_table();
     sat_tables(iters, fast);
     composition_table();
@@ -360,13 +362,70 @@ fn plan_table(iters: usize, fast: bool) {
     println!();
 }
 
+/// D1: incremental delta evaluation — a 1-row point update (insert + delete
+/// of the same absent edge) applied through `PreparedQuery::apply_delta`
+/// (range-restricted replay over cached per-step intermediates) vs the
+/// `update_factor` + full `evaluate` path, on the hot-path triangle
+/// instances. Outputs are asserted bit-identical before timing; the returned
+/// rows join H1's in the `--json` perf-trajectory file.
+fn delta_table(iters: usize, fast: bool) -> Vec<(String, f64, f64)> {
+    use faq_core::Planner;
+    println!("## D1 Incremental updates — 1-row delta: apply_delta vs update + recompute\n");
+    println!("| workload | apply_delta (ms) | update+recompute (ms) | speedup |");
+    println!("|---|---|---|---|");
+    let sizes: &[usize] = if fast { &[1000, 2000] } else { &[2000, 8000] };
+    let planner = Planner::sequential();
+    let mut rows = Vec::new();
+    for (m, q) in faq_bench::hot_path::triangles(sizes) {
+        let edge = faq_bench::hot_path::absent_edge(&q, 0);
+        let ins = q.insert_delta(0, std::slice::from_ref(&edge));
+        let del = q.delete_delta(0, std::slice::from_ref(&edge));
+        let mut prepared = q.prepare_with(&planner).unwrap();
+        let mut oracle = q.prepare_with(&planner).unwrap();
+        let base = q.relations[0].to_factor();
+        let mut with_edge = q.relations[0].clone();
+        with_edge.tuples.push(edge);
+        with_edge.tuples.sort();
+        let with_edge = with_edge.to_factor();
+
+        // Correctness before timing: both directions bit-identical.
+        let after_ins = prepared.apply_delta(0, &ins).unwrap();
+        oracle.update_factor(0, with_edge.clone()).unwrap();
+        assert_eq!(after_ins.factor, oracle.evaluate().unwrap().factor);
+        let after_del = prepared.apply_delta(0, &del).unwrap();
+        oracle.update_factor(0, base.clone()).unwrap();
+        assert_eq!(after_del.factor, oracle.evaluate().unwrap().factor);
+
+        // Each timed pass is one insert + one delete, so both engines do real
+        // work every round and the instance returns to its starting state.
+        let t_delta = time_median(iters, || {
+            (prepared.apply_delta(0, &ins).unwrap(), prepared.apply_delta(0, &del).unwrap())
+        });
+        let t_full = time_median(iters, || {
+            oracle.update_factor(0, with_edge.clone()).unwrap();
+            let up = oracle.evaluate().unwrap();
+            oracle.update_factor(0, base.clone()).unwrap();
+            (up, oracle.evaluate().unwrap())
+        });
+        println!(
+            "| triangle_m{m} | {:.3} | {:.3} | {:.2}x |",
+            t_delta * 1e3,
+            t_full * 1e3,
+            t_full / t_delta.max(1e-9)
+        );
+        rows.push((format!("triangle_m{m}"), t_delta * 1e3, t_full * 1e3));
+    }
+    println!();
+    rows
+}
+
 /// H1: the hot-path perf trajectory — absolute wall-clock of the flat-row
 /// InsideOut pipeline (PR 5) on the triangle / path4 / PGM-chain workloads
 /// the `hot_path` bench measures, plus the conditional-query volume and
-/// output size per workload. With `--json`, the same rows are written to a
-/// machine-readable file (`BENCH_5.json` by default) so CI can archive one
-/// perf point per push.
-fn hot_table(iters: usize, fast: bool, json_path: Option<&str>) {
+/// output size per workload. With `--json`, the same rows — plus the D1
+/// incremental-delta rows — are written to a machine-readable file
+/// (`BENCH_6.json` by default) so CI can archive one perf point per push.
+fn hot_table(iters: usize, fast: bool, json_path: Option<&str>, delta_rows: &[(String, f64, f64)]) {
     println!("## H1 Hot path — flat-row InsideOut pipeline (perf trajectory)\n");
     println!("| workload | median (ms) | seeks | out rows |");
     println!("|---|---|---|---|");
@@ -423,6 +482,14 @@ fn hot_table(iters: usize, fast: bool, json_path: Option<&str>) {
             s.push_str(&format!(
                 "    {{\"name\": \"{name}\", \"median_ms\": {ms:.3}, \"seeks\": {seeks}, \
                  \"rows\": {rows}}}{sep}\n"
+            ));
+        }
+        s.push_str("  ],\n  \"delta\": [\n");
+        for (i, (name, delta_ms, full_ms)) in delta_rows.iter().enumerate() {
+            let sep = if i + 1 < delta_rows.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"apply_delta_ms\": {delta_ms:.3}, \
+                 \"recompute_ms\": {full_ms:.3}}}{sep}\n"
             ));
         }
         s.push_str("  ]\n}\n");

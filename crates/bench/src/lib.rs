@@ -107,7 +107,7 @@ pub fn example_5_6_query(n: u32, seed: u64) -> FaqQuery<RealDomain> {
 }
 
 /// The hot-path workload family — the *single* definition shared by
-/// `benches/hot_path.rs` and the `paper_tables` H1 table / `BENCH_5.json`
+/// `benches/hot_path.rs` and the `paper_tables` H1 table / `BENCH_6.json`
 /// perf trajectory, so the archived trajectory always measures exactly what
 /// the bench measures (same seeds, sizes, and query shapes).
 pub mod hot_path {
@@ -128,6 +128,22 @@ pub mod hot_path {
                 (m, joins::triangle_query(&edges, 128))
             })
             .collect()
+    }
+
+    /// The lexicographically first edge absent from relation `slot` of `q` —
+    /// the point update `benches/delta.rs` and the `paper_tables` D1 table
+    /// insert and delete, so both measure the same incremental workload.
+    pub fn absent_edge(q: &joins::NaturalJoin, slot: usize) -> Vec<u32> {
+        let present: std::collections::BTreeSet<&Vec<u32>> =
+            q.relations[slot].tuples.iter().collect();
+        for a in 0..128u32 {
+            for b in 0..128u32 {
+                if a != b && !present.contains(&vec![a, b]) {
+                    return vec![a, b];
+                }
+            }
+        }
+        unreachable!("random graph instances never saturate 128 nodes")
     }
 
     /// The path4 join over a sparse 96-node random graph (seed 23).

@@ -345,8 +345,14 @@ pub(crate) fn grouped_join<E: SemiringElem>(
 /// group-fold, exactly the paper's stream-aggregation over consecutive
 /// outputs — emitted straight into the caller's flat builder. The only
 /// per-group state is one reusable key buffer; nothing is allocated per row.
+///
+/// `pub(crate)` because the incremental engine ([`crate::delta`]) replays
+/// elimination steps over just the delta's anchor ranges: it invokes this
+/// kernel once per changed range, in ascending range order, into one builder
+/// — which is bit-identical to the matching slice of a full run, since no
+/// fold group ever spans two ranges.
 #[allow(clippy::too_many_arguments)]
-fn grouped_join_range<E: SemiringElem>(
+pub(crate) fn grouped_join_range<E: SemiringElem>(
     rep: JoinRep,
     domains: &Domains,
     order: &[Var],

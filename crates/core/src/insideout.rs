@@ -67,7 +67,7 @@ pub struct ElimStats {
 }
 
 impl ElimStats {
-    fn record(&mut self, s: StepStat) {
+    pub(crate) fn record(&mut self, s: StepStat) {
         self.max_intermediate = self.max_intermediate.max(s.rows_out);
         self.steps.push(s);
     }
@@ -400,7 +400,7 @@ fn eliminate_semiring<D: AggDomain + Sync>(
 
 /// How one surviving edge participates in an elimination join as a filter.
 #[derive(Debug, Clone, Copy)]
-enum FilterPlan {
+pub(crate) enum FilterPlan {
     /// `Lazy(i, k)`: edge `i` joins through [`JoinInput::prefix_filter`] at
     /// depth `k` — its first `k` columns are exactly the columns surviving
     /// the indicator projection, already in join order, so its own (cached)
@@ -414,7 +414,7 @@ enum FilterPlan {
 /// Split the edges overlapping `u` into lazy prefix filters and materialized
 /// indicator projections, preserving edge order (cursor order is part of the
 /// engine's deterministic seek accounting).
-fn plan_filters<D: AggDomain>(
+pub(crate) fn plan_filters<D: AggDomain>(
     edges: &[Factor<D::E>],
     u: &VarSet,
     join_order: &[Var],
@@ -439,7 +439,7 @@ fn plan_filters<D: AggDomain>(
 
 /// Realize planned filters as join inputs, in plan order — the one place the
 /// [`FilterPlan`] variants map onto [`JoinInput`] constructors.
-fn filter_inputs<'a, E: faq_semiring::SemiringElem>(
+pub(crate) fn filter_inputs<'a, E: faq_semiring::SemiringElem>(
     filters: &[FilterPlan],
     edges: &'a [Factor<E>],
     projections: &'a [Factor<E>],
@@ -458,7 +458,7 @@ fn filter_inputs<'a, E: faq_semiring::SemiringElem>(
 /// the schema columns surviving the projection must be exactly `schema[..k]`
 /// (a prefix), already in `join_order`-relative order. `None` otherwise — the
 /// caller falls back to materialization.
-fn prefix_filter_depth(schema: &[Var], join_order: &[Var]) -> Option<usize> {
+pub(crate) fn prefix_filter_depth(schema: &[Var], join_order: &[Var]) -> Option<usize> {
     let pos = |v: &Var| join_order.iter().position(|o| o == v);
     let k = schema.iter().take_while(|v| pos(v).is_some()).count();
     if k == 0 || schema[k..].iter().any(|v| pos(v).is_some()) {
@@ -481,8 +481,6 @@ fn eliminate_product<D: AggDomain>(
     edges: &mut Vec<Factor<D::E>>,
     var: Var,
 ) -> StepStat {
-    let dom = &q.domain;
-    let size = q.domains.size(var) as u64;
     let mut u_size = 0usize;
     let mut rows_out = 0usize;
     // Oracle-model work of the step (see [`StepStat::join`]): every listing
@@ -494,34 +492,41 @@ fn eliminate_product<D: AggDomain>(
         work.seeks += e.len() as u64;
         if e.schema().contains(&var) {
             u_size = u_size.max(e.arity());
-            let m = e.marginalize_product(
-                var,
-                q.domains.size(var),
-                |a, b| dom.mul(a, b),
-                |x| dom.is_zero(x),
-            );
+            let m = product_rewrite(q, var, &e);
             rows_out = rows_out.max(m.len());
             work.nodes += m.len() as u64;
             edges.push(m);
         } else {
-            // ψ_S ← ψ_S^{|Dom(X_k)|}, point-wise, skipping ⊗-idempotent values
-            // (Definition 5.2 / Algorithm 1 line 17).
-            let powered = e.map_values(
-                |v| {
-                    if dom.is_mul_idempotent(v) {
-                        v.clone()
-                    } else {
-                        dom.pow(v, size)
-                    }
-                },
-                |x| dom.is_zero(x),
-            );
+            let powered = product_rewrite(q, var, &e);
             work.nodes += powered.len() as u64;
             edges.push(powered);
         }
     }
     work.matches = rows_out as u64;
     StepStat { var, semiring: false, u_size, rows_out, join: Some(work) }
+}
+
+/// The per-edge rewrite of a product-aggregate step (eq. (8)): marginalize
+/// edges containing `var`, power the rest point-wise by `|Dom(X_k)|` (skipping
+/// `⊗`-idempotent values — Definition 5.2 / Algorithm 1 line 17).
+///
+/// Shared by [`eliminate_product`] and the incremental replay engine
+/// ([`crate::delta`]), so both paths rewrite an edge bit-identically.
+pub(crate) fn product_rewrite<D: AggDomain>(
+    q: &FaqQuery<D>,
+    var: Var,
+    e: &Factor<D::E>,
+) -> Factor<D::E> {
+    let dom = &q.domain;
+    if e.schema().contains(&var) {
+        e.marginalize_product(var, q.domains.size(var), |a, b| dom.mul(a, b), |x| dom.is_zero(x))
+    } else {
+        let size = q.domains.size(var) as u64;
+        e.map_values(
+            |v| if dom.is_mul_idempotent(v) { v.clone() } else { dom.pow(v, size) },
+            |x| dom.is_zero(x),
+        )
+    }
 }
 
 #[cfg(test)]

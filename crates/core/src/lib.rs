@@ -24,11 +24,15 @@
 //! * [`plan`] — the cost-based adaptive planner: data-driven ordering choice
 //!   (AGM bounds × factor statistics), per-step execution policies,
 //!   [`PreparedQuery`] serving handles, and a schema-keyed [`PlanCache`];
+//! * [`delta`] — incremental delta evaluation: traced intermediates plus
+//!   range-restricted step replay behind
+//!   [`PreparedQuery::apply_delta`](plan::PreparedQuery::apply_delta);
 //! * [`output`] — factorized output representations (§8.4).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod evo;
 pub mod exec;
 pub mod exprtree;
@@ -39,6 +43,7 @@ pub mod plan;
 pub mod query;
 pub mod width;
 
+pub use delta::{DeltaFactor, DeltaOp};
 pub use exec::{insideout_par, insideout_par_with_order, ExecPolicy, JoinRep, PolicySource};
 pub use exprtree::{ExprTree, QueryShape, Tag};
 pub use insideout::{

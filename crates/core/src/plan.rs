@@ -35,10 +35,11 @@
 //! count) are bit-identical by construction, so a plan-driven run equals
 //! [`crate::insideout::insideout`] bit for bit.
 
+use crate::delta::DeltaCache;
 use crate::exec::{ExecPolicy, PolicySource};
-use crate::insideout::{insideout_with_source, FaqOutput};
+use crate::insideout::{insideout_with_source, ElimStats, FaqOutput};
 use crate::query::{FaqError, FaqQuery, VarAgg};
-use faq_factor::{Factor, FactorStats};
+use faq_factor::{DeltaFactor, Factor, FactorStats};
 use faq_hypergraph::ordering::best_ordering;
 use faq_hypergraph::widths::agm_bound;
 use faq_hypergraph::{Hypergraph, Var, VarSet};
@@ -457,9 +458,20 @@ impl<'a> CostModel<'a> {
 /// at birth. Factor values can be swapped out between evaluations with
 /// [`PreparedQuery::update_factor`] — the plan is schema-keyed, so results
 /// stay exact for arbitrary new data; only the cost estimates age.
+///
+/// For *point updates* the handle goes one step further:
+/// [`PreparedQuery::apply_delta`] merges a sorted batch of inserts, merges,
+/// and deletes ([`DeltaFactor`]) into one factor and re-runs only the
+/// elimination steps — restricted to the touched key ranges — that the change
+/// can reach, against intermediates cached from the previous evaluation (see
+/// [`crate::delta`]).
 pub struct PreparedQuery<D: AggDomain> {
     query: FaqQuery<D>,
     plan: Arc<QueryPlan>,
+    /// Traced intermediates for incremental replay; primed lazily by the
+    /// first [`PreparedQuery::apply_delta`], invalidated by
+    /// [`PreparedQuery::update_factor`].
+    cache: Option<DeltaCache<D::E>>,
 }
 
 impl<D: AggDomain + Clone + Sync> PreparedQuery<D> {
@@ -482,7 +494,7 @@ impl<D: AggDomain + Clone + Sync> PreparedQuery<D> {
             }
             fac.trie(); // build (and cache) the serving index now
         }
-        Ok(PreparedQuery { query, plan })
+        Ok(PreparedQuery { query, plan, cache: None })
     }
 
     /// Evaluate the prepared query under its plan.
@@ -498,27 +510,19 @@ impl<D: AggDomain + Clone + Sync> PreparedQuery<D> {
     ///
     /// The new factor is aligned to the plan order and indexed immediately,
     /// keeping the handle serving-ready. Errors if the schema (as a variable
-    /// set) differs or the new values violate the query's domains.
+    /// set) differs — naming the offending slot in the
+    /// [`FaqError::FactorSchemaMismatch`] — or the new values violate the
+    /// query's domains. Every error path leaves the handle — including any
+    /// cached incremental intermediates — exactly as it was; a successful
+    /// swap drops the delta cache (it described the old values) and the next
+    /// [`PreparedQuery::apply_delta`] re-primes it.
     pub fn update_factor(&mut self, slot: usize, factor: Factor<D::E>) -> Result<(), FaqError> {
         let current = self
             .query
             .factors
             .get(slot)
             .ok_or_else(|| FaqError::BadOrdering(format!("factor slot {slot} out of range")))?;
-        let old_schema: VarSet = current.schema().iter().copied().collect();
-        let new_schema: VarSet = factor.schema().iter().copied().collect();
-        if old_schema != new_schema {
-            // Name a variable from the symmetric difference: one the new
-            // factor adds, or — when its schema is a strict subset — one it
-            // is missing. The sets differ, so one side is non-empty.
-            let offending = new_schema
-                .difference(&old_schema)
-                .next()
-                .or_else(|| old_schema.difference(&new_schema).next())
-                .copied()
-                .expect("schemas differ");
-            return Err(FaqError::UnlistedVariable(offending));
-        }
+        Self::check_slot_schema(slot, current, factor.schema())?;
         let aligned = factor.align_to(&self.plan.order);
         let old = std::mem::replace(&mut self.query.factors[slot], aligned);
         if let Err(e) = self.query.validate() {
@@ -526,7 +530,114 @@ impl<D: AggDomain + Clone + Sync> PreparedQuery<D> {
             return Err(e);
         }
         self.query.factors[slot].trie();
+        self.cache = None;
         Ok(())
+    }
+
+    /// Errors with [`FaqError::FactorSchemaMismatch`] — naming `slot` and a
+    /// variable from the symmetric difference — unless `schema` covers the
+    /// same variable set as the prepared factor `current`.
+    fn check_slot_schema(
+        slot: usize,
+        current: &Factor<D::E>,
+        schema: &[Var],
+    ) -> Result<(), FaqError> {
+        let old_schema: VarSet = current.schema().iter().copied().collect();
+        let new_schema: VarSet = schema.iter().copied().collect();
+        if old_schema != new_schema {
+            // Name a variable from the symmetric difference: one the update
+            // adds, or — when its schema is a strict subset — one it is
+            // missing. The sets differ, so one side is non-empty.
+            let var = new_schema
+                .difference(&old_schema)
+                .next()
+                .or_else(|| old_schema.difference(&new_schema).next())
+                .copied()
+                .expect("schemas differ");
+            return Err(FaqError::FactorSchemaMismatch { slot, var });
+        }
+        Ok(())
+    }
+
+    /// Apply a point-update batch to factor `slot` and return the query's new
+    /// output, re-running only the elimination work the change can reach.
+    ///
+    /// Inserts and updates merge through the domain's first ⊕-operator
+    /// (`AggId(0)` — ordinary addition under counting, `max` under
+    /// max-tropical, `or` under boolean); use
+    /// [`PreparedQuery::apply_delta_with`] to pick another operator. The
+    /// first call primes a cache of per-step intermediates with a traced
+    /// evaluation; subsequent calls replay only the steps whose inputs
+    /// changed, restricted to the touched key ranges where the step's join
+    /// order allows it (see [`crate::delta`] for the machinery and its
+    /// soundness argument). The returned output is **bit-identical** to
+    /// [`PreparedQuery::update_factor`] with the merged factor followed by
+    /// [`PreparedQuery::evaluate`]; the returned [`ElimStats`] describe the
+    /// replayed work only.
+    ///
+    /// Errors — without touching the handle — if the slot is out of range,
+    /// the delta's schema is not a permutation of the slot's
+    /// ([`FaqError::FactorSchemaMismatch`]), a key falls outside the query's
+    /// domains, or the operator is unknown to the domain.
+    pub fn apply_delta(
+        &mut self,
+        slot: usize,
+        delta: &DeltaFactor<D::E>,
+    ) -> Result<FaqOutput<D::E>, FaqError> {
+        self.apply_delta_with(slot, delta, faq_semiring::AggId(0))
+    }
+
+    /// [`PreparedQuery::apply_delta`] with an explicit ⊕-operator for merging
+    /// delta values into existing rows.
+    pub fn apply_delta_with(
+        &mut self,
+        slot: usize,
+        delta: &DeltaFactor<D::E>,
+        op: faq_semiring::AggId,
+    ) -> Result<FaqOutput<D::E>, FaqError> {
+        // Validate everything BEFORE mutating: slot, operator, schema, keys.
+        let current = self
+            .query
+            .factors
+            .get(slot)
+            .ok_or_else(|| FaqError::BadOrdering(format!("factor slot {slot} out of range")))?;
+        if op.index() >= self.query.domain.num_ops() {
+            return Err(FaqError::UnknownAggregate(op));
+        }
+        Self::check_slot_schema(slot, current, delta.schema())?;
+        let aligned = delta.align_to(&self.plan.order);
+        for (key, _) in aligned.iter() {
+            for (v, &value) in aligned.schema().iter().zip(key) {
+                if value >= self.query.domains.size(*v) {
+                    return Err(FaqError::ValueOutOfDomain { var: *v, value });
+                }
+            }
+        }
+
+        if self.cache.is_none() {
+            self.cache =
+                Some(crate::delta::traced_eval(&self.query, &self.plan.order, &*self.plan)?);
+        }
+
+        let dom = &self.query.domain;
+        let (merged, ranges) = aligned.apply_to(
+            &self.query.factors[slot],
+            |a, b| dom.add(op, a, b),
+            |x| dom.is_zero(x),
+        );
+        if ranges.is_empty() {
+            // The batch was a no-op (e.g. deletes of absent keys): serve the
+            // cached output, no replay.
+            let cache = self.cache.as_ref().expect("cache primed above");
+            return Ok(FaqOutput {
+                factor: cache.output_factor().clone(),
+                stats: ElimStats::default(),
+            });
+        }
+        merged.trie(); // keep the handle serving-ready, like update_factor
+        self.query.factors[slot] = merged;
+        let cache = self.cache.as_mut().expect("cache primed above");
+        crate::delta::replay(cache, &self.query, &*self.plan, slot, ranges)
     }
 
     /// The plan this handle executes.

@@ -34,6 +34,16 @@ pub enum FaqError {
     },
     /// An aggregate id is out of range for the domain.
     UnknownAggregate(AggId),
+    /// A factor update or delta targets a prepared slot whose schema (as a
+    /// variable set) differs from the supplied one. Names the slot — the
+    /// actionable datum when a serving handle juggles many factors — plus a
+    /// variable from the symmetric difference of the two schemas.
+    FactorSchemaMismatch {
+        /// The factor slot (position in the query's factor list) that failed.
+        slot: usize,
+        /// A variable present in exactly one of the two schemas.
+        var: Var,
+    },
     /// A supplied variable ordering is invalid for this query.
     BadOrdering(String),
     /// A variable set is not coverable by the query's edges (some variable
@@ -55,6 +65,9 @@ impl fmt::Display for FaqError {
                 write!(f, "factor value {value} outside the domain of {var}")
             }
             FaqError::UnknownAggregate(a) => write!(f, "aggregate {a:?} unknown to the domain"),
+            FaqError::FactorSchemaMismatch { slot, var } => {
+                write!(f, "factor slot {slot}: schema mismatch on variable {var}")
+            }
             FaqError::BadOrdering(m) => write!(f, "bad variable ordering: {m}"),
             FaqError::Uncoverable(vars) => {
                 write!(f, "variable set {vars:?} is not coverable by any query edge")

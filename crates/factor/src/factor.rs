@@ -750,6 +750,50 @@ impl<E: SemiringElem> Factor<E> {
         Self::from_sorted_pairs(schema, merged)
     }
 
+    /// Replace every row whose first-column value falls inside one of
+    /// `ranges` with the rows of `replacement`, keeping all other rows — the
+    /// cached-intermediate update primitive of incremental delta evaluation.
+    ///
+    /// `ranges` are half-open `[lo, hi)` value ranges of the first column,
+    /// sorted and disjoint; every row of `replacement` (same schema) must
+    /// fall inside one of them (debug-asserted). Because the kept rows and
+    /// the replacement rows occupy disjoint ascending value ranges, the
+    /// result is assembled in one sorted pass with a constant number of
+    /// allocations — no re-sort, no per-row buffers.
+    ///
+    /// A nullary factor has no first column to anchor on; the result is then
+    /// simply `replacement` itself.
+    pub fn splice_by_first(&self, ranges: &[(u32, u32)], replacement: &Factor<E>) -> Factor<E> {
+        assert_eq!(self.schema, replacement.schema, "splice requires identical schemas");
+        if self.arity() == 0 {
+            return replacement.clone();
+        }
+        debug_assert!(ranges.windows(2).all(|w| w[0].1 <= w[1].0), "ranges sorted and disjoint");
+        let mut out = FactorBuilder::new(self.schema.clone()).expect("schema already valid");
+        out.reserve(self.len + replacement.len);
+        let (mut i, mut j) = (0usize, 0usize);
+        for &(lo, hi) in ranges {
+            while i < self.len && self.row(i)[0] < lo {
+                out.push(self.row(i), self.vals[i].clone());
+                i += 1;
+            }
+            while i < self.len && self.row(i)[0] < hi {
+                i += 1; // cached rows inside the range are superseded
+            }
+            while j < replacement.len && replacement.row(j)[0] < hi {
+                debug_assert!(replacement.row(j)[0] >= lo, "replacement row outside ranges");
+                out.push(replacement.row(j), replacement.vals[j].clone());
+                j += 1;
+            }
+        }
+        while i < self.len {
+            out.push(self.row(i), self.vals[i].clone());
+            i += 1;
+        }
+        debug_assert_eq!(j, replacement.len, "replacement row outside ranges");
+        out.finish()
+    }
+
     /// Restrict to rows where column `var` equals `value`, dropping the column —
     /// the conditional factor `ψ_S(· | x_v)` used by naive evaluation.
     pub fn condition(&self, var: Var, value: u32) -> Factor<E> {
@@ -779,7 +823,7 @@ impl<E: SemiringElem> Factor<E> {
     }
 }
 
-fn check_schema(schema: &[Var]) -> Result<(), FactorError> {
+pub(crate) fn check_schema(schema: &[Var]) -> Result<(), FactorError> {
     for (i, v) in schema.iter().enumerate() {
         if schema[..i].contains(v) {
             return Err(FactorError::DuplicateSchemaVar(*v));
@@ -1322,6 +1366,37 @@ mod tests {
             assert_eq!(ranges[0].0, 0);
             assert_eq!(ranges.last().unwrap().1, u32::MAX);
         }
+    }
+
+    #[test]
+    fn splice_by_first_replaces_ranges() {
+        let f = sample(); // rows: (0,0)→3 (0,1)→5 (1,0)→10 (2,2)→7
+        let replacement = Factor::new(
+            vec![v(0), v(1)],
+            vec![(vec![0, 2], 100u64), (vec![2, 0], 200), (vec![2, 9], 300)],
+        )
+        .unwrap();
+        let spliced = f.splice_by_first(&[(0, 1), (2, 3)], &replacement);
+        let expect = Factor::new(
+            vec![v(0), v(1)],
+            vec![(vec![0, 2], 100), (vec![1, 0], 10), (vec![2, 0], 200), (vec![2, 9], 300)],
+        )
+        .unwrap();
+        assert_eq!(spliced, expect);
+        // Empty replacement inside a range deletes the covered rows.
+        let nothing = Factor::<u64>::new(vec![v(0), v(1)], vec![]).unwrap();
+        let gone = f.splice_by_first(&[(0, 2)], &nothing);
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone.row(0), &[2, 2]);
+        // No ranges: identity.
+        assert_eq!(f.splice_by_first(&[], &nothing), f);
+    }
+
+    #[test]
+    fn splice_by_first_nullary_takes_replacement() {
+        let f = Factor::nullary(Some(1u64));
+        let r = Factor::nullary(Some(9u64));
+        assert_eq!(f.splice_by_first(&[(0, u32::MAX)], &r), r);
     }
 
     #[test]

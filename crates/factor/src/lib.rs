@@ -17,16 +17,21 @@
 //! * [`factor`] — the [`Factor`] type and its algebra (projection, indicator
 //!   projection per Definition 4.2, product marginalization per Assumption 2,
 //!   point-wise maps, powering);
+//! * [`delta`] — sorted point-update batches ([`DeltaFactor`]) and their
+//!   application, reporting the changed first-column ranges that anchor
+//!   incremental re-evaluation;
 //! * [`trie`] — the columnar trie index: levels, cursors, range-restricted
 //!   views, root-level chunk partitioning.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod domains;
 pub mod factor;
 pub mod trie;
 
+pub use delta::{DeltaFactor, DeltaOp};
 pub use domains::{AssignmentIter, Domains};
 pub use factor::{merge_sorted_rows, Factor, FactorBuilder, FactorError, FactorStats};
 pub use trie::{FactorTrie, TrieCursor, TrieLevel, TrieView};

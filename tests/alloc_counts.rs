@@ -11,8 +11,8 @@
 //! counts) so they don't flake across allocator or std versions, while
 //! staying far below one allocation per output row.
 
-use faq::core::{insideout_par_with_order, insideout_with_order, ExecPolicy, FaqQuery};
-use faq::factor::{Domains, Factor};
+use faq::core::{insideout_par_with_order, insideout_with_order, ExecPolicy, FaqQuery, Planner};
+use faq::factor::{DeltaFactor, DeltaOp, Domains, Factor};
 use faq::hypergraph::Var;
 use faq::semiring::{CountSumProd, SingleSemiringDomain};
 use faq_testalloc::{allocation_count, CountingAllocator};
@@ -91,4 +91,35 @@ fn elimination_allocates_per_step_not_per_row() {
         (parallel_allocs as usize) < 2048,
         "parallel run allocated {parallel_allocs} times for {total_rows} rows"
     );
+}
+
+#[test]
+fn delta_path_allocates_within_budget() {
+    let q = triangle(1500);
+    let mut prepared = Planner::sequential().prepare(&q).unwrap();
+    let total_rows: usize = q.factors.iter().map(|f| f.len()).sum::<usize>()
+        + prepared.evaluate().unwrap().factor.len();
+
+    // Prime the trace cache (a full evaluation) outside the measurement.
+    let schema = vec![Var(0), Var(1)];
+    let prime = DeltaFactor::new(schema.clone(), vec![(vec![63, 62], DeltaOp::Put(1u64))]).unwrap();
+    prepared.apply_delta(0, &prime).unwrap();
+
+    // A 1-row point update must not re-materialize O(rows) worth of
+    // allocations: the replayed steps run restricted to the touched anchor
+    // ranges (or as single whole-step joins), splicing into cached
+    // intermediates with reserve-once builders — the budget is O(steps ×
+    // (arity + log rows)), orders of magnitude below one per row.
+    let one_row = DeltaFactor::new(schema, vec![(vec![62, 61], DeltaOp::Put(1u64))]).unwrap();
+    let before = allocation_count();
+    let out = prepared.apply_delta(0, &one_row).unwrap();
+    let delta_allocs = allocation_count() - before;
+    assert!(
+        (delta_allocs as usize) < 4096,
+        "1-row delta allocated {delta_allocs} times over {total_rows} rows"
+    );
+    assert!((delta_allocs as usize) < total_rows / 4);
+
+    // And it computed the right thing: bit-identical to a fresh run.
+    assert_eq!(out.factor, prepared.evaluate().unwrap().factor);
 }

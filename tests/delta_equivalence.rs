@@ -1,0 +1,425 @@
+//! Differential tests: `PreparedQuery::apply_delta` is bit-identical to
+//! merging the delta by hand, swapping the factor in with `update_factor`,
+//! and re-evaluating from scratch.
+//!
+//! Three proptest families — counting (sum/max/product aggregate mixes),
+//! max-tropical, boolean — each checked under planners with threads ∈
+//! {1, 2, 4}, plus deterministic adversarial cases: the empty delta, a delta
+//! touching every row, deltas against an empty factor, repeated deltas to
+//! one slot, interleaved deltas across slots, and the `update_factor`
+//! rollback regression (failed updates leave cached intermediates intact).
+
+use faq::core::{FaqError, FaqQuery, Planner, PreparedQuery, VarAgg};
+use faq::factor::{DeltaFactor, DeltaOp, Domains, Factor};
+use faq::hypergraph::Var;
+use faq::semiring::{AggDomain, AggId, BoolDomain, CountDomain, MaxPlus, SingleSemiringDomain};
+use proptest::prelude::*;
+
+const DOM: u32 = 4;
+
+/// One delta batch over a counting factor: sorted keys with their ops.
+type DeltaEntries = Vec<(Vec<u32>, DeltaOp<u64>)>;
+
+/// Planners under test: sequential plus parallel with an adversarial chunk
+/// floor, so multi-threaded plans actually engage on tiny inputs.
+fn planners() -> Vec<Planner> {
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            let mut p = Planner::with_threads(threads);
+            p.min_chunk_rows = 1;
+            p
+        })
+        .collect()
+}
+
+/// Apply `delta` incrementally on `prepared` and from scratch on `oracle`
+/// (manual merge + `update_factor` + `evaluate`), asserting bit-identical
+/// output factors.
+fn assert_delta_matches<D: AggDomain + Clone + Sync>(
+    prepared: &mut PreparedQuery<D>,
+    oracle: &mut PreparedQuery<D>,
+    slot: usize,
+    delta: &DeltaFactor<D::E>,
+) {
+    let incr = prepared.apply_delta(slot, delta).unwrap();
+    let dom = oracle.query().domain.clone();
+    let order = oracle.plan().order.clone();
+    let aligned = delta.align_to(&order);
+    let (merged, _) = aligned.apply_to(
+        &oracle.query().factors[slot],
+        |a, b| dom.add(AggId(0), a, b),
+        |x| dom.is_zero(x),
+    );
+    oracle.update_factor(slot, merged).unwrap();
+    let fresh = oracle.evaluate().unwrap();
+    assert_eq!(incr.factor, fresh.factor, "incremental output diverged from recompute");
+}
+
+/// Run one delta twice (deltas accumulate) against every planner.
+fn check_delta_family<D: AggDomain + Clone + Sync>(
+    q: &FaqQuery<D>,
+    slot: usize,
+    entries: Vec<(Vec<u32>, DeltaOp<D::E>)>,
+) {
+    let delta = DeltaFactor::new(q.factors[slot].schema().to_vec(), entries).unwrap();
+    for planner in planners() {
+        let mut prepared = planner.prepare(q).unwrap();
+        let mut oracle = planner.prepare(q).unwrap();
+        assert_delta_matches(&mut prepared, &mut oracle, slot, &delta);
+        // A second application of the same batch accumulates on the cached
+        // intermediates of the first.
+        assert_delta_matches(&mut prepared, &mut oracle, slot, &delta);
+    }
+}
+
+/// Decode a support bitmap into factor tuples over `(a, b)`.
+fn pairs_factor<E: Clone + PartialEq + std::fmt::Debug + Send + Sync>(
+    a: u32,
+    b: u32,
+    support: &[u32],
+    mut value_at: impl FnMut(usize) -> E,
+) -> Factor<E> {
+    let tuples: Vec<(Vec<u32>, E)> = support
+        .iter()
+        .enumerate()
+        .filter(|(_, &x)| x > 0)
+        .map(|(i, _)| (vec![i as u32 / DOM, i as u32 % DOM], value_at(i)))
+        .collect();
+    Factor::new(vec![Var(a), Var(b)], tuples).unwrap()
+}
+
+/// The triangle-shaped query skeleton shared by the families.
+fn skeleton(
+    free: usize,
+    aggs: &[usize],
+    pick: impl Fn(usize) -> VarAgg,
+) -> (Vec<Var>, Vec<(Var, VarAgg)>) {
+    let free_vars: Vec<Var> = (0..free as u32).map(Var).collect();
+    let bound: Vec<(Var, VarAgg)> = (free..3).map(|i| (Var(i as u32), pick(aggs[i]))).collect();
+    (free_vars, bound)
+}
+
+/// Strategy: raw delta entries (key, kind, value-seed) with distinct keys.
+fn delta_entries() -> impl Strategy<Value = Vec<(u32, u32, usize, u64)>> {
+    proptest::collection::vec((0u32..DOM, 0u32..DOM, 0usize..3, 0u64..5), 0..8).prop_map(|raw| {
+        // Deduplicate keys (last write wins) — DeltaFactor rejects duplicates.
+        let mut by_key = std::collections::BTreeMap::new();
+        for (a, b, kind, v) in raw {
+            by_key.insert((a, b), (kind, v));
+        }
+        by_key.into_iter().map(|((a, b), (kind, v))| (a, b, kind, v)).collect()
+    })
+}
+
+fn delta_ops<E>(
+    raw: &[(u32, u32, usize, u64)],
+    mut value_of: impl FnMut(u64) -> E,
+) -> Vec<(Vec<u32>, DeltaOp<E>)> {
+    raw.iter()
+        .map(|&(a, b, kind, v)| {
+            let op = match kind {
+                0 => DeltaOp::Put(value_of(v)),
+                1 => DeltaOp::Merge(value_of(v)),
+                _ => DeltaOp::Delete,
+            };
+            (vec![a, b], op)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Counting semiring, sum / max / product aggregate mixes.
+    #[test]
+    fn counting_delta_equals_recompute(
+        s01 in proptest::collection::vec(0u32..2, (DOM * DOM) as usize),
+        s12 in proptest::collection::vec(0u32..2, (DOM * DOM) as usize),
+        s02 in proptest::collection::vec(0u32..2, (DOM * DOM) as usize),
+        free in 0usize..=3,
+        aggs in proptest::collection::vec(0usize..3, 3),
+        slot in 0usize..3,
+        raw in delta_entries(),
+    ) {
+        let pick = |i: usize| match i {
+            0 => VarAgg::Semiring(CountDomain::SUM),
+            1 => VarAgg::Semiring(CountDomain::MAX),
+            _ => VarAgg::Product,
+        };
+        let (free_vars, bound) = skeleton(free, &aggs, pick);
+        let q = FaqQuery::new(
+            CountDomain,
+            Domains::uniform(3, DOM),
+            free_vars,
+            bound,
+            vec![
+                pairs_factor(0, 1, &s01, |i| i as u64 % 3 + 1),
+                pairs_factor(1, 2, &s12, |i| i as u64 % 4 + 1),
+                pairs_factor(0, 2, &s02, |i| i as u64 % 2 + 1),
+            ],
+        ).unwrap();
+        check_delta_family(&q, slot, delta_ops(&raw, |v| v));
+    }
+
+    /// Max-tropical semiring (f64 carrier): restricted replay must stay
+    /// bit-identical even for floating-point values.
+    #[test]
+    fn tropical_delta_equals_recompute(
+        s01 in proptest::collection::vec(0u32..2, (DOM * DOM) as usize),
+        s12 in proptest::collection::vec(0u32..2, (DOM * DOM) as usize),
+        s02 in proptest::collection::vec(0u32..2, (DOM * DOM) as usize),
+        free in 0usize..=3,
+        slot in 0usize..3,
+        raw in delta_entries(),
+    ) {
+        let dom = SingleSemiringDomain::new(MaxPlus);
+        let (free_vars, bound) = skeleton(free, &[0, 0, 0], |_| VarAgg::Semiring(AggId(0)));
+        let q = FaqQuery::new(
+            dom,
+            Domains::uniform(3, DOM),
+            free_vars,
+            bound,
+            vec![
+                pairs_factor(0, 1, &s01, |i| i as f64 * 0.5),
+                pairs_factor(1, 2, &s12, |i| i as f64 - 3.0),
+                pairs_factor(0, 2, &s02, |i| (i % 5) as f64),
+            ],
+        ).unwrap();
+        check_delta_family(&q, slot, delta_ops(&raw, |v| v as f64 - 1.0));
+    }
+
+    /// Boolean semiring (conjunctive queries with projections).
+    #[test]
+    fn boolean_delta_equals_recompute(
+        s01 in proptest::collection::vec(0u32..2, (DOM * DOM) as usize),
+        s12 in proptest::collection::vec(0u32..2, (DOM * DOM) as usize),
+        s02 in proptest::collection::vec(0u32..2, (DOM * DOM) as usize),
+        free in 0usize..=3,
+        slot in 0usize..3,
+        raw in delta_entries(),
+    ) {
+        let (free_vars, bound) =
+            skeleton(free, &[0, 0, 0], |_| VarAgg::Semiring(BoolDomain::OR));
+        let q = FaqQuery::new(
+            BoolDomain,
+            Domains::uniform(3, DOM),
+            free_vars,
+            bound,
+            vec![
+                pairs_factor(0, 1, &s01, |_| true),
+                pairs_factor(1, 2, &s12, |_| true),
+                pairs_factor(0, 2, &s02, |_| true),
+            ],
+        ).unwrap();
+        check_delta_family(&q, slot, delta_ops(&raw, |_| true));
+    }
+}
+
+/// An all-free counting triangle over fixed supports — the deterministic
+/// workhorse of the adversarial cases.
+fn counting_triangle() -> FaqQuery<CountDomain> {
+    let dense: Vec<u32> = (0..DOM * DOM).map(|i| u32::from(i % 3 != 1)).collect();
+    let sparse: Vec<u32> = (0..DOM * DOM).map(|i| u32::from(i % 5 == 0)).collect();
+    let mid: Vec<u32> = (0..DOM * DOM).map(|i| u32::from(i % 2 == 0)).collect();
+    FaqQuery::new(
+        CountDomain,
+        Domains::uniform(3, DOM),
+        vec![Var(0), Var(1), Var(2)],
+        vec![],
+        vec![
+            pairs_factor(0, 1, &dense, |i| i as u64 + 1),
+            pairs_factor(1, 2, &sparse, |i| i as u64 % 7 + 1),
+            pairs_factor(0, 2, &mid, |i| i as u64 % 3 + 1),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn empty_delta_serves_cached_output() {
+    let q = counting_triangle();
+    let mut prepared = Planner::sequential().prepare(&q).unwrap();
+    let baseline = prepared.evaluate().unwrap().factor;
+    let delta: DeltaFactor<u64> = DeltaFactor::new(vec![Var(0), Var(1)], vec![]).unwrap();
+    let out = prepared.apply_delta(0, &delta).unwrap();
+    assert_eq!(out.factor, baseline);
+    // No replay happened: the stats are empty.
+    assert!(out.stats.steps.is_empty());
+    assert!(out.stats.output_join.is_none());
+    // Deleting absent keys is equally a no-op.
+    let absent = DeltaFactor::deletes(vec![Var(0), Var(1)], vec![vec![0, 1], vec![3, 1]]).unwrap();
+    assert!(q.factors[0].get(&[0, 1]).is_none());
+    let out = prepared.apply_delta(0, &absent).unwrap();
+    assert_eq!(out.factor, baseline);
+    assert!(out.stats.steps.is_empty());
+}
+
+#[test]
+fn delta_touching_every_row_equals_recompute() {
+    let q = counting_triangle();
+    for slot in 0..3 {
+        // Rewrite every existing row and add every missing key: a full
+        // overwrite of the slot, still served through the delta path.
+        let mut entries: DeltaEntries = Vec::new();
+        for a in 0..DOM {
+            for b in 0..DOM {
+                entries.push((vec![a, b], DeltaOp::Put(a as u64 * 10 + b as u64 + 1)));
+            }
+        }
+        check_delta_family(&q, slot, entries);
+    }
+}
+
+#[test]
+fn delta_to_empty_factor_equals_recompute() {
+    let mut q = counting_triangle();
+    q.factors[0] = Factor::new(vec![Var(0), Var(1)], vec![]).unwrap();
+    // Populate the empty factor through deltas alone.
+    let entries = vec![
+        (vec![0, 0], DeltaOp::Put(2u64)),
+        (vec![0, 2], DeltaOp::Put(1)),
+        (vec![2, 2], DeltaOp::Merge(3)),
+        (vec![3, 1], DeltaOp::Delete),
+    ];
+    check_delta_family(&q, 0, entries);
+}
+
+#[test]
+fn repeated_deltas_to_one_slot_accumulate() {
+    let q = counting_triangle();
+    let planner = Planner::sequential();
+    let mut prepared = planner.prepare(&q).unwrap();
+    let mut oracle = planner.prepare(&q).unwrap();
+    let batches: Vec<DeltaEntries> = vec![
+        vec![(vec![1, 1], DeltaOp::Put(5))],
+        vec![(vec![1, 1], DeltaOp::Merge(2)), (vec![0, 0], DeltaOp::Delete)],
+        vec![(vec![1, 1], DeltaOp::Delete)],
+        vec![(vec![0, 0], DeltaOp::Put(7)), (vec![1, 1], DeltaOp::Put(1))],
+        vec![(vec![3, 3], DeltaOp::Merge(4))],
+    ];
+    for entries in batches {
+        let delta = DeltaFactor::new(vec![Var(0), Var(1)], entries).unwrap();
+        assert_delta_matches(&mut prepared, &mut oracle, 0, &delta);
+    }
+}
+
+#[test]
+fn interleaved_deltas_across_slots_accumulate() {
+    let q = counting_triangle();
+    for planner in planners() {
+        let mut prepared = planner.prepare(&q).unwrap();
+        let mut oracle = planner.prepare(&q).unwrap();
+        let script: Vec<(usize, DeltaEntries)> = vec![
+            (0, vec![(vec![2, 3], DeltaOp::Put(4))]),
+            (1, vec![(vec![3, 3], DeltaOp::Put(2)), (vec![0, 0], DeltaOp::Delete)]),
+            (2, vec![(vec![2, 2], DeltaOp::Merge(6))]),
+            (0, vec![(vec![2, 3], DeltaOp::Delete), (vec![0, 1], DeltaOp::Merge(1))]),
+            (2, vec![(vec![2, 2], DeltaOp::Put(1))]),
+        ];
+        for (slot, entries) in script {
+            let schema = q.factors[slot].schema().to_vec();
+            let delta = DeltaFactor::new(schema, entries).unwrap();
+            assert_delta_matches(&mut prepared, &mut oracle, slot, &delta);
+        }
+    }
+}
+
+#[test]
+fn apply_delta_with_explicit_operator() {
+    // CountDomain's AggId(1) is max: merging through it keeps the larger
+    // multiplicity instead of summing.
+    let q = counting_triangle();
+    let planner = Planner::sequential();
+    let mut prepared = planner.prepare(&q).unwrap();
+    let mut oracle = planner.prepare(&q).unwrap();
+    let delta =
+        DeltaFactor::new(vec![Var(0), Var(1)], vec![(vec![0, 0], DeltaOp::Merge(2u64))]).unwrap();
+    let incr = prepared.apply_delta_with(0, &delta, CountDomain::MAX).unwrap();
+    let aligned = delta.align_to(&oracle.plan().order.clone());
+    let (merged, _) = aligned.apply_to(&oracle.query().factors[0], |a, b| *a.max(b), |x| *x == 0);
+    oracle.update_factor(0, merged).unwrap();
+    assert_eq!(incr.factor, oracle.evaluate().unwrap().factor);
+}
+
+#[test]
+fn apply_delta_rejects_bad_inputs_without_mutating() {
+    let q = counting_triangle();
+    let mut prepared = Planner::sequential().prepare(&q).unwrap();
+    let baseline = prepared.evaluate().unwrap().factor;
+
+    // Slot out of range.
+    let d = DeltaFactor::new(vec![Var(0), Var(1)], vec![(vec![0, 0], DeltaOp::Delete)]).unwrap();
+    assert!(prepared.apply_delta(9, &d).is_err());
+
+    // Schema mismatch names the slot and a symmetric-difference variable.
+    let bad = DeltaFactor::new(vec![Var(0), Var(2)], vec![(vec![0, 0], DeltaOp::Delete)]).unwrap();
+    match prepared.apply_delta(0, &bad) {
+        Err(FaqError::FactorSchemaMismatch { slot, var }) => {
+            assert_eq!(slot, 0);
+            assert!(var == Var(1) || var == Var(2));
+        }
+        other => panic!("expected FactorSchemaMismatch, got {other:?}"),
+    }
+    let msg = prepared.apply_delta(0, &bad).unwrap_err().to_string();
+    assert!(msg.contains("slot 0"), "error must name the slot: {msg}");
+
+    // Key outside the domain.
+    let oob =
+        DeltaFactor::new(vec![Var(0), Var(1)], vec![(vec![DOM, 0], DeltaOp::Put(1u64))]).unwrap();
+    assert!(matches!(
+        prepared.apply_delta(0, &oob),
+        Err(FaqError::ValueOutOfDomain { var: Var(0), value }) if value == DOM
+    ));
+
+    // Unknown merge operator.
+    assert!(matches!(
+        prepared.apply_delta_with(0, &d, AggId(99)),
+        Err(FaqError::UnknownAggregate(AggId(99)))
+    ));
+
+    // None of the rejected calls disturbed the handle.
+    assert_eq!(prepared.evaluate().unwrap().factor, baseline);
+}
+
+#[test]
+fn failed_update_factor_names_slot_and_keeps_delta_cache() {
+    let q = counting_triangle();
+    let planner = Planner::sequential();
+    let mut prepared = planner.prepare(&q).unwrap();
+    let mut oracle = planner.prepare(&q).unwrap();
+
+    // Prime the delta cache.
+    let d1 =
+        DeltaFactor::new(vec![Var(0), Var(1)], vec![(vec![1, 1], DeltaOp::Put(3u64))]).unwrap();
+    assert_delta_matches(&mut prepared, &mut oracle, 0, &d1);
+
+    // A schema-mismatched update must fail, name the slot, and leave both
+    // the factors and the cached intermediates untouched.
+    let wrong = Factor::new(vec![Var(1), Var(2)], vec![(vec![0, 0], 1u64)]).unwrap();
+    match prepared.update_factor(0, wrong) {
+        Err(FaqError::FactorSchemaMismatch { slot, .. }) => assert_eq!(slot, 0),
+        other => panic!("expected FactorSchemaMismatch, got {other:?}"),
+    }
+    // An out-of-domain update rolls back and equally preserves the cache.
+    let oob = Factor::new(vec![Var(0), Var(1)], vec![(vec![DOM, 0], 1u64)]).unwrap();
+    assert!(matches!(prepared.update_factor(0, oob), Err(FaqError::ValueOutOfDomain { .. })));
+
+    // Incremental evaluation keeps working against the (intact) cache.
+    let d2 = DeltaFactor::new(
+        vec![Var(0), Var(1)],
+        vec![(vec![1, 1], DeltaOp::Delete), (vec![2, 0], DeltaOp::Merge(2u64))],
+    )
+    .unwrap();
+    assert_delta_matches(&mut prepared, &mut oracle, 0, &d2);
+
+    // A *successful* update invalidates the cache: the next delta re-primes
+    // against the new values and still matches recompute.
+    let fresh =
+        Factor::new(vec![Var(0), Var(1)], vec![(vec![0, 3], 2u64), (vec![3, 3], 1)]).unwrap();
+    prepared.update_factor(0, fresh.clone()).unwrap();
+    oracle.update_factor(0, fresh).unwrap();
+    let d3 =
+        DeltaFactor::new(vec![Var(0), Var(1)], vec![(vec![3, 3], DeltaOp::Merge(5u64))]).unwrap();
+    assert_delta_matches(&mut prepared, &mut oracle, 0, &d3);
+}
