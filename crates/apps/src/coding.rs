@@ -12,7 +12,7 @@
 //! All variables are free — the answer is the recovered list, and InsideOut's
 //! guard phase keeps the enumeration output-sensitive.
 
-use faq_core::{insideout, FaqError, FaqQuery};
+use faq_core::{Engine, FaqError, FaqQuery};
 use faq_factor::{Domains, Factor};
 use faq_hypergraph::Var;
 use faq_semiring::BoolDomain;
@@ -84,7 +84,7 @@ impl Code {
             );
         }
         let q = FaqQuery::new(BoolDomain, Domains::uniform(self.n, self.q), vars, vec![], factors)?;
-        let out = insideout(&q)?;
+        let out = Engine::sequential().evaluate(&q)?;
         Ok(out.factor.iter().map(|(row, _)| row.to_vec()).collect())
     }
 }

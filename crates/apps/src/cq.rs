@@ -7,7 +7,7 @@
 //!   counting domain (the paper's Table 1 formulation: `max` over `{0,1}`
 //!   plays `∃`, the outer `Σ` counts).
 
-use faq_core::{insideout, insideout_with_order, naive_eval, FaqError, FaqQuery, VarAgg};
+use faq_core::{naive_eval, Engine, FaqError, FaqQuery, VarAgg};
 use faq_factor::{Domains, Factor};
 use faq_hypergraph::Var;
 use faq_semiring::{BoolDomain, CountDomain};
@@ -62,13 +62,13 @@ impl ConjunctiveQuery {
 
     /// Evaluate the CQ: the set of answer tuples over the free variables.
     pub fn evaluate(&self) -> Result<Factor<bool>, FaqError> {
-        Ok(insideout(&self.to_bool_faq()?)?.factor)
+        Ok(Engine::sequential().evaluate(&self.to_bool_faq()?)?.factor)
     }
 
     /// Boolean CQ: is the query non-empty? (All variables existential.)
     pub fn is_satisfiable(&self) -> Result<bool, FaqError> {
         assert!(self.free.is_empty(), "BCQ requires no free variables");
-        Ok(insideout(&self.to_bool_faq()?)?.scalar().copied().unwrap_or(false))
+        Ok(Engine::sequential().evaluate(&self.to_bool_faq()?)?.scalar().copied().unwrap_or(false))
     }
 
     /// The #CQ instance: `Σ_{free} max_{exists} Π ψ` over the counting
@@ -92,7 +92,7 @@ impl ConjunctiveQuery {
         let q = self.to_count_faq()?;
         let shape = q.shape();
         let order = crate::width_order_or(&shape, q.ordering(), 5_000, 14)?;
-        let out = insideout_with_order(&q, &order)?;
+        let out = Engine::sequential().evaluate_with_order(&q, &order)?;
         Ok(out.scalar().copied().unwrap_or(0))
     }
 

@@ -5,7 +5,7 @@
 //! * the permanent (Example A.11): `Σ_x Π_i ψ_i(x_i) Π_{j<k} [x_j ≠ x_k]`;
 //! * triangle counting (Example A.8) lives in [`crate::joins`].
 
-use faq_core::{insideout_with_order, FaqError, FaqQuery, VarAgg};
+use faq_core::{Engine, FaqError, FaqQuery, VarAgg};
 use faq_factor::{Domains, Factor};
 use faq_hypergraph::Var;
 use faq_semiring::{BoolDomain, CountDomain};
@@ -33,7 +33,7 @@ pub fn is_k_colorable(n: u32, edges: &[(u32, u32)], k: u32) -> Result<bool, FaqE
     )?;
     let shape = q.shape();
     let order = crate::width_order_or(&shape, q.ordering(), 2_000, 14)?;
-    Ok(insideout_with_order(&q, &order)?.scalar().copied().unwrap_or(false))
+    Ok(Engine::sequential().evaluate_with_order(&q, &order)?.scalar().copied().unwrap_or(false))
 }
 
 /// The number of proper `k`-colorings of the graph.
@@ -49,7 +49,7 @@ pub fn count_k_colorings(n: u32, edges: &[(u32, u32)], k: u32) -> Result<u64, Fa
     )?;
     let shape = q.shape();
     let order = crate::width_order_or(&shape, q.ordering(), 2_000, 14)?;
-    Ok(insideout_with_order(&q, &order)?.scalar().copied().unwrap_or(0))
+    Ok(Engine::sequential().evaluate_with_order(&q, &order)?.scalar().copied().unwrap_or(0))
 }
 
 /// The permanent of an `n×n` non-negative integer matrix via FAQ
@@ -86,7 +86,7 @@ pub fn permanent(a: &[Vec<u64>]) -> Result<u64, FaqError> {
     )?;
     // The permanent's hypergraph is a clique: no ordering beats another, so
     // use the input one.
-    Ok(faq_core::insideout(&q)?.scalar().copied().unwrap_or(0))
+    Ok(Engine::sequential().evaluate(&q)?.scalar().copied().unwrap_or(0))
 }
 
 /// A general binary-or-higher CSP: variables with finite domains and
@@ -105,7 +105,7 @@ impl Csp {
         let q = self.bool_query()?;
         let shape = q.shape();
         let order = crate::width_order_or(&shape, q.ordering(), 2_000, 12)?;
-        Ok(insideout_with_order(&q, &order)?.scalar().copied().unwrap_or(false))
+        Ok(Engine::sequential().evaluate_with_order(&q, &order)?.scalar().copied().unwrap_or(false))
     }
 
     /// The number of solutions (counting FAQ).
@@ -127,7 +127,7 @@ impl Csp {
         )?;
         let shape = q.shape();
         let order = crate::width_order_or(&shape, q.ordering(), 2_000, 12)?;
-        Ok(insideout_with_order(&q, &order)?.scalar().copied().unwrap_or(0))
+        Ok(Engine::sequential().evaluate_with_order(&q, &order)?.scalar().copied().unwrap_or(0))
     }
 
     /// Enumerate all solutions (all variables free).
@@ -147,7 +147,7 @@ impl Csp {
             vec![],
             factors,
         )?;
-        let out = faq_core::insideout(&q)?;
+        let out = Engine::sequential().evaluate(&q)?;
         Ok(out.factor.iter().map(|(row, _)| row.to_vec()).collect())
     }
 

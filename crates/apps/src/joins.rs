@@ -7,7 +7,7 @@
 //! bound `O~(N^{fhtw} + ‖ϕ‖)`; the classic triangle query exhibits the
 //! `N^{3/2}` AGM bound against the `N²` of any pairwise join plan.
 
-use faq_core::{insideout_par_with_order, insideout_with_order, ExecPolicy};
+use faq_core::{Engine, ExecPolicy};
 use faq_core::{FaqError, FaqOutput, FaqQuery, Planner, PreparedQuery};
 use faq_factor::{DeltaFactor, Domains, Factor};
 use faq_hypergraph::Var;
@@ -65,7 +65,7 @@ impl NaturalJoin {
     pub fn evaluate(&self) -> Result<FaqOutput<u64>, FaqError> {
         let q = self.to_faq()?;
         let sigma = q.ordering();
-        insideout_with_order(&q, &sigma)
+        Engine::sequential().evaluate_with_order(&q, &sigma)
     }
 
     /// Evaluate on the parallel engine: the guard joins and the output join
@@ -74,7 +74,7 @@ impl NaturalJoin {
     pub fn evaluate_par(&self, policy: &ExecPolicy) -> Result<FaqOutput<u64>, FaqError> {
         let q = self.to_faq()?;
         let sigma = q.ordering();
-        insideout_par_with_order(&q, &sigma, policy)
+        Engine::with_policy(policy.clone()).evaluate_with_order(&q, &sigma)
     }
 
     /// The join size (number of output tuples).
@@ -330,7 +330,7 @@ mod tests {
         let q = triangle_query(&edges, 16);
         let seq = q.evaluate().unwrap();
         for threads in [1usize, 2, 4] {
-            let policy = ExecPolicy { threads, min_chunk_rows: 1, ..ExecPolicy::sequential() };
+            let policy = ExecPolicy::sequential().threads(threads).min_chunk_rows(1);
             let par = q.evaluate_par(&policy).unwrap();
             assert_eq!(par.factor, seq.factor, "threads {threads}");
         }

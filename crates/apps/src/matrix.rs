@@ -12,7 +12,7 @@
 //!   (trivial when `j+k ≥ m`); InsideOut eliminating one digit at a time *is*
 //!   the FFT, `O(N log N)` against the naive `O(N²)`.
 
-use faq_core::{insideout, FaqError, FaqQuery, VarAgg};
+use faq_core::{Engine, FaqError, FaqQuery, VarAgg};
 use faq_factor::{Domains, Factor};
 use faq_hypergraph::Var;
 use faq_semiring::{Complex64, ComplexSumProd, F64SumProd, SingleSemiringDomain};
@@ -137,7 +137,7 @@ impl MatrixChain {
     /// optimal one).
     pub fn evaluate_insideout(&self, order: &[Var]) -> Result<Matrix, FaqError> {
         let q = self.to_faq()?;
-        let out = faq_core::insideout_with_order(&q, order)?;
+        let out = Engine::sequential().evaluate_with_order(&q, order)?;
         let dims = self.dims();
         let n = self.matrices.len();
         let mut m = Matrix::zeros(dims[0], dims[n]);
@@ -150,7 +150,7 @@ impl MatrixChain {
     /// Evaluate with the query's own ordering.
     pub fn evaluate(&self) -> Result<Matrix, FaqError> {
         let q = self.to_faq()?;
-        let out = insideout(&q)?;
+        let out = Engine::sequential().evaluate(&q)?;
         let dims = self.dims();
         let n = self.matrices.len();
         let mut m = Matrix::zeros(dims[0], dims[n]);
@@ -302,7 +302,7 @@ pub fn dft_faq(p: u32, m: usize, input: &[Complex64]) -> Result<Vec<Complex64>, 
         bound,
         factors,
     )?;
-    let out = insideout(&q)?;
+    let out = Engine::sequential().evaluate(&q)?;
 
     let mut result = vec![Complex64::ZERO; n as usize];
     for (row, val) in out.factor.iter() {

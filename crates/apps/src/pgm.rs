@@ -6,7 +6,7 @@
 //! variable elimination with the fractional-hypertree-width guarantee —
 //! improving the classical treewidth bound the PGM literature states.
 
-use faq_core::{insideout_with_order, naive_eval, FaqError, FaqQuery, VarAgg};
+use faq_core::{naive_eval, Engine, FaqError, FaqQuery, VarAgg};
 use faq_factor::{Domains, Factor};
 use faq_hypergraph::Var;
 use faq_semiring::RealDomain;
@@ -47,7 +47,7 @@ impl GraphicalModel {
         // is then undefined (Uncoverable) but elimination still is — fall
         // back to the query's own ordering for such degenerate models.
         let order = crate::width_order_or(&q.shape(), q.ordering(), 2_000, 14)?;
-        Ok(insideout_with_order(q, &order)?.factor)
+        Ok(Engine::sequential().evaluate_with_order(q, &order)?.factor)
     }
 
     /// The unnormalized marginal over `free`: `Σ_{rest} Π ψ`.

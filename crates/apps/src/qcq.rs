@@ -14,7 +14,7 @@
 //! (bounded by 2) from the Chen–Dalmau prefix width (`n+1`).
 
 use crate::cq::Atom;
-use faq_core::{insideout_with_order, naive_eval, FaqError, FaqQuery, VarAgg};
+use faq_core::{naive_eval, Engine, FaqError, FaqQuery, VarAgg};
 use faq_factor::Domains;
 use faq_hypergraph::Var;
 use faq_semiring::{BoolDomain, CountDomain};
@@ -94,7 +94,7 @@ impl QuantifiedCq {
         // whole domain, so the §6.2 expression tree is used as-is.
         let shape = q.shape();
         let order = crate::width_order_or(&shape, q.ordering(), 5_000, 14)?;
-        Ok(insideout_with_order(&q, &order)?.factor)
+        Ok(Engine::sequential().evaluate_with_order(&q, &order)?.factor)
     }
 
     /// The sentence value of a fully quantified QCQ.
@@ -109,7 +109,7 @@ impl QuantifiedCq {
         // Input factors are {0,1}-valued: the F(D_I) promise of Def 5.8 holds.
         let shape = q.shape_promising_idempotent_inputs();
         let order = crate::width_order_or(&shape, q.ordering(), 5_000, 14)?;
-        let out = insideout_with_order(&q, &order)?;
+        let out = Engine::sequential().evaluate_with_order(&q, &order)?;
         Ok(out.scalar().copied().unwrap_or(0))
     }
 

@@ -24,7 +24,7 @@ fn bench_triangle_par(c: &mut Criterion) {
             b.iter(|| q.evaluate().unwrap())
         });
         for threads in [2usize, 4] {
-            let policy = ExecPolicy { threads, min_chunk_rows: 64, ..ExecPolicy::sequential() };
+            let policy = ExecPolicy::sequential().threads(threads).min_chunk_rows(64);
             assert_eq!(q.evaluate_par(&policy).unwrap().factor, seq.factor);
             group.bench_with_input(
                 BenchmarkId::new(format!("parallel_t{threads}"), m),
@@ -51,7 +51,7 @@ fn bench_path_par(c: &mut Criterion) {
         b.iter(|| q.evaluate().unwrap())
     });
     for threads in [2usize, 4] {
-        let policy = ExecPolicy { threads, min_chunk_rows: 64, ..ExecPolicy::sequential() };
+        let policy = ExecPolicy::sequential().threads(threads).min_chunk_rows(64);
         assert_eq!(q.evaluate_par(&policy).unwrap().factor, seq.factor);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("parallel_t{threads}")),

@@ -1,0 +1,54 @@
+//! Multi-tenant serving throughput/latency on the triangle workload.
+//!
+//! Each iteration runs a full open-loop serving round: `tenants` client
+//! threads submit against a [`faq_serve::FaqServer`] pool while the
+//! schedule offers ~70% of the pool's measured capacity
+//! (`faq_bench::serving::run_triangle_serving`). The first answer of every
+//! round is asserted bit-identical to a direct evaluation before timing.
+//!
+//! The round's own qps/p50/p99 numbers are printed to stderr — criterion
+//! measures the wall time of the round, the `paper_tables` M1 table records
+//! the serving metrics themselves.
+//!
+//! Run in `--test` mode (one unmeasured pass per benchmark) via
+//! `cargo bench -p faq_bench --bench serving -- --test` — CI does this on
+//! every push.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faq_bench::serving::run_triangle_serving;
+use faq_serve::CacheMode;
+
+fn bench_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving/triangle_m2000");
+    group.sample_size(10);
+    for &(tenants, workers) in &[(4usize, 4usize), (8, 4)] {
+        group.bench_with_input(
+            BenchmarkId::new("bypass", format!("{tenants}t_{workers}w")),
+            &(tenants, workers),
+            |b, &(tenants, workers)| {
+                b.iter(|| {
+                    let r = run_triangle_serving(2000, tenants, workers, 8, CacheMode::Bypass);
+                    eprintln!(
+                        "  {}: {} tenants {} workers → {:.1} qps, p50 {:.2} ms, p99 {:.2} ms",
+                        r.name, r.tenants, r.workers, r.qps, r.p50_ms, r.p99_ms
+                    );
+                    r.requests
+                })
+            },
+        );
+    }
+    group.bench_function(BenchmarkId::new("shared", "4t_4w"), |b| {
+        b.iter(|| {
+            let r = run_triangle_serving(2000, 4, 4, 8, CacheMode::Shared);
+            eprintln!(
+                "  {}: {:.1} qps, p50 {:.2} ms, p99 {:.2} ms (result sharing on)",
+                r.name, r.qps, r.p50_ms, r.p99_ms
+            );
+            r.requests
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -5,9 +5,9 @@
 //!
 //! `--threads N` sets the worker-pool size of the parallel-engine table
 //! (default: the host's available parallelism). `--json` additionally writes
-//! the hot-path (H1) and incremental-delta (D1) tables as machine-readable
-//! JSON — the per-PR perf trajectory CI uploads as an artifact — to `PATH`
-//! (default `BENCH_6.json`).
+//! the hot-path (H1), incremental-delta (D1) and serving (M1) tables as
+//! machine-readable JSON — the per-PR perf trajectory CI uploads as an
+//! artifact — to `PATH` (default `BENCH_7.json`).
 
 use faq_apps::{cq, joins, matrix, pgm, qcq};
 use faq_bench::{example_5_6_good_order, example_5_6_input_order, example_5_6_query};
@@ -37,7 +37,7 @@ fn main() {
         args.get(i + 1)
             .filter(|v| !v.starts_with("--"))
             .cloned()
-            .unwrap_or_else(|| "BENCH_6.json".to_string())
+            .unwrap_or_else(|| "BENCH_7.json".to_string())
     });
     let iters = if fast { 1 } else { 3 };
     println!("# FAQ paper reproduction — measured tables\n");
@@ -55,7 +55,8 @@ fn main() {
     par_table(iters, fast, threads);
     plan_table(iters, fast);
     let delta_rows = delta_table(iters, fast);
-    hot_table(iters, fast, json_path.as_deref(), &delta_rows);
+    let serving_rows = serving_table(fast);
+    hot_table(iters, fast, json_path.as_deref(), &delta_rows, &serving_rows);
     width_table();
     sat_tables(iters, fast);
     composition_table();
@@ -296,7 +297,7 @@ fn par_table(iters: usize, fast: bool, threads: usize) {
     println!("| N (edges) | sequential (s) | parallel (s) | speedup | identical |");
     println!("|---|---|---|---|---|");
     let sizes: &[usize] = if fast { &[1000, 2000] } else { &[2000, 8000, 20000] };
-    let policy = ExecPolicy { threads, min_chunk_rows: 64, ..ExecPolicy::sequential() };
+    let policy = ExecPolicy::sequential().threads(threads).min_chunk_rows(64);
     let mut r = rng(17);
     for &m in sizes {
         let nodes = (4 * (m as f64).sqrt() as u32).max(8);
@@ -423,9 +424,16 @@ fn delta_table(iters: usize, fast: bool) -> Vec<(String, f64, f64)> {
 /// InsideOut pipeline (PR 5) on the triangle / path4 / PGM-chain workloads
 /// the `hot_path` bench measures, plus the conditional-query volume and
 /// output size per workload. With `--json`, the same rows — plus the D1
-/// incremental-delta rows — are written to a machine-readable file
-/// (`BENCH_6.json` by default) so CI can archive one perf point per push.
-fn hot_table(iters: usize, fast: bool, json_path: Option<&str>, delta_rows: &[(String, f64, f64)]) {
+/// incremental-delta and M1 serving rows — are written to a machine-readable
+/// file (`BENCH_7.json` by default) so CI can archive one perf point per
+/// push.
+fn hot_table(
+    iters: usize,
+    fast: bool,
+    json_path: Option<&str>,
+    delta_rows: &[(String, f64, f64)],
+    serving_rows: &[faq_bench::serving::ServingReport],
+) {
     println!("## H1 Hot path — flat-row InsideOut pipeline (perf trajectory)\n");
     println!("| workload | median (ms) | seeks | out rows |");
     println!("|---|---|---|---|");
@@ -492,10 +500,45 @@ fn hot_table(iters: usize, fast: bool, json_path: Option<&str>, delta_rows: &[(S
                  \"recompute_ms\": {full_ms:.3}}}{sep}\n"
             ));
         }
+        s.push_str("  ],\n  \"serving\": [\n");
+        for (i, r) in serving_rows.iter().enumerate() {
+            let sep = if i + 1 < serving_rows.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"tenants\": {}, \"workers\": {}, \
+                 \"qps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{sep}\n",
+                r.name, r.tenants, r.workers, r.qps, r.p50_ms, r.p99_ms
+            ));
+        }
         s.push_str("  ]\n}\n");
         std::fs::write(path, s).expect("write the perf-trajectory JSON");
         println!("wrote perf trajectory to {path}\n");
     }
+}
+
+/// M1: the multi-tenant serving runtime (`faq_serve`) on the triangle
+/// workload — open-loop qps and latency percentiles per tenant mix. The
+/// 4-tenant bypass row is the headline (every request evaluates); the
+/// shared row shows cross-tenant result reuse. Rows join the `--json` perf
+/// trajectory as the `"serving"` array.
+fn serving_table(fast: bool) -> Vec<faq_bench::serving::ServingReport> {
+    use faq_serve::CacheMode;
+    println!("## M1 Serving — multi-tenant runtime (epoch snapshots, worker pool)\n");
+    println!("| workload | tenants | workers | requests | qps | p50 (ms) | p99 (ms) |");
+    println!("|---|---|---|---|---|---|---|");
+    let per_tenant = if fast { 16 } else { 60 };
+    let mut reports = Vec::new();
+    for (tenants, workers, cache) in
+        [(4usize, 4usize, CacheMode::Bypass), (8, 4, CacheMode::Bypass), (4, 4, CacheMode::Shared)]
+    {
+        let r = faq_bench::serving::run_triangle_serving(2000, tenants, workers, per_tenant, cache);
+        println!(
+            "| {} | {} | {} | {} | {:.1} | {:.3} | {:.3} |",
+            r.name, r.tenants, r.workers, r.requests, r.qps, r.p50_ms, r.p99_ms
+        );
+        reports.push(r);
+    }
+    println!();
+    reports
 }
 
 /// §7.2.1: faqw vs Chen–Dalmau prefix width on the ∀…∀∃ family.

@@ -106,8 +106,13 @@ pub fn example_5_6_query(n: u32, seed: u64) -> FaqQuery<RealDomain> {
     .unwrap()
 }
 
+/// The multi-tenant serving workload — the single definition shared by
+/// `benches/serving.rs` and the `paper_tables` M1 table / `BENCH_7.json`
+/// `"serving"` records.
+pub mod serving;
+
 /// The hot-path workload family — the *single* definition shared by
-/// `benches/hot_path.rs` and the `paper_tables` H1 table / `BENCH_6.json`
+/// `benches/hot_path.rs` and the `paper_tables` H1 table / `BENCH_7.json`
 /// perf trajectory, so the archived trajectory always measures exactly what
 /// the bench measures (same seeds, sizes, and query shapes).
 pub mod hot_path {

@@ -1,0 +1,144 @@
+//! Open-loop serving workload over the triangle join (the M1 table and
+//! `benches/serving.rs`).
+//!
+//! Each tenant thread submits requests on a fixed arrival schedule —
+//! **independent of completions**, so queueing delay shows up in the
+//! latencies instead of silently throttling the offered load (the
+//! closed-loop pitfall). The schedule targets ~70% of the pool's measured
+//! serial capacity; reported latency is submission-to-completion as
+//! measured by the worker ([`faq_serve::ServeOutput::latency`]).
+
+use crate::hot_path;
+use faq_apps::joins::NaturalJoin;
+use faq_core::VarAgg;
+use faq_serve::{CacheMode, FaqServer, QuerySpec, ServeConfig};
+use std::time::{Duration, Instant};
+
+/// Results of one open-loop serving run.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Workload label (goes into the table and the JSON record).
+    pub name: String,
+    /// Tenant (client) threads.
+    pub tenants: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Total completed requests.
+    pub requests: usize,
+    /// Completed requests per second of wall-clock time.
+    pub qps: f64,
+    /// Median submission-to-completion latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile submission-to-completion latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Run the triangle-`m` natural join as a multi-tenant serving workload:
+/// `tenants` client threads each submit `per_tenant` requests open-loop
+/// against a `workers`-thread [`FaqServer`], all for the same registered
+/// query (`cache` picks whether they share results).
+///
+/// The first answer is asserted bit-identical to a direct
+/// [`NaturalJoin::evaluate`] before any timing starts.
+pub fn run_triangle_serving(
+    m: usize,
+    tenants: usize,
+    workers: usize,
+    per_tenant: usize,
+    cache: CacheMode,
+) -> ServingReport {
+    let nj: NaturalJoin = hot_path::triangles(&[m]).pop().expect("one instance").1;
+    let q = nj.to_faq().expect("triangle join is a valid FAQ");
+    let catalog = nj.relations.iter().map(|r| r.to_factor()).collect();
+    let server = FaqServer::with_config(
+        ServeConfig::default().workers(workers).max_in_flight(tenants * per_tenant + workers),
+        q.domain,
+        nj.domains.clone(),
+        catalog,
+    );
+    let spec = QuerySpec::new(
+        nj.output_order.clone(),
+        Vec::<(faq_hypergraph::Var, VarAgg)>::new(),
+        (0..nj.relations.len()).collect(),
+    );
+    let qid = server.register(spec).expect("triangle spec registers");
+
+    // Correctness gate + capacity probe (fresh evaluations, never cached).
+    let probe = server.tenant("probe", 4);
+    let reference = nj.evaluate().expect("direct evaluation succeeds").factor;
+    let mut serial_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let out = server
+            .submit_with(&probe, qid, None, CacheMode::Bypass)
+            .expect("probe admitted")
+            .wait()
+            .expect("probe answered");
+        assert_eq!(
+            *out.factor, reference,
+            "served output must be bit-identical to direct evaluation"
+        );
+        serial_secs = serial_secs.min(out.latency.as_secs_f64());
+    }
+
+    // Open-loop schedule: offered load ≈ 70% of the pool's serial capacity,
+    // split evenly across tenants.
+    let capacity_qps = workers as f64 / serial_secs.max(1e-9);
+    let interval = Duration::from_secs_f64(tenants as f64 / (0.7 * capacity_qps));
+
+    let latencies: std::sync::Mutex<Vec<f64>> = std::sync::Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..tenants {
+            let server = &server;
+            let latencies = &latencies;
+            s.spawn(move || {
+                let tenant = server.tenant(&format!("tenant-{t}"), per_tenant + 1);
+                let start = Instant::now();
+                let mut tickets = Vec::with_capacity(per_tenant);
+                for k in 0..per_tenant {
+                    let due = start + interval * k as u32;
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    tickets.push(server.submit_with(&tenant, qid, None, cache).expect("admitted"));
+                }
+                let mut mine: Vec<f64> = Vec::with_capacity(per_tenant);
+                for ticket in tickets {
+                    let out = ticket.wait().expect("request answered");
+                    mine.push(out.latency.as_secs_f64() * 1e3);
+                }
+                latencies.lock().unwrap().extend(mine);
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let mut ms = latencies.into_inner().unwrap();
+    ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let requests = ms.len();
+    assert_eq!(requests, tenants * per_tenant, "every request must complete");
+    ServingReport {
+        name: format!(
+            "triangle_m{m}_{}",
+            match cache {
+                CacheMode::Shared => "shared",
+                CacheMode::Bypass => "bypass",
+            }
+        ),
+        tenants,
+        workers,
+        requests,
+        qps: requests as f64 / wall,
+        p50_ms: percentile(&ms, 0.50),
+        p99_ms: percentile(&ms, 0.99),
+    }
+}

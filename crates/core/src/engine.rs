@@ -1,0 +1,250 @@
+//! The unified evaluation facade: one [`Engine`] in front of every way to run
+//! a query.
+//!
+//! Historically the crate grew four public entry points — [`crate::insideout::insideout`],
+//! [`crate::insideout::insideout_with_order`], [`crate::exec::insideout_par`] /
+//! [`crate::exec::insideout_par_with_order`] — plus the planned serving path
+//! ([`crate::plan::Planner`] → [`PreparedQuery`]). They are all the same
+//! engine under different amounts of configuration, so this module collapses
+//! them behind one builder-style handle:
+//!
+//! ```
+//! use faq_core::{Engine, FaqQuery, VarAgg};
+//! use faq_factor::{Domains, Factor};
+//! use faq_hypergraph::Var;
+//! use faq_semiring::CountDomain;
+//!
+//! let q = FaqQuery::new(
+//!     CountDomain,
+//!     Domains::uniform(2, 2),
+//!     vec![],
+//!     vec![
+//!         (Var(0), VarAgg::Semiring(CountDomain::SUM)),
+//!         (Var(1), VarAgg::Semiring(CountDomain::SUM)),
+//!     ],
+//!     vec![Factor::new(vec![Var(0), Var(1)], vec![(vec![0, 1], 2u64)]).unwrap()],
+//! )
+//! .unwrap();
+//!
+//! // One-shot evaluation under a thread budget:
+//! let out = Engine::new().threads(2).evaluate(&q).unwrap();
+//! assert_eq!(out.scalar(), Some(&2));
+//!
+//! // The serving path: cost-based planning once, evaluation many times.
+//! let prepared = Engine::new().threads(2).prepare(&q).unwrap();
+//! assert_eq!(prepared.evaluate().unwrap().factor, out.factor);
+//! ```
+//!
+//! The legacy free functions remain as thin delegating wrappers (their docs
+//! say so), so existing callers keep working; new code should construct an
+//! `Engine`.
+
+use crate::exec::ExecPolicy;
+use crate::insideout::{insideout_with_policy, FaqOutput};
+use crate::plan::{PlanCache, Planner, PreparedQuery, QueryPlan};
+use crate::query::{FaqError, FaqQuery};
+use faq_hypergraph::Var;
+use faq_join::JoinRep;
+use faq_semiring::AggDomain;
+use std::sync::Arc;
+
+/// The unified evaluation facade: builder-style configuration in front of the
+/// sequential engine, the parallel engine, and the cost-based serving path.
+///
+/// An `Engine` is cheap to construct and clone — it holds configuration, not
+/// data. The two families of entry points:
+///
+/// * [`Engine::evaluate`] / [`Engine::evaluate_with_order`] — one-shot
+///   evaluation under the engine's [`ExecPolicy`] (no planning pass);
+/// * [`Engine::prepare`] — the serving path: cost-based ordering choice,
+///   aligned + indexed inputs, reusable [`PreparedQuery`] handle; shares
+///   plans across same-shaped queries when a [`PlanCache`] is attached.
+///
+/// Every path produces bit-identical output for the same query — policies,
+/// plans, and thread counts affect performance only.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    policy: ExecPolicy,
+    planner: Planner,
+    plan_cache: Option<Arc<PlanCache>>,
+}
+
+impl Engine {
+    /// An engine with the default policy: one worker per hardware thread,
+    /// default chunk floor, trie join kernels.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// An engine pinned to sequential execution (one thread everywhere) —
+    /// exactly the paper's Algorithm 1. Constructed without probing the
+    /// host's parallelism, so the legacy sequential wrappers stay free of
+    /// per-call syscalls.
+    pub fn sequential() -> Engine {
+        Engine {
+            policy: ExecPolicy::sequential(),
+            planner: Planner::sequential(),
+            plan_cache: None,
+        }
+    }
+
+    /// An engine running one-shot evaluations under `policy` (plans from
+    /// [`Engine::prepare`] keep their own per-step choices, capped at the
+    /// policy's thread count through the planner).
+    pub fn with_policy(policy: ExecPolicy) -> Engine {
+        let planner = Planner::with_threads(policy.effective_threads());
+        Engine { policy, planner, plan_cache: None }
+    }
+
+    /// This engine with up to `n` worker threads, for both one-shot
+    /// evaluation and the plans it prepares.
+    pub fn threads(mut self, n: usize) -> Engine {
+        self.policy = self.policy.threads(n);
+        self.planner.threads = n.max(1);
+        self
+    }
+
+    /// This engine with chunk floor `rows` (see
+    /// [`ExecPolicy::min_chunk_rows`]).
+    pub fn min_chunk_rows(mut self, rows: usize) -> Engine {
+        self.policy = self.policy.min_chunk_rows(rows);
+        self.planner.min_chunk_rows = rows;
+        self
+    }
+
+    /// This engine with the join kernels walking `rep` on one-shot
+    /// evaluations.
+    pub fn rep(mut self, rep: JoinRep) -> Engine {
+        self.policy = self.policy.rep(rep);
+        self
+    }
+
+    /// This engine planning through `planner` (overrides the planner knobs
+    /// derived from [`Engine::threads`] / [`Engine::min_chunk_rows`]).
+    pub fn planner(mut self, planner: Planner) -> Engine {
+        self.planner = planner;
+        self
+    }
+
+    /// This engine sharing plans through `cache`: [`Engine::prepare`] reuses
+    /// the cached plan for a same-shaped (schema + size class) query instead
+    /// of re-planning — the "plan once, serve many" setup.
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Engine {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// The one-shot execution policy this engine evaluates under.
+    pub fn policy(&self) -> &ExecPolicy {
+        &self.policy
+    }
+
+    /// Evaluate `q` with its own variable ordering under the engine's policy.
+    ///
+    /// Bit-identical to the sequential engine for every thread count.
+    pub fn evaluate<D: AggDomain + Sync>(
+        &self,
+        q: &FaqQuery<D>,
+    ) -> Result<FaqOutput<D::E>, FaqError> {
+        let sigma = q.ordering();
+        self.evaluate_with_order(q, &sigma)
+    }
+
+    /// Evaluate `q` along a caller-chosen ordering `sigma` (same contract as
+    /// [`crate::insideout::insideout_with_order`]: a permutation of the
+    /// query's variables, free variables first, ϕ-equivalent).
+    pub fn evaluate_with_order<D: AggDomain + Sync>(
+        &self,
+        q: &FaqQuery<D>,
+        sigma: &[Var],
+    ) -> Result<FaqOutput<D::E>, FaqError> {
+        insideout_with_policy(q, sigma, &self.policy)
+    }
+
+    /// Plan `q` with the engine's planner (no prepared inputs — use
+    /// [`Engine::prepare`] for the full serving handle).
+    pub fn plan<D: AggDomain>(&self, q: &FaqQuery<D>) -> Result<QueryPlan, FaqError> {
+        self.planner.plan(q)
+    }
+
+    /// Prepare `q` for repeated evaluation: cost-based ordering choice plus
+    /// cached aligned/indexed inputs. Goes through the attached [`PlanCache`]
+    /// when one was configured, so a fleet of same-shaped queries shares one
+    /// planning pass.
+    pub fn prepare<D: AggDomain + Clone + Sync>(
+        &self,
+        q: &FaqQuery<D>,
+    ) -> Result<PreparedQuery<D>, FaqError> {
+        match &self.plan_cache {
+            Some(cache) => cache.prepare(&self.planner, q),
+            None => self.planner.prepare(q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insideout::insideout;
+    use crate::query::VarAgg;
+    use faq_factor::{Domains, Factor};
+    use faq_hypergraph::v;
+    use faq_semiring::CountDomain;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn triangle(seed: u64, rows: usize) -> FaqQuery<CountDomain> {
+        let mut r = StdRng::seed_from_u64(seed);
+        let d = 10u32;
+        let mut mk = |a: u32, b: u32| {
+            let mut tuples = std::collections::BTreeMap::new();
+            for _ in 0..rows {
+                tuples.insert(vec![r.gen_range(0..d), r.gen_range(0..d)], r.gen_range(1..4u64));
+            }
+            Factor::new(vec![v(a), v(b)], tuples.into_iter().collect()).unwrap()
+        };
+        FaqQuery::new(
+            CountDomain,
+            Domains::uniform(3, d),
+            vec![v(0)],
+            vec![
+                (v(1), VarAgg::Semiring(CountDomain::SUM)),
+                (v(2), VarAgg::Semiring(CountDomain::SUM)),
+            ],
+            vec![mk(0, 1), mk(1, 2), mk(0, 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn engine_matches_legacy_entry_points() {
+        let q = triangle(1, 70);
+        let reference = insideout(&q).unwrap();
+        for engine in [
+            Engine::sequential(),
+            Engine::new().threads(4).min_chunk_rows(1),
+            Engine::with_policy(ExecPolicy::with_threads(2)),
+            Engine::new().rep(JoinRep::Listing),
+        ] {
+            assert_eq!(engine.evaluate(&q).unwrap().factor, reference.factor);
+        }
+        let sigma = q.ordering();
+        assert_eq!(
+            Engine::sequential().evaluate_with_order(&q, &sigma).unwrap().factor,
+            reference.factor
+        );
+    }
+
+    #[test]
+    fn engine_prepare_shares_plans_through_cache() {
+        let cache = Arc::new(PlanCache::new());
+        let engine = Engine::sequential().plan_cache(Arc::clone(&cache));
+        let a = triangle(2, 60);
+        let b = triangle(3, 60);
+        let pa = engine.prepare(&a).unwrap();
+        let pb = engine.prepare(&b).unwrap();
+        assert_eq!(cache.len(), 1, "same shape + size class → one cached plan");
+        assert!(Arc::ptr_eq(&pa.plan_arc(), &pb.plan_arc()));
+        assert_eq!(pa.evaluate().unwrap().factor, insideout(&a).unwrap().factor);
+        assert_eq!(pb.evaluate().unwrap().factor, insideout(&b).unwrap().factor);
+    }
+}

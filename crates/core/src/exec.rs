@@ -54,7 +54,14 @@ pub use faq_join::JoinRep;
 /// thread count (see the module docs for why). `rep` selects the factor
 /// representation the join cursors walk — the columnar trie index (default)
 /// or the raw sorted listing — with bit-identical output either way.
+///
+/// The struct is `#[non_exhaustive]`: start from a constructor
+/// ([`ExecPolicy::sequential`], [`ExecPolicy::with_threads`], or
+/// [`ExecPolicy::default`]) and adjust knobs with the builder-style setters
+/// ([`ExecPolicy::threads`], [`ExecPolicy::min_chunk_rows`],
+/// [`ExecPolicy::rep`]), so future knobs never break downstream construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ExecPolicy {
     /// Maximum worker threads per elimination join (clamped to ≥ 1).
     pub threads: usize,
@@ -93,17 +100,55 @@ impl ExecPolicy {
         self
     }
 
+    /// This policy with up to `n` worker threads (clamped to ≥ 1).
+    pub fn threads(mut self, n: usize) -> ExecPolicy {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// This policy with chunk floor `rows` (see the field docs).
+    pub fn min_chunk_rows(mut self, rows: usize) -> ExecPolicy {
+        self.min_chunk_rows = rows;
+        self
+    }
+
+    /// This policy with the join kernels walking `rep` (alias of
+    /// [`ExecPolicy::with_rep`], matching the other builder setters).
+    pub fn rep(mut self, rep: JoinRep) -> ExecPolicy {
+        self.rep = rep;
+        self
+    }
+
+    /// This policy clamped by an admission budget `cap`: worker threads take
+    /// the minimum of the two, the chunk floor the maximum, and the join
+    /// representation is kept — capping affects resource use only, never
+    /// results. This is how a serving runtime imposes per-query budgets on
+    /// plans whose steps were tuned for a dedicated machine.
+    pub fn capped(&self, cap: &ExecPolicy) -> ExecPolicy {
+        let mut p = self.clone();
+        p.threads = p.threads.min(cap.effective_threads()).max(1);
+        p.min_chunk_rows = p.min_chunk_rows.max(cap.min_chunk_rows);
+        p
+    }
+
     /// Effective worker count (at least 1).
     pub fn effective_threads(&self) -> usize {
         self.threads.max(1)
     }
 }
 
+/// Cached `available_parallelism` — one syscall per process, so default
+/// policies/planners/engines can be constructed in per-call wrappers without
+/// re-probing the host.
+pub(crate) fn hardware_threads() -> usize {
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
 impl Default for ExecPolicy {
     /// One worker per available hardware thread, default chunk floor.
     fn default() -> ExecPolicy {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ExecPolicy::with_threads(threads)
+        ExecPolicy::with_threads(hardware_threads())
     }
 }
 
@@ -136,6 +181,9 @@ impl PolicySource for ExecPolicy {
 ///
 /// Bit-identical to [`crate::insideout::insideout`] for every semiring and
 /// thread count; only run statistics may differ.
+///
+/// **Legacy entry point**: a thin wrapper over
+/// [`Engine::with_policy(..).evaluate(q)`](crate::engine::Engine).
 pub fn insideout_par<D: AggDomain + Sync>(
     q: &FaqQuery<D>,
     policy: &ExecPolicy,
@@ -148,6 +196,9 @@ pub fn insideout_par<D: AggDomain + Sync>(
 ///
 /// `sigma` carries the same contract as
 /// [`crate::insideout::insideout_with_order`].
+///
+/// **Legacy entry point**: a thin wrapper over
+/// [`Engine::with_policy(..).evaluate_with_order(q, sigma)`](crate::engine::Engine).
 pub fn insideout_par_with_order<D: AggDomain + Sync>(
     q: &FaqQuery<D>,
     sigma: &[Var],
@@ -255,11 +306,8 @@ pub(crate) fn grouped_join<E: SemiringElem>(
             None => i.factor.align_to_cow(order),
         })
         .collect();
-    let chunk_inputs: Vec<JoinInput<'_, E>> = aligned
-        .iter()
-        .zip(inputs)
-        .map(|(f, i)| JoinInput { factor: f.as_ref(), use_value: i.use_value, prefix: i.prefix })
-        .collect();
+    let chunk_inputs: Vec<JoinInput<'_, E>> =
+        aligned.iter().zip(inputs).map(|(f, i)| i.rebind(f.as_ref())).collect();
 
     // Cut the basis column for the first variable into value ranges. Aligned
     // factors containing `first` hold it in column 0, so under the trie

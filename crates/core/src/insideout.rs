@@ -110,9 +110,12 @@ impl<E: faq_semiring::SemiringElem> FaqOutput<E> {
 /// Sequential execution; [`crate::exec::insideout_par`] is the parallel
 /// engine (bit-identical output). `D: Sync` is required because both paths
 /// share one implementation — every domain in this workspace satisfies it.
+///
+/// **Legacy entry point**: a thin wrapper over
+/// [`Engine::sequential().evaluate(q)`](crate::engine::Engine) — new code
+/// should construct an [`crate::engine::Engine`].
 pub fn insideout<D: AggDomain + Sync>(q: &FaqQuery<D>) -> Result<FaqOutput<D::E>, FaqError> {
-    let sigma = q.ordering();
-    insideout_with_order(q, &sigma)
+    crate::engine::Engine::sequential().evaluate(q)
 }
 
 /// Everything InsideOut has computed after the bound- and free-variable
@@ -137,11 +140,14 @@ pub struct EliminationArtifacts<E: faq_semiring::SemiringElem> {
 /// `EVO(ϕ)`, paper §5.4) is the caller's contract — validate with
 /// [`crate::evo::is_equivalent_ordering`] or obtain orderings from
 /// [`crate::width`].
+///
+/// **Legacy entry point**: a thin wrapper over
+/// [`Engine::sequential().evaluate_with_order(q, sigma)`](crate::engine::Engine).
 pub fn insideout_with_order<D: AggDomain + Sync>(
     q: &FaqQuery<D>,
     sigma: &[Var],
 ) -> Result<FaqOutput<D::E>, FaqError> {
-    insideout_with_policy(q, sigma, &ExecPolicy::sequential())
+    crate::engine::Engine::sequential().evaluate_with_order(q, sigma)
 }
 
 /// Run InsideOut along `sigma` under an execution policy — the shared

@@ -10,6 +10,9 @@
 //! `(D, ⊕⁽ⁱ⁾, ⊗)` a commutative semiring) or the product `⊗` itself.
 //!
 //! Modules:
+//! * [`mod@engine`] — [`Engine`]: the unified builder-style evaluation
+//!   facade in front of the sequential engine, the parallel engine, and the
+//!   planning/serving path (the legacy free functions delegate to it);
 //! * [`query`] — [`FaqQuery`]: aggregates, free variables, factors, validation;
 //! * [`naive`] — brute-force evaluation of eq. (1), the test oracle;
 //! * [`mod@insideout`] — Algorithm 1: variable elimination with indicator
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod delta;
+pub mod engine;
 pub mod evo;
 pub mod exec;
 pub mod exprtree;
@@ -44,6 +48,7 @@ pub mod query;
 pub mod width;
 
 pub use delta::{DeltaFactor, DeltaOp};
+pub use engine::Engine;
 pub use exec::{insideout_par, insideout_par_with_order, ExecPolicy, JoinRep, PolicySource};
 pub use exprtree::{ExprTree, QueryShape, Tag};
 pub use insideout::{

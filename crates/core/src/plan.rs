@@ -94,6 +94,22 @@ impl QueryPlan {
     pub fn step_for(&self, var: Var) -> Option<&StepPlan> {
         self.by_var.get(&var).map(|&i| &self.steps[i])
     }
+
+    /// This plan with every per-step policy clamped by the admission budget
+    /// `cap` (see [`ExecPolicy::capped`]): thread counts take the minimum,
+    /// chunk floors the maximum, join representations are kept. Capping
+    /// affects resource use only — a capped plan's output is bit-identical to
+    /// the original's. This is how a multi-tenant runtime runs plans tuned
+    /// for a dedicated machine under a per-query budget.
+    pub fn capped(&self, cap: &ExecPolicy) -> QueryPlan {
+        let mut plan = self.clone();
+        for step in &mut plan.steps {
+            step.policy = step.policy.capped(cap);
+        }
+        plan.output = plan.output.capped(cap);
+        plan.default_policy = plan.default_policy.capped(cap);
+        plan
+    }
 }
 
 impl PolicySource for QueryPlan {
@@ -128,8 +144,7 @@ pub struct Planner {
 
 impl Default for Planner {
     fn default() -> Planner {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Planner::with_threads(threads)
+        Planner::with_threads(crate::exec::hardware_threads())
     }
 }
 
@@ -505,6 +520,16 @@ impl<D: AggDomain + Clone + Sync> PreparedQuery<D> {
         insideout_with_source(&self.query, &self.plan.order, &*self.plan)
     }
 
+    /// Evaluate under an admission budget: the plan's per-step policies
+    /// clamped by `cap` (see [`QueryPlan::capped`]). Bit-identical to
+    /// [`PreparedQuery::evaluate`]; only resource use changes. The capped
+    /// plan is derived per call — a cheap clone of the per-step policy table,
+    /// no re-planning.
+    pub fn evaluate_budgeted(&self, cap: &ExecPolicy) -> Result<FaqOutput<D::E>, FaqError> {
+        let capped = self.plan.capped(cap);
+        insideout_with_source(&self.query, &capped.order, &capped)
+    }
+
     /// Replace the values of input factor `slot` (position in the original
     /// factor list) with fresh data over the same schema.
     ///
@@ -645,9 +670,29 @@ impl<D: AggDomain + Clone + Sync> PreparedQuery<D> {
         &self.plan
     }
 
+    /// The shared plan handle (e.g. to test [`PlanCache`] identity or to
+    /// prepare another same-shaped query without re-planning).
+    pub fn plan_arc(&self) -> Arc<QueryPlan> {
+        Arc::clone(&self.plan)
+    }
+
     /// The prepared query (factors aligned to the plan order).
     pub fn query(&self) -> &FaqQuery<D> {
         &self.query
+    }
+}
+
+/// Cloning a prepared handle yields an independent serving replica: the
+/// aligned factors (with their built trie indexes — [`Factor`]'s `Clone`
+/// preserves them) and the `Arc`-shared plan are cloned, while the
+/// incremental-replay trace is **not** — it is per-handle state that the
+/// replica's first [`PreparedQuery::apply_delta`] re-primes lazily. This is
+/// the publish primitive of epoch-snapshot serving: a writer mutates its
+/// master handle via deltas, then clones read-only replicas for the next
+/// epoch.
+impl<D: AggDomain + Clone> Clone for PreparedQuery<D> {
+    fn clone(&self) -> PreparedQuery<D> {
+        PreparedQuery { query: self.query.clone(), plan: Arc::clone(&self.plan), cache: None }
     }
 }
 

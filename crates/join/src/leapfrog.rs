@@ -24,6 +24,11 @@ use faq_semiring::SemiringElem;
 use std::borrow::Cow;
 
 /// One input to a multiway join.
+///
+/// Construct through [`JoinInput::value`], [`JoinInput::filter`], or
+/// [`JoinInput::prefix_filter`] — the struct is `#[non_exhaustive]`, so new
+/// per-input knobs can be added without breaking downstream constructors.
+#[non_exhaustive]
 pub struct JoinInput<'a, E> {
     /// The factor; its schema must be a subsequence of the join's variable
     /// ordering restricted to its variables (call [`Factor::align_to`] first —
@@ -55,6 +60,13 @@ impl<'a, E> JoinInput<'a, E> {
     /// A filter-only input (indicator projection / guard).
     pub fn filter(factor: &'a Factor<E>) -> Self {
         JoinInput { factor, use_value: false, prefix: None }
+    }
+
+    /// This input's flags rebound to `factor` — the constructor for engine
+    /// code that swaps an input's factor for an aligned copy of the same
+    /// data while keeping its value/prefix semantics.
+    pub fn rebind<'b>(&self, factor: &'b Factor<E>) -> JoinInput<'b, E> {
+        JoinInput { factor, use_value: self.use_value, prefix: self.prefix }
     }
 }
 

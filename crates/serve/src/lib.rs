@@ -1,0 +1,92 @@
+//! Multi-tenant serving runtime for FAQ queries (ROADMAP item 1).
+//!
+//! This crate turns the single-query engine of `faq_core` into a long-lived
+//! **server**: many tenants submit prepared queries concurrently against a
+//! shared, evolving factor catalog, with
+//!
+//! * **epoch snapshots** — writers publish new catalog versions as immutable
+//!   `Arc`-shared [`Snapshot`]s; in-flight queries keep reading the snapshot
+//!   they started with, and the read path takes **no locks**;
+//! * a **persistent worker pool** — plain `std::thread` workers fed over
+//!   mpsc channels, replacing the per-call `thread::scope` of the one-shot
+//!   engine;
+//! * **admission control** — a global and a per-[`Tenant`] in-flight cap,
+//!   plus a per-query [`faq_core::ExecPolicy`] budget that clamps how much
+//!   of the machine a single evaluation may use;
+//! * **cross-query sharing** — identical registrations dedupe to one
+//!   [`QueryId`], plans are shared through `faq_core`'s `PlanCache`, and
+//!   computed results are cached per epoch so one tenant's work answers
+//!   another tenant's identical query.
+//!
+//! # Epoch lifecycle
+//!
+//! ```text
+//!  register/publish_delta          workers                    clients
+//!  ───────────────────────         ───────────────────────    ─────────────
+//!  lock writer state               own Arc<Snapshot> (e)      submit → job
+//!  apply delta incrementally       answer jobs against (e)      ⋱ round-robin
+//!  clone touched replicas          recv Epoch(e+1) → swap     Ticket::wait
+//!  fold worker feedback            answer against (e+1)
+//!  broadcast Snapshot(e+1)
+//! ```
+//!
+//! The writer applies deltas through `PreparedQuery::apply_delta` — the
+//! incremental replay machinery of the core crate is the *publish
+//! primitive* here — and seeds each new epoch's result cache with the
+//! incrementally refreshed outputs. One caveat inherited from that
+//! machinery: deltas anchored on a non-leading column of a step's join
+//! order fall back to recomputing the whole step, so publish cost for such
+//! deltas approaches a full (but still single-query) evaluation.
+//!
+//! # Pool sizing
+//!
+//! The default configuration runs one worker per hardware thread with a
+//! **sequential** default budget: with one query per worker, inter-query
+//! parallelism already saturates the machine, and per-query threads would
+//! oversubscribe it. For a latency-sensitive single-tenant setup, invert
+//! this: fewer workers, larger per-submission budgets via
+//! [`FaqServer::submit_with`].
+//!
+//! # Quick example
+//!
+//! ```
+//! use faq_core::VarAgg;
+//! use faq_factor::{Domains, Factor};
+//! use faq_hypergraph::Var;
+//! use faq_semiring::CountDomain;
+//! use faq_serve::{FaqServer, QuerySpec};
+//!
+//! // Catalog: one edge relation R(x0, x1).
+//! let edges = Factor::new(
+//!     vec![Var(0), Var(1)],
+//!     vec![(vec![0, 1], 1u64), (vec![1, 0], 1u64)],
+//! )
+//! .unwrap();
+//! let server = FaqServer::new(CountDomain, Domains::uniform(2, 2), vec![edges]);
+//!
+//! // Register "count all edges" and serve it.
+//! let q = server
+//!     .register(QuerySpec::new(
+//!         vec![],
+//!         vec![
+//!             (Var(0), VarAgg::Semiring(CountDomain::SUM)),
+//!             (Var(1), VarAgg::Semiring(CountDomain::SUM)),
+//!         ],
+//!         vec![0],
+//!     ))
+//!     .unwrap();
+//! let tenant = server.tenant("docs", 4);
+//! let out = server.submit(&tenant, q).unwrap().wait().unwrap();
+//! assert_eq!(out.factor.value(0), &2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod server;
+pub mod snapshot;
+
+pub use server::{
+    CacheMode, FaqServer, ServeConfig, ServeError, ServeOutput, ServeStats, Tenant, Ticket,
+};
+pub use snapshot::{QueryId, QuerySpec, Snapshot};

@@ -1,0 +1,110 @@
+//! Epoch snapshots: the immutable unit the writer publishes and readers hold.
+//!
+//! A [`Snapshot`] is a frozen view of the server at one **epoch**: the
+//! prepared handle for every registered query (each already bound to the
+//! catalog factor versions current at that epoch) plus whatever shared
+//! results are known to be valid for that data. Snapshots are shared by
+//! `Arc` — publishing a new epoch never mutates an old one, so an in-flight
+//! query keeps reading the snapshot it started with while later submissions
+//! see the new data. No reader ever takes a lock to use one.
+
+use faq_core::PreparedQuery;
+use faq_core::VarAgg;
+use faq_factor::Factor;
+use faq_hypergraph::Var;
+use faq_semiring::AggDomain;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Handle for a query registered with a [`crate::FaqServer`].
+///
+/// Identical [`QuerySpec`]s registered by different tenants dedupe to the
+/// same `QueryId`, which is what makes cross-tenant result sharing work: a
+/// cached output is keyed by the id, so tenant B's submission can be served
+/// from the result tenant A's submission computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub(crate) usize);
+
+impl QueryId {
+    /// The id's position in the server's registration order.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A query template over the server's factor catalog.
+///
+/// This is [`faq_core::FaqQuery`] with the factors replaced by **catalog
+/// slot indices**: the server owns the data (and its evolution through
+/// [`crate::FaqServer::publish_delta`]), so registrations reference slots
+/// instead of carrying factor copies. The same slot may appear several
+/// times (a self-join).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Free (output) variables, in output-schema order.
+    pub free: Vec<Var>,
+    /// Bound variables with their aggregates, outermost first.
+    pub bound: Vec<(Var, VarAgg)>,
+    /// For each factor of the query, the catalog slot it reads.
+    pub slots: Vec<usize>,
+}
+
+impl QuerySpec {
+    /// A spec over `slots` with the given free and bound variables.
+    pub fn new(free: Vec<Var>, bound: Vec<(Var, VarAgg)>, slots: Vec<usize>) -> QuerySpec {
+        QuerySpec { free, bound, slots }
+    }
+}
+
+/// One published epoch: every registered query prepared against the factor
+/// catalog as of that epoch, plus the shared results valid for it.
+///
+/// Snapshots are immutable; workers receive them as `Arc`s over their
+/// channel and evaluate jobs against whichever snapshot they currently
+/// hold. Two jobs answered from the same snapshot are guaranteed to see
+/// the same data — the consistency unit of the serving runtime.
+pub struct Snapshot<D: AggDomain> {
+    pub(crate) epoch: u64,
+    pub(crate) queries: Vec<Arc<PreparedQuery<D>>>,
+    pub(crate) results: HashMap<usize, Arc<Factor<D::E>>>,
+}
+
+impl<D: AggDomain> std::fmt::Debug for Snapshot<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("epoch", &self.epoch)
+            .field("queries", &self.queries.len())
+            .field("results", &self.results.len())
+            .finish()
+    }
+}
+
+impl<D: AggDomain> Snapshot<D> {
+    /// The epoch counter at which this snapshot was published.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of registered queries in this snapshot.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The prepared handle for `id`, if registered by this epoch.
+    ///
+    /// Exposed for direct (pool-free) evaluation in tests and tools; the
+    /// serving path goes through [`crate::FaqServer::submit`].
+    pub fn prepared(&self, id: QueryId) -> Option<&Arc<PreparedQuery<D>>> {
+        self.queries.get(id.0)
+    }
+
+    /// The shared result for `id` cached in this snapshot, if any.
+    pub fn cached_result(&self, id: QueryId) -> Option<&Arc<Factor<D::E>>> {
+        self.results.get(&id.0)
+    }
+
+    /// Number of shared results carried by this snapshot.
+    pub fn cached_results(&self) -> usize {
+        self.results.len()
+    }
+}

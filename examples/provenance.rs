@@ -8,10 +8,8 @@
 //!
 //! Run with: `cargo run --example provenance`
 
-use faq::core::{insideout, FaqQuery, VarAgg};
-use faq::factor::{Domains, Factor};
-use faq::hypergraph::Var;
-use faq::semiring::{Polynomial, ProvenanceSemiring, SingleSemiringDomain};
+use faq::semiring::{Polynomial, ProvenanceSemiring};
+use faq::*;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -40,7 +38,7 @@ fn main() {
     )
     .unwrap();
 
-    let out = insideout(&q).unwrap();
+    let out = Engine::new().evaluate(&q).unwrap();
     let poly = out.scalar().cloned().unwrap_or_else(Polynomial::zero);
     println!("triangle provenance polynomial ({} monomials):", poly.num_terms());
     println!("  {poly}");

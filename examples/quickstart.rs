@@ -6,11 +6,10 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+// The facade root re-exports every everyday type, so one import suffices;
+// specialist machinery (here: the faqw optimizer) stays under `faq::core`.
 use faq::core::width::faqw_optimize;
-use faq::core::{insideout, insideout_par, insideout_with_order, ExecPolicy, FaqQuery, VarAgg};
-use faq::factor::{Domains, Factor};
-use faq::hypergraph::Var;
-use faq::semiring::{CountDomain, RealDomain};
+use faq::*;
 
 fn main() {
     triangle_counting();
@@ -52,7 +51,7 @@ fn triangle_counting() {
     )
     .expect("valid query");
 
-    let out = insideout(&q).expect("evaluation succeeds");
+    let out = Engine::new().evaluate(&q).expect("evaluation succeeds");
     let ordered_triangles = out.scalar().copied().unwrap_or(0);
     println!("ordered triangle count : {ordered_triangles}");
     println!("unordered (÷6)         : {}", ordered_triangles / 6);
@@ -96,7 +95,7 @@ fn mixed_aggregates_pipeline() {
         "chosen ordering {:?} with faqw(σ) = {:.3} (exact = {})",
         best.order, best.width, best.exact
     );
-    let out = insideout_with_order(&q, &best.order).unwrap();
+    let out = Engine::sequential().evaluate_with_order(&q, &best.order).unwrap();
     println!("ϕ = {:?}\n", out.factor.get(&[]));
 }
 
@@ -106,7 +105,7 @@ fn mixed_aggregates_pipeline() {
 /// Thread count comes from `FAQ_THREADS` (default 2), so CI's bench-smoke job
 /// can exercise the parallel path explicitly.
 fn parallel_engine() {
-    println!("== Parallel InsideOut (ExecPolicy) ==");
+    println!("== Parallel InsideOut (Engine + ExecPolicy) ==");
     let threads = std::env::var("FAQ_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(2);
     let n = 40u32;
     // A denser random-ish graph: edge (i, j) iff (i*31 + j*17) % 5 < 2.
@@ -129,9 +128,8 @@ fn parallel_engine() {
         vec![edge_factor(a, b), edge_factor(b, c), edge_factor(a, c)],
     )
     .unwrap();
-    let seq = insideout(&q).unwrap();
-    let policy = ExecPolicy { threads, min_chunk_rows: 16, ..ExecPolicy::sequential() };
-    let par = insideout_par(&q, &policy).unwrap();
+    let seq = Engine::sequential().evaluate(&q).unwrap();
+    let par = Engine::new().threads(threads).min_chunk_rows(16).evaluate(&q).unwrap();
     assert_eq!(par.factor, seq.factor, "parallel output must be bit-identical");
     println!("threads                : {threads}");
     println!("ordered triangle count : {}", par.scalar().copied().unwrap_or(0));

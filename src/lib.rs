@@ -1,7 +1,39 @@
 //! `faq` — Functional Aggregate Queries (PODS 2016) in Rust.
 //!
-//! A facade crate re-exporting the whole FAQ stack. See the individual crates
-//! for documentation:
+//! A facade crate re-exporting the whole FAQ stack. The everyday types live
+//! at the root, so a quickstart needs a single import:
+//!
+//! ```
+//! use faq::*;
+//!
+//! // Count paths of length 2 in a 3-cycle: ϕ(x0) = Σ_{x1} Σ_{x2} E(x0,x1)·E(x1,x2)
+//! let edges: Vec<(Vec<u32>, u64)> =
+//!     vec![(vec![0, 1], 1), (vec![1, 2], 1), (vec![2, 0], 1)];
+//! let q = FaqQuery::new(
+//!     CountDomain,
+//!     Domains::uniform(3, 3),
+//!     vec![Var(0)],
+//!     vec![
+//!         (Var(1), VarAgg::Semiring(CountDomain::SUM)),
+//!         (Var(2), VarAgg::Semiring(CountDomain::SUM)),
+//!     ],
+//!     vec![
+//!         Factor::new(vec![Var(0), Var(1)], edges.clone()).unwrap(),
+//!         Factor::new(vec![Var(1), Var(2)], edges).unwrap(),
+//!     ],
+//! )
+//! .unwrap();
+//! let out = Engine::new().evaluate(&q).unwrap();
+//! assert_eq!(out.factor.len(), 3);
+//! ```
+//!
+//! [`Engine`] is the unified entry point (one-shot evaluation, thread
+//! budgets, planning/serving via [`PreparedQuery`]); [`serve`] hosts the
+//! multi-tenant serving runtime ([`FaqServer`]). The legacy free functions
+//! (`insideout`, `insideout_par`, …) still work and delegate to the same
+//! machinery.
+//!
+//! The full crates remain available under their module names:
 //!
 //! * [`semiring`] — commutative semirings and multi-aggregate domains;
 //! * [`lp`] — the simplex solver behind fractional edge covers;
@@ -9,6 +41,8 @@
 //! * [`factor`] — listing-representation factors;
 //! * [`join`] — the OutsideIn worst-case-optimal join and baselines;
 //! * [`core`] — the FAQ query model, InsideOut, expression trees, EVO, faqw;
+//! * [`serve`] — multi-tenant serving: epoch snapshots, worker pool,
+//!   admission, cross-query result sharing;
 //! * [`cnf`] — β-acyclic SAT/#SAT via variable elimination;
 //! * [`apps`] — joins, conjunctive queries, QCQ/#QCQ, graphical models,
 //!   matrix chains, the DFT and CSPs expressed as FAQ instances.
@@ -23,3 +57,16 @@ pub use faq_hypergraph as hypergraph;
 pub use faq_join as join;
 pub use faq_lp as lp;
 pub use faq_semiring as semiring;
+pub use faq_serve as serve;
+
+pub use faq_core::{
+    DeltaFactor, DeltaOp, Engine, ExecPolicy, FaqError, FaqOutput, FaqQuery, PlanCache, Planner,
+    PreparedQuery, QueryPlan, VarAgg,
+};
+pub use faq_factor::{Domains, Factor, FactorBuilder};
+pub use faq_hypergraph::Var;
+pub use faq_join::JoinRep;
+pub use faq_semiring::{
+    AggDomain, AggId, BoolDomain, CountDomain, RealDomain, SemiringElem, SingleSemiringDomain,
+};
+pub use faq_serve::{FaqServer, QueryId, QuerySpec, ServeConfig};

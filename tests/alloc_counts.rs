@@ -82,7 +82,7 @@ fn elimination_allocates_per_step_not_per_row() {
 
     // Chunked execution adds O(chunks) per step (worker builders, spawn
     // bookkeeping), not O(rows).
-    let policy = ExecPolicy { threads: 4, min_chunk_rows: 64, ..ExecPolicy::sequential() };
+    let policy = ExecPolicy::sequential().threads(4).min_chunk_rows(64);
     let before = allocation_count();
     let par = insideout_par_with_order(&q, &sigma, &policy).unwrap();
     let parallel_allocs = allocation_count() - before;

@@ -22,7 +22,7 @@ fn policies() -> Vec<ExecPolicy> {
     let mut out = Vec::new();
     for threads in [1usize, 2, 4] {
         for min_chunk_rows in [0usize, 1, 3, usize::MAX] {
-            out.push(ExecPolicy { threads, min_chunk_rows, ..ExecPolicy::sequential() });
+            out.push(ExecPolicy::sequential().threads(threads).min_chunk_rows(min_chunk_rows));
         }
     }
     out

@@ -341,7 +341,7 @@ fn free_variable_in_no_edge_errs_instead_of_panicking() {
     let expect = naive_eval(&q);
     assert_eq!(insideout(&q).unwrap().factor, expect);
     for threads in [1usize, 2, 4] {
-        let policy = ExecPolicy { threads, min_chunk_rows: 1, ..ExecPolicy::sequential() };
+        let policy = ExecPolicy::sequential().threads(threads).min_chunk_rows(1);
         assert_eq!(insideout_par(&q, &policy).unwrap().factor, expect);
     }
     // The planner degrades gracefully (cost falls back to domain products)
@@ -360,7 +360,7 @@ fn all_nullary_inputs_err_instead_of_panicking() {
     // Σ_{x0∈Dom(3)} 2·3 = 18, from every engine and from a plan.
     assert_eq!(insideout(&q).unwrap().scalar(), Some(&18));
     for threads in [1usize, 4] {
-        let policy = ExecPolicy { threads, min_chunk_rows: 1, ..ExecPolicy::sequential() };
+        let policy = ExecPolicy::sequential().threads(threads).min_chunk_rows(1);
         assert_eq!(insideout_par(&q, &policy).unwrap().scalar(), Some(&18));
     }
     let prepared = Planner::with_threads(4).prepare(&q).unwrap();

@@ -151,11 +151,11 @@ const THREADS: [usize; 3] = [1, 2, 4];
 /// outputs are bit-identical (listing 1-thread is the reference).
 fn assert_rep_equivalent<D: AggDomain + Sync>(q: &FaqQuery<D>) {
     let reference =
-        insideout_par(q, &ExecPolicy { threads: 1, min_chunk_rows: 1, rep: JoinRep::Listing })
+        insideout_par(q, &ExecPolicy::sequential().min_chunk_rows(1).rep(JoinRep::Listing))
             .unwrap();
     for threads in THREADS {
         for rep in [JoinRep::Listing, JoinRep::Trie] {
-            let policy = ExecPolicy { threads, min_chunk_rows: 1, rep };
+            let policy = ExecPolicy::sequential().threads(threads).min_chunk_rows(1).rep(rep);
             let out = insideout_par(q, &policy).unwrap();
             assert_eq!(
                 out.factor, reference.factor,
