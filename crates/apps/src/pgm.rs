@@ -46,7 +46,12 @@ impl GraphicalModel {
         // Conditioning can leave a variable with no potential at all; `faqw`
         // is then undefined (Uncoverable) but elimination still is — fall
         // back to the query's own ordering for such degenerate models.
-        let order = crate::width_order_or(&q.shape(), q.ordering(), 2_000, 14)?;
+        //
+        // The width search dominates inference on small models (an order of
+        // magnitude over the elimination itself), and depends only on the
+        // query shape — memoized, so repeated passes over one model (every
+        // marginal, each `map_assignment` conditioning step) search once.
+        let order = crate::width_order_or_cached(&q.shape(), q.ordering(), 2_000, 14)?;
         Ok(Engine::sequential().evaluate_with_order(q, &order)?.factor)
     }
 

@@ -1,0 +1,55 @@
+//! Seek-kernel throughput: plain binary search vs the branch-free galloping
+//! kernel behind [`faq_factor::VecStorage`].
+//!
+//! Every leapfrog join seek is one windowed least-upper-bound search over a
+//! sorted trie level; this microbench isolates that operation from the join
+//! machinery on the shared [`faq_bench::seek`] workload. Two traffic shapes:
+//! `asc` (sorted bounds, the hint carries — warm leapfrog traffic) and `rand`
+//! (unsorted bounds, no hint — cold first probes, where the head-sample array
+//! does the work). Checksums pin the two kernels to identical results before
+//! any timing, and the `paper_tables` S1 table / `BENCH_8.json` `"seek"`
+//! records measure the same passes.
+//!
+//! Run in `--test` mode (one unmeasured pass per benchmark) via
+//! `cargo bench -p faq_bench --bench seek_kernel -- --test` — CI does this on
+//! every push.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faq_bench::seek;
+
+const PROBES: usize = 4096;
+
+fn bench_seek(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seek_kernel");
+    group.sample_size(10);
+    for &n in &[1usize << 12, 1 << 16] {
+        let w = seek::workload(n, PROBES, 77);
+        // The kernels must agree probe for probe before being timed.
+        assert_eq!(
+            seek::run_binary(&w.values, &w.ascending),
+            seek::run_gallop(&w.storage, &w.ascending, true),
+            "warm gallop diverged from binary search at n={n}"
+        );
+        assert_eq!(
+            seek::run_binary(&w.values, &w.random),
+            seek::run_gallop(&w.storage, &w.random, false),
+            "cold gallop diverged from binary search at n={n}"
+        );
+        group.bench_with_input(BenchmarkId::new("binary/asc", n), &n, |b, _| {
+            b.iter(|| seek::run_binary(&w.values, &w.ascending))
+        });
+        group.bench_with_input(BenchmarkId::new("gallop/asc", n), &n, |b, _| {
+            b.iter(|| seek::run_gallop(&w.storage, &w.ascending, true))
+        });
+        group.bench_with_input(BenchmarkId::new("binary/rand", n), &n, |b, _| {
+            b.iter(|| seek::run_binary(&w.values, &w.random))
+        });
+        group.bench_with_input(BenchmarkId::new("gallop/rand", n), &n, |b, _| {
+            b.iter(|| seek::run_gallop(&w.storage, &w.random, false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seek);
+criterion_main!(benches);

@@ -5,9 +5,9 @@
 //!
 //! `--threads N` sets the worker-pool size of the parallel-engine table
 //! (default: the host's available parallelism). `--json` additionally writes
-//! the hot-path (H1), incremental-delta (D1) and serving (M1) tables as
-//! machine-readable JSON — the per-PR perf trajectory CI uploads as an
-//! artifact — to `PATH` (default `BENCH_7.json`).
+//! the hot-path (H1), incremental-delta (D1), serving (M1) and seek-kernel
+//! (S1) tables as machine-readable JSON — the per-PR perf trajectory CI
+//! uploads as an artifact — to `PATH` (default `BENCH_8.json`).
 
 use faq_apps::{cq, joins, matrix, pgm, qcq};
 use faq_bench::{example_5_6_good_order, example_5_6_input_order, example_5_6_query};
@@ -37,7 +37,7 @@ fn main() {
         args.get(i + 1)
             .filter(|v| !v.starts_with("--"))
             .cloned()
-            .unwrap_or_else(|| "BENCH_7.json".to_string())
+            .unwrap_or_else(|| "BENCH_8.json".to_string())
     });
     let iters = if fast { 1 } else { 3 };
     println!("# FAQ paper reproduction — measured tables\n");
@@ -56,7 +56,8 @@ fn main() {
     plan_table(iters, fast);
     let delta_rows = delta_table(iters, fast);
     let serving_rows = serving_table(fast);
-    hot_table(iters, fast, json_path.as_deref(), &delta_rows, &serving_rows);
+    let seek_rows = seek_table(iters, fast);
+    hot_table(iters, fast, json_path.as_deref(), &delta_rows, &serving_rows, &seek_rows);
     width_table();
     sat_tables(iters, fast);
     composition_table();
@@ -424,15 +425,16 @@ fn delta_table(iters: usize, fast: bool) -> Vec<(String, f64, f64)> {
 /// InsideOut pipeline (PR 5) on the triangle / path4 / PGM-chain workloads
 /// the `hot_path` bench measures, plus the conditional-query volume and
 /// output size per workload. With `--json`, the same rows — plus the D1
-/// incremental-delta and M1 serving rows — are written to a machine-readable
-/// file (`BENCH_7.json` by default) so CI can archive one perf point per
-/// push.
+/// incremental-delta, M1 serving and S1 seek-kernel rows — are written to a
+/// machine-readable file (`BENCH_8.json` by default) so CI can archive one
+/// perf point per push.
 fn hot_table(
     iters: usize,
     fast: bool,
     json_path: Option<&str>,
     delta_rows: &[(String, f64, f64)],
     serving_rows: &[faq_bench::serving::ServingReport],
+    seek_rows: &[(String, f64, f64)],
 ) {
     println!("## H1 Hot path — flat-row InsideOut pipeline (perf trajectory)\n");
     println!("| workload | median (ms) | seeks | out rows |");
@@ -509,6 +511,14 @@ fn hot_table(
                 r.name, r.tenants, r.workers, r.qps, r.p50_ms, r.p99_ms
             ));
         }
+        s.push_str("  ],\n  \"seek\": [\n");
+        for (i, (name, binary_us, gallop_us)) in seek_rows.iter().enumerate() {
+            let sep = if i + 1 < seek_rows.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"binary_us\": {binary_us:.1}, \
+                 \"gallop_us\": {gallop_us:.1}}}{sep}\n"
+            ));
+        }
         s.push_str("  ]\n}\n");
         std::fs::write(path, s).expect("write the perf-trajectory JSON");
         println!("wrote perf trajectory to {path}\n");
@@ -539,6 +549,43 @@ fn serving_table(fast: bool) -> Vec<faq_bench::serving::ServingReport> {
     }
     println!();
     reports
+}
+
+/// S1: the seek-kernel microbench — plain binary search vs the branch-free
+/// galloping kernel behind `VecStorage`, on the shared [`faq_bench::seek`]
+/// workload (4096 probes per pass). `asc` models warm leapfrog traffic (the
+/// hint carries between seeks); `rand` models cold first probes, where the
+/// head-sample array does the narrowing. Checksums pin the two kernels to
+/// identical answers before any timing; rows join the `--json` perf
+/// trajectory as the `"seek"` array.
+fn seek_table(iters: usize, fast: bool) -> Vec<(String, f64, f64)> {
+    use faq_bench::seek;
+    println!("## S1 Seek kernels — binary search vs branch-free galloping\n");
+    println!("| level size | bounds | binary (µs) | gallop (µs) | speedup |");
+    println!("|---|---|---|---|---|");
+    let sizes: &[usize] = if fast { &[1 << 12] } else { &[1 << 12, 1 << 16] };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let w = seek::workload(n, 4096, 77);
+        for (pat, bounds, warm) in [("asc", &w.ascending, true), ("rand", &w.random, false)] {
+            assert_eq!(
+                seek::run_binary(&w.values, bounds),
+                seek::run_gallop(&w.storage, bounds, warm),
+                "gallop kernel diverged from binary search at n={n} pattern={pat}"
+            );
+            let t_bin = time_median(iters.max(3), || seek::run_binary(&w.values, bounds));
+            let t_gal = time_median(iters.max(3), || seek::run_gallop(&w.storage, bounds, warm));
+            println!(
+                "| {n} | {pat} | {:.1} | {:.1} | {:.2}x |",
+                t_bin * 1e6,
+                t_gal * 1e6,
+                t_bin / t_gal.max(1e-12)
+            );
+            rows.push((format!("n{n}_{pat}"), t_bin * 1e6, t_gal * 1e6));
+        }
+    }
+    println!();
+    rows
 }
 
 /// §7.2.1: faqw vs Chen–Dalmau prefix width on the ∀…∀∃ family.

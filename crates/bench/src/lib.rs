@@ -107,12 +107,84 @@ pub fn example_5_6_query(n: u32, seed: u64) -> FaqQuery<RealDomain> {
 }
 
 /// The multi-tenant serving workload — the single definition shared by
-/// `benches/serving.rs` and the `paper_tables` M1 table / `BENCH_7.json`
+/// `benches/serving.rs` and the `paper_tables` M1 table / `BENCH_8.json`
 /// `"serving"` records.
 pub mod serving;
 
+/// The seek-kernel microbench workload — the single definition shared by
+/// `benches/seek_kernel.rs` and the `paper_tables` S1 table / `BENCH_8.json`
+/// `"seek"` records. Isolates the windowed least-upper-bound search (the one
+/// operation behind every leapfrog seek) from the join machinery, so the
+/// plain binary search and the galloping kernel can be compared per probe.
+pub mod seek {
+    use faq_factor::{LevelStorage, VecStorage};
+    use rand::Rng;
+
+    /// A sorted-distinct trie level of `n` values (random gaps of 1–7) plus
+    /// two probe sequences of equal length: `ascending` models warm leapfrog
+    /// traffic (bounds only grow within a window, the hint carries), `random`
+    /// models cold first probes on fresh windows.
+    pub struct SeekWorkload {
+        /// The level's values, for the plain-binary-search reference.
+        pub values: Vec<u32>,
+        /// The same values behind the galloping kernel.
+        pub storage: VecStorage,
+        /// Sorted probe bounds (warm traffic).
+        pub ascending: Vec<u32>,
+        /// Unsorted probe bounds (cold traffic).
+        pub random: Vec<u32>,
+    }
+
+    /// Build the deterministic workload for a level of `n` values.
+    pub fn workload(n: usize, probes: usize, seed: u64) -> SeekWorkload {
+        let mut r = super::rng(seed);
+        let mut values: Vec<u32> = Vec::with_capacity(n);
+        let mut next = 0u32;
+        for _ in 0..n {
+            next += r.gen_range(1..8u32);
+            values.push(next);
+        }
+        let max = values.last().copied().unwrap_or(0) + 4;
+        let mut ascending: Vec<u32> = (0..probes).map(|_| r.gen_range(0..max)).collect();
+        ascending.sort_unstable();
+        let random: Vec<u32> = (0..probes).map(|_| r.gen_range(0..max)).collect();
+        let offsets: Vec<usize> = (0..=n).collect();
+        let storage = VecStorage::from_parts(values.clone(), offsets.clone(), offsets);
+        SeekWorkload { values, storage, ascending, random }
+    }
+
+    /// One probe pass through the old kernel — a plain `partition_point`
+    /// binary search per seek. Returns the sum of result indices (a checksum
+    /// the galloping pass must reproduce exactly).
+    pub fn run_binary(values: &[u32], probes: &[u32]) -> u64 {
+        let mut acc = 0u64;
+        for &b in probes {
+            acc += values.partition_point(|&v| v < b) as u64;
+        }
+        acc
+    }
+
+    /// The same pass through the galloping kernel. `warm` carries each seek's
+    /// result into the next seek's hint the way a [`faq_factor::TrieCursor`]
+    /// does; cold passes `usize::MAX` every time.
+    pub fn run_gallop(storage: &VecStorage, probes: &[u32], warm: bool) -> u64 {
+        let n = storage.len();
+        let window = (0, n);
+        let mut hint = usize::MAX;
+        let mut acc = 0u64;
+        for &b in probes {
+            let j = storage.lub_from(window, hint, b);
+            acc += j as u64;
+            if warm {
+                hint = j.min(n.saturating_sub(1));
+            }
+        }
+        acc
+    }
+}
+
 /// The hot-path workload family — the *single* definition shared by
-/// `benches/hot_path.rs` and the `paper_tables` H1 table / `BENCH_7.json`
+/// `benches/hot_path.rs` and the `paper_tables` H1 table / `BENCH_8.json`
 /// perf trajectory, so the archived trajectory always measures exactly what
 /// the bench measures (same seeds, sizes, and query shapes).
 pub mod hot_path {

@@ -184,6 +184,64 @@ fn union_ranges(a: &[(u32, u32)], b: &[(u32, u32)]) -> Vec<(u32, u32)> {
     out
 }
 
+/// The coalesced first-column ranges on which two same-schema factors differ:
+/// a two-pointer merge over the sorted listings, marking the first-column
+/// value of every deleted, inserted, or value-changed row. Marks arrive in
+/// nondecreasing order (the merge always advances the lexicographically
+/// smaller row), so coalescing is a constant-time tail check.
+fn diff_first_ranges<E: SemiringElem>(old: &Factor<E>, new: &Factor<E>) -> Vec<(u32, u32)> {
+    debug_assert_eq!(old.schema(), new.schema());
+    debug_assert!(new.arity() > 0);
+    let mut out: Vec<(u32, u32)> = Vec::new();
+    let mark = |out: &mut Vec<(u32, u32)>, v: u32| match out.last_mut() {
+        Some(last) if v < last.1 => {}
+        Some(last) if v == last.1 => last.1 = v + 1,
+        _ => out.push((v, v + 1)),
+    };
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old.len() && j < new.len() {
+        match old.row(i).cmp(new.row(j)) {
+            std::cmp::Ordering::Less => {
+                mark(&mut out, old.row(i)[0]); // deleted
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                mark(&mut out, new.row(j)[0]); // inserted
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if old.value(i) != new.value(j) {
+                    mark(&mut out, old.row(i)[0]);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for k in i..old.len() {
+        mark(&mut out, old.row(k)[0]);
+    }
+    for k in j..new.len() {
+        mark(&mut out, new.row(k)[0]);
+    }
+    out
+}
+
+/// The dirtiness of replacing `old` by `new`: `Clean` when identical,
+/// first-column [`Dirty::Ranges`] where they differ, `Full` for scalars
+/// (nothing to anchor a range on).
+fn narrowed_dirty<E: SemiringElem>(old: &Factor<E>, new: &Factor<E>) -> Dirty {
+    if new.arity() == 0 || old.schema() != new.schema() {
+        return Dirty::Full;
+    }
+    let rs = diff_first_ranges(old, new);
+    if rs.is_empty() {
+        Dirty::Clean
+    } else {
+        Dirty::Ranges(rs)
+    }
+}
+
 /// Run the traced evaluation: the same elimination as
 /// [`crate::insideout::insideout_with_order`] along `sigma`, but with every
 /// factor the engine touches parked in the arena and every step recorded.
@@ -539,7 +597,9 @@ pub(crate) fn replay<D: AggDomain + Sync, P: PolicySource>(
                     // unless the output collapsed to a scalar.
                     let d = match (&dirty[input], rewritten.arity()) {
                         (Dirty::Ranges(rs), a) if a > 0 => Dirty::Ranges(rs.clone()),
-                        _ => Dirty::Full,
+                        // Fully-dirty input: fall back to diffing the
+                        // rewritten node against its cached predecessor.
+                        _ => narrowed_dirty(&cache.nodes[output], &rewritten),
                     };
                     dirty[output] = d;
                     cache.nodes[output] = rewritten;
@@ -560,19 +620,25 @@ pub(crate) fn replay<D: AggDomain + Sync, P: PolicySource>(
                 // column survives, so range dirtiness carries over.
                 for f in &js.filters {
                     if let TraceFilter::Proj { source, proj } = *f {
+                        if matches!(dirty[source], Dirty::Clean) {
+                            continue;
+                        }
+                        let new_proj =
+                            cache.nodes[source].indicator_projection(&js.join_order, dom.one());
                         let d = match &dirty[source] {
-                            Dirty::Clean => continue,
                             Dirty::Ranges(rs)
                                 if cache.nodes[source].schema().first()
                                     == js.join_order.first()
-                                    && cache.nodes[proj].arity() > 0 =>
+                                    && new_proj.arity() > 0 =>
                             {
                                 Dirty::Ranges(rs.clone())
                             }
-                            _ => Dirty::Full,
+                            // Source ranges don't carry: diff the refreshed
+                            // projection against the cached one instead of
+                            // pessimizing to `Full`.
+                            _ => narrowed_dirty(&cache.nodes[proj], &new_proj),
                         };
-                        cache.nodes[proj] =
-                            cache.nodes[source].indicator_projection(&js.join_order, dom.one());
+                        cache.nodes[proj] = new_proj;
                         dirty[proj] = d;
                     }
                 }
@@ -661,11 +727,23 @@ pub(crate) fn replay<D: AggDomain + Sync, P: PolicySource>(
 
                 match restriction {
                     None => {
+                        // Whole-step recompute — but a delta anchored on a
+                        // non-leading column usually leaves most of this
+                        // step's output unchanged. Diff new against cached on
+                        // the first column so downstream steps can splice the
+                        // changed ranges instead of recomputing in full too
+                        // (the final output step has no downstream reader, so
+                        // skip the diff there).
                         if let Some((rnode, rvars)) = &js.reduced {
-                            cache.nodes[*rnode] = new_out.indicator_projection(rvars, dom.one());
-                            dirty[*rnode] = Dirty::Full;
+                            let r_new = new_out.indicator_projection(rvars, dom.one());
+                            dirty[*rnode] = narrowed_dirty(&cache.nodes[*rnode], &r_new);
+                            cache.nodes[*rnode] = r_new;
                         }
-                        dirty[js.output] = Dirty::Full;
+                        dirty[js.output] = if matches!(js.fold, FoldKind::Output) {
+                            Dirty::Full
+                        } else {
+                            narrowed_dirty(&cache.nodes[js.output], &new_out)
+                        };
                         cache.nodes[js.output] = new_out;
                     }
                     Some(rs) => {
@@ -717,5 +795,22 @@ mod tests {
         assert_eq!(union_ranges(&[(0, 2), (5, 6)], &[(2, 3)]), vec![(0, 3), (5, 6)]);
         assert_eq!(union_ranges(&[(0, 4)], &[(1, 2), (6, 7)]), vec![(0, 4), (6, 7)]);
         assert_eq!(union_ranges(&[(3, 5)], &[(0, 1)]), vec![(0, 1), (3, 5)]);
+    }
+
+    #[test]
+    fn diff_first_ranges_marks_inserts_deletes_and_value_changes() {
+        use faq_hypergraph::v;
+        let f =
+            |rows: Vec<(Vec<u32>, u64)>| Factor::new(vec![v(0), v(1)], rows).expect("valid factor");
+        let old = f(vec![(vec![0, 0], 1), (vec![2, 1], 5), (vec![4, 0], 7), (vec![4, 2], 8)]);
+        // Row (2,1) changes value, (4,0) is deleted, (5,0) is inserted;
+        // (0,0) and (4,2) are untouched — 4 stays dirty via the deletion.
+        let new = f(vec![(vec![0, 0], 1), (vec![2, 1], 6), (vec![4, 2], 8), (vec![5, 0], 9)]);
+        assert_eq!(diff_first_ranges(&old, &new), vec![(2, 3), (4, 6)]);
+        assert!(diff_first_ranges(&old, &old).is_empty());
+        assert!(matches!(narrowed_dirty(&old, &old), Dirty::Clean));
+        assert!(matches!(narrowed_dirty(&old, &new), Dirty::Ranges(_)));
+        let s = Factor::nullary(Some(3u64));
+        assert!(matches!(narrowed_dirty(&s, &s), Dirty::Full));
     }
 }

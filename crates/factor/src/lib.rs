@@ -21,7 +21,9 @@
 //!   application, reporting the changed first-column ranges that anchor
 //!   incremental re-evaluation;
 //! * [`trie`] — the columnar trie index: levels, cursors, range-restricted
-//!   views, root-level chunk partitioning.
+//!   views, root-level chunk partitioning;
+//! * [`storage`] — pluggable trie-level storage ([`LevelStorage`]) and the
+//!   branch-free galloping seek kernel of the default [`VecStorage`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,9 +31,11 @@
 pub mod delta;
 pub mod domains;
 pub mod factor;
+pub mod storage;
 pub mod trie;
 
 pub use delta::{DeltaFactor, DeltaOp};
 pub use domains::{AssignmentIter, Domains};
 pub use factor::{merge_sorted_rows, Factor, FactorBuilder, FactorError, FactorStats};
+pub use storage::{LevelStorage, VecStorage};
 pub use trie::{FactorTrie, TrieCursor, TrieLevel, TrieView};

@@ -7,8 +7,14 @@
 //! shared prefix columns with whole-row binary searches. A [`FactorTrie`]
 //! materializes the trie once, columnar level by level, so that the seeks of
 //! the OutsideIn join (paper Assumption 1: `O(log n)` conditional queries)
-//! become binary searches over *distinct values of one column* and descents
-//! become O(1) offset lookups.
+//! become searches over *distinct values of one column* and descents become
+//! O(1) offset lookups.
+//!
+//! How a level's arrays are stored and searched is pluggable: every type here
+//! is generic over a [`LevelStorage`] backend, defaulting to the heap-backed
+//! [`crate::storage::VecStorage`] whose seek kernel gallops branch-free from
+//! the cursor's last position (see [`crate::storage`]). Downstream code that
+//! just writes `FactorTrie` / `TrieCursor` gets the default.
 //!
 //! # Layout
 //!
@@ -62,58 +68,61 @@
 //! assert_eq!(cur.depth(), 0);
 //! ```
 
+use crate::storage::{LevelStorage, VecStorage};
+
 /// One level of a [`FactorTrie`]: the distinct length-`d+1` prefixes of the
-/// factor's rows, in lexicographic order, stored columnar.
+/// factor's rows, in lexicographic order, stored columnar in a
+/// [`LevelStorage`] backend.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TrieLevel {
-    /// Column-`d` value of each entry.
-    values: Vec<u32>,
-    /// `child[j]..child[j + 1]` = entry `j`'s children in the next level
-    /// (row indices at the deepest level, where each entry has one child row).
-    child: Vec<usize>,
-    /// `rows[j]..rows[j + 1]` = listing rows sharing entry `j`'s prefix.
-    rows: Vec<usize>,
+pub struct TrieLevel<S: LevelStorage = VecStorage> {
+    storage: S,
 }
 
-impl TrieLevel {
+impl<S: LevelStorage> TrieLevel<S> {
     /// Number of entries (distinct prefixes) at this level.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.storage.len()
     }
 
     /// Whether the level has no entries (the factor is empty).
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.storage.is_empty()
     }
 
     /// The column value of entry `j`.
     pub fn value(&self, j: usize) -> u32 {
-        self.values[j]
+        self.storage.value(j)
     }
 
     /// Entry `j`'s children in the next level (row indices at the last level).
     pub fn child_range(&self, j: usize) -> (usize, usize) {
-        (self.child[j], self.child[j + 1])
+        (self.storage.child_at(j), self.storage.child_at(j + 1))
     }
 
     /// The listing rows below entry `j`.
     pub fn row_range(&self, j: usize) -> (usize, usize) {
-        (self.rows[j], self.rows[j + 1])
+        (self.storage.row_at(j), self.storage.row_at(j + 1))
     }
 
     /// The first entry in `window` whose value is `≥ bound`, or `None` — the
-    /// trie-native "seek least upper bound" conditional query. One binary
-    /// search over distinct sibling values (the listing equivalent searches
-    /// whole rows).
+    /// trie-native "seek least upper bound" conditional query, delegated to
+    /// the storage's seek kernel ([`LevelStorage::lub_from`]).
     pub fn lub(&self, window: (usize, usize), bound: u32) -> Option<usize> {
-        let (lo, hi) = window;
-        let j = lo + self.values[lo..hi].partition_point(|&v| v < bound);
-        (j < hi).then_some(j)
+        self.lub_from(window, usize::MAX, bound)
+    }
+
+    /// [`TrieLevel::lub`] with a gallop hint — the caller's last matched
+    /// entry in this window, or `usize::MAX` when cold. The hint never
+    /// changes the result (the kernel contract pins it to the
+    /// `partition_point` oracle); it only shortens warm searches.
+    pub fn lub_from(&self, window: (usize, usize), hint: usize, bound: u32) -> Option<usize> {
+        let j = self.storage.lub_from(window, hint, bound);
+        (j < window.1).then_some(j)
     }
 
     /// The entry in `window` whose value equals `value` exactly, or `None`.
     pub fn find(&self, window: (usize, usize), value: u32) -> Option<usize> {
-        self.lub(window, value).filter(|&j| self.values[j] == value)
+        self.lub(window, value).filter(|&j| self.storage.value(j) == value)
     }
 }
 
@@ -121,21 +130,23 @@ impl TrieLevel {
 /// column. Built by [`crate::Factor::trie`] (lazily, cached) — see the
 /// [module docs](self) for layout and a worked example.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FactorTrie {
-    levels: Vec<TrieLevel>,
+pub struct FactorTrie<S: LevelStorage = VecStorage> {
+    levels: Vec<TrieLevel<S>>,
     num_rows: usize,
 }
 
-impl FactorTrie {
+impl<S: LevelStorage> FactorTrie<S> {
     /// Build the index from a sorted, distinct, row-major listing.
     ///
     /// `rows` holds `num_rows × arity` values. One pass per level: level `d`
     /// opens an entry wherever the length-`d+1` prefix changes, which is
     /// wherever the parent level opened one *or* column `d` changes within a
     /// parent — `O(arity × num_rows)` total.
-    pub(crate) fn build(arity: usize, rows: &[u32], num_rows: usize) -> FactorTrie {
+    pub(crate) fn build(arity: usize, rows: &[u32], num_rows: usize) -> FactorTrie<S> {
         debug_assert_eq!(rows.len(), num_rows * arity);
-        let mut levels = Vec::with_capacity(arity);
+        // Raw columnar arrays per level — (values, row starts + end sentinel)
+        // — assembled into storage only once the child offsets are linked.
+        let mut raw: Vec<(Vec<u32>, Vec<usize>)> = Vec::with_capacity(arity);
         // Row starts of the previous level's entries; a single root covers
         // everything before level 0.
         let mut parent_starts: Vec<usize> = vec![0];
@@ -154,31 +165,39 @@ impl FactorTrie {
                     starts.push(i);
                 }
             }
+            parent_starts = starts.clone();
             starts.push(num_rows);
-            levels.push(TrieLevel { values, child: Vec::new(), rows: starts });
-            parent_starts = levels[d].rows[..levels[d].rows.len() - 1].to_vec();
+            raw.push((values, starts));
         }
         // Child offsets: entry boundaries of level d are a subset of level
         // d + 1's, so one merge pass per level links them; the deepest level's
         // entries each cover exactly one row.
+        let mut childs: Vec<Vec<usize>> = Vec::with_capacity(arity);
         for d in 0..arity {
-            let (head, tail) = levels.split_at_mut(d + 1);
-            let level = &mut head[d];
-            level.child = match tail.first() {
-                Some(next) => {
-                    let mut child = Vec::with_capacity(level.rows.len());
+            let starts = &raw[d].1;
+            let child = match raw.get(d + 1) {
+                Some((next_values, next_starts)) => {
+                    let mut child = Vec::with_capacity(starts.len());
                     let mut k = 0usize;
-                    for &start in &level.rows {
-                        while k < next.len() && next.rows[k] < start {
+                    for &start in starts {
+                        while k < next_values.len() && next_starts[k] < start {
                             k += 1;
                         }
                         child.push(k);
                     }
                     child
                 }
-                None => level.rows.clone(),
+                None => starts.clone(),
             };
+            childs.push(child);
         }
+        let levels = raw
+            .into_iter()
+            .zip(childs)
+            .map(|((values, starts), child)| TrieLevel {
+                storage: S::from_parts(values, child, starts),
+            })
+            .collect();
         FactorTrie { levels, num_rows }
     }
 
@@ -193,7 +212,7 @@ impl FactorTrie {
     }
 
     /// The level indexing column `d`.
-    pub fn level(&self, d: usize) -> &TrieLevel {
+    pub fn level(&self, d: usize) -> &TrieLevel<S> {
         &self.levels[d]
     }
 
@@ -204,12 +223,13 @@ impl FactorTrie {
 
     /// A view of the trie restricted to root values in `[lo, hi)` — the
     /// chunk-shaped slice the parallel engine hands each worker.
-    pub fn view(&self, value_range: (u32, u32)) -> TrieView<'_> {
+    pub fn view(&self, value_range: (u32, u32)) -> TrieView<'_, S> {
         match self.levels.first() {
             None => TrieView { trie: self, root: (0, 0) },
             Some(level) => {
-                let lo = level.values.partition_point(|&v| v < value_range.0);
-                let hi = level.values.partition_point(|&v| v < value_range.1);
+                let window = (0, level.len());
+                let lo = level.storage.lub_from(window, usize::MAX, value_range.0);
+                let hi = level.storage.lub_from(window, lo, value_range.1);
                 TrieView { trie: self, root: (lo, hi) }
             }
         }
@@ -273,16 +293,24 @@ struct LevelBuilder {
 /// result is structurally identical (`==`) to what [`FactorTrie::build`] would
 /// produce from the finished listing — asserted by tests and relied on by
 /// [`crate::FactorBuilder`], which is the only way rows reach this type.
+///
+/// Accumulation is storage-agnostic (plain `Vec`s); [`TrieBuilder::finish`]
+/// seals the levels into the target [`LevelStorage`].
 #[derive(Debug, Clone)]
-pub(crate) struct TrieBuilder {
+pub(crate) struct TrieBuilder<S: LevelStorage = VecStorage> {
     levels: Vec<LevelBuilder>,
     num_rows: usize,
+    _storage: std::marker::PhantomData<S>,
 }
 
-impl TrieBuilder {
+impl<S: LevelStorage> TrieBuilder<S> {
     /// An empty trie under construction, one level per column.
-    pub(crate) fn new(arity: usize) -> TrieBuilder {
-        TrieBuilder { levels: (0..arity).map(|_| LevelBuilder::default()).collect(), num_rows: 0 }
+    pub(crate) fn new(arity: usize) -> TrieBuilder<S> {
+        TrieBuilder {
+            levels: (0..arity).map(|_| LevelBuilder::default()).collect(),
+            num_rows: 0,
+            _storage: std::marker::PhantomData,
+        }
     }
 
     /// Append the next row. `prev` is the previously appended row (`None` for
@@ -315,7 +343,7 @@ impl TrieBuilder {
     }
 
     /// Seal the trie: append the end sentinels and assemble the levels.
-    pub(crate) fn finish(self) -> FactorTrie {
+    pub(crate) fn finish(self) -> FactorTrie<S> {
         let num_rows = self.num_rows;
         let arity = self.levels.len();
         let next_len: Vec<usize> = (0..arity)
@@ -328,7 +356,7 @@ impl TrieBuilder {
             .map(|(mut lb, end)| {
                 lb.child.push(end);
                 lb.rows.push(num_rows);
-                TrieLevel { values: lb.values, child: lb.child, rows: lb.rows }
+                TrieLevel { storage: S::from_parts(lb.values, lb.child, lb.rows) }
             })
             .collect();
         FactorTrie { levels, num_rows }
@@ -338,15 +366,23 @@ impl TrieBuilder {
 /// A borrowed slice of a [`FactorTrie`]: the subtries whose root value lies in
 /// a half-open value range. The parallel InsideOut engine gives each worker
 /// one such view; a view over the full value range is the whole trie.
-#[derive(Debug, Clone, Copy)]
-pub struct TrieView<'t> {
-    trie: &'t FactorTrie,
+#[derive(Debug)]
+pub struct TrieView<'t, S: LevelStorage = VecStorage> {
+    trie: &'t FactorTrie<S>,
     root: (usize, usize),
 }
 
-impl<'t> TrieView<'t> {
+impl<S: LevelStorage> Clone for TrieView<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<S: LevelStorage> Copy for TrieView<'_, S> {}
+
+impl<'t, S: LevelStorage> TrieView<'t, S> {
     /// The underlying trie.
-    pub fn trie(&self) -> &'t FactorTrie {
+    pub fn trie(&self) -> &'t FactorTrie<S> {
         self.trie
     }
 
@@ -366,7 +402,7 @@ impl<'t> TrieView<'t> {
     }
 
     /// A cursor whose root-level candidates are restricted to the view.
-    pub fn cursor(&self) -> TrieCursor<'t> {
+    pub fn cursor(&self) -> TrieCursor<'t, S> {
         TrieCursor {
             trie: self.trie,
             windows: vec![self.root],
@@ -381,14 +417,15 @@ impl<'t> TrieView<'t> {
 /// The cursor sits *between* levels: with `depth() == d` it has chosen an
 /// entry at each of the first `d` levels and offers the entries of level `d`
 /// within the chosen parent as candidates. [`TrieCursor::seek`] finds the
-/// least candidate value `≥ bound` (one binary search over sibling values),
-/// [`TrieCursor::open`] descends into a sought value, [`TrieCursor::next`]
-/// advances to the following sibling, and [`TrieCursor::up`] backtracks.
-/// Once every level is open ([`TrieCursor::at_leaf`]), [`TrieCursor::row`]
-/// is the listing row of the full binding.
+/// least candidate value `≥ bound` (galloping from the last match — see
+/// [`crate::storage`]), [`TrieCursor::open`] descends into a sought value,
+/// [`TrieCursor::next`] advances to the following sibling, and
+/// [`TrieCursor::up`] backtracks. Once every level is open
+/// ([`TrieCursor::at_leaf`]), [`TrieCursor::row`] is the listing row of the
+/// full binding.
 #[derive(Debug, Clone)]
-pub struct TrieCursor<'t> {
-    trie: &'t FactorTrie,
+pub struct TrieCursor<'t, S: LevelStorage = VecStorage> {
+    trie: &'t FactorTrie<S>,
     /// `windows[d]` = candidate entry window at level `d`; `windows` has one
     /// more frame than `path` (the candidates of the current level).
     windows: Vec<(usize, usize)>,
@@ -396,13 +433,13 @@ pub struct TrieCursor<'t> {
     path: Vec<usize>,
     /// Entry located by the last [`TrieCursor::seek`]/[`TrieCursor::next`] at
     /// the current level; lets [`TrieCursor::open`] descend without
-    /// re-searching.
+    /// re-searching and seeds the seek kernel's gallop.
     found: usize,
 }
 
-impl<'t> TrieCursor<'t> {
+impl<'t, S: LevelStorage> TrieCursor<'t, S> {
     /// A cursor over the whole trie.
-    pub fn new(trie: &'t FactorTrie) -> TrieCursor<'t> {
+    pub fn new(trie: &'t FactorTrie<S>) -> TrieCursor<'t, S> {
         TrieCursor { trie, windows: vec![trie.root()], path: Vec::new(), found: usize::MAX }
     }
 
@@ -418,11 +455,14 @@ impl<'t> TrieCursor<'t> {
 
     /// The least candidate value `≥ bound` at the current level, or `None`
     /// when the window is exhausted. Remembers the located entry so a
-    /// following [`TrieCursor::open`] of the same value is O(1).
+    /// following [`TrieCursor::open`] of the same value is O(1), and seeds
+    /// the next seek's gallop with it (leapfrog bounds only grow within a
+    /// window, so the kernel rarely needs more than a few probes).
     pub fn seek(&mut self, bound: u32) -> Option<u32> {
         debug_assert!(!self.at_leaf(), "seek past the deepest level");
         let level = self.trie.level(self.path.len());
-        let j = level.lub(*self.windows.last().expect("root window"), bound)?;
+        let window = *self.windows.last().expect("root window");
+        let j = level.lub_from(window, self.found, bound)?;
         self.found = j;
         Some(level.value(j))
     }
@@ -471,7 +511,7 @@ impl<'t> TrieCursor<'t> {
         if self.path.len() + 1 < self.trie.arity() {
             self.windows.pop();
         }
-        self.found = j; // allow `next` to resume after the abandoned entry
+        self.found = j; // allow `next` (and the gallop) to resume after it
     }
 
     /// The listing row of the fully-bound tuple ([`TrieCursor::at_leaf`]).
@@ -565,6 +605,22 @@ mod tests {
         assert_eq!(cur.seek(0), Some(1));
         assert_eq!(cur.seek(2), Some(3));
         assert_eq!(cur.seek(4), None);
+    }
+
+    #[test]
+    fn seeks_with_descending_bounds_still_match_the_oracle() {
+        // The gallop hint (cursor `found`) must never change a result, even
+        // when bounds move backwards — the kernel validates the hint.
+        let f =
+            Factor::new(vec![v(0)], (0..200u32).map(|i| (vec![2 * i], 1u64)).collect::<Vec<_>>())
+                .unwrap();
+        let t = f.trie();
+        let mut cur = TrieCursor::new(t);
+        for bound in [0u32, 399, 5, 133, 132, 1, 398, 0, 400] {
+            let got = cur.seek(bound);
+            let want = (0..200u32).map(|i| 2 * i).find(|&x| x >= bound);
+            assert_eq!(got, want, "bound {bound}");
+        }
     }
 
     #[test]

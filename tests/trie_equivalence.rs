@@ -11,10 +11,15 @@
 //!    agrees with a linear scan;
 //! 3. **Joins** — InsideOut outputs are bit-identical between the listing and
 //!    trie join kernels across the counting, max-tropical, and boolean
-//!    semirings for thread counts {1, 2, 4}.
+//!    semirings for thread counts {1, 2, 4}, at identical seek counts;
+//! 4. **Seek kernels** — the galloping/block-search `lub_from` of the default
+//!    [`faq::factor::VecStorage`] matches the `partition_point` oracle on
+//!    adversarial windows (empty, singleton, all-equal, head-sample boundary
+//!    sizes 63/64/65) for every hint, and hint-carrying cursor seek sequences
+//!    match the stateless listing oracle probe for probe.
 
 use faq::core::{insideout_par, ExecPolicy, FaqQuery, JoinRep, VarAgg};
-use faq::factor::{Domains, Factor, TrieCursor};
+use faq::factor::{Domains, Factor, LevelStorage, TrieCursor, VecStorage};
 use faq::hypergraph::Var;
 use faq::semiring::{AggDomain, BoolDomain, CountDomain, MaxPlus, SingleSemiringDomain};
 use proptest::prelude::*;
@@ -144,6 +149,89 @@ proptest! {
     }
 }
 
+/// Sorted value arrays with adversarial shapes for the seek kernel: empty,
+/// singleton, all-equal runs, and sizes straddling the head-sample stride
+/// (63/64/65) and the block width.
+fn kernel_values() -> impl Strategy<Value = Vec<u32>> {
+    (0usize..5, proptest::collection::btree_set(0u32..1_000, 1..131usize), 0u32..60, 1usize..131)
+        .prop_map(|(kind, set, v, n)| {
+            let sorted: Vec<u32> = set.into_iter().collect();
+            match kind {
+                0 => Vec::new(),
+                1 => vec![v],
+                2 => vec![v; n], // all-equal run (sorted, not distinct)
+                3 => {
+                    // Head-sample boundary size, padded with an ascending
+                    // tail if the drawn set came up short.
+                    let target = [63usize, 64, 65, 127, 128, 129][n % 6];
+                    let mut xs = sorted;
+                    while xs.len() < target {
+                        let next = xs.last().map_or(0, |&x| x + 1);
+                        xs.push(next);
+                    }
+                    xs.truncate(target);
+                    xs
+                }
+                _ => sorted,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The branch-free galloping kernel is bit-identical to the
+    /// `partition_point` oracle on every window, for every hint — valid,
+    /// stale, or absent. One probe = one seek under both kernels, so results
+    /// agree at identical seek counts by construction.
+    #[test]
+    fn gallop_kernel_matches_partition_point_oracle(
+        values in kernel_values(),
+        probes in proptest::collection::vec(
+            (0usize..140, 0usize..140, 0usize..150, 0u32..1_100),
+            1..40,
+        ),
+    ) {
+        let offsets: Vec<usize> = (0..=values.len()).collect();
+        let storage = VecStorage::from_parts(values.clone(), offsets.clone(), offsets);
+        for &(a, b, h, bound) in &probes {
+            let n = values.len();
+            let (lo, hi) = if a.min(n) <= b.min(n) {
+                (a.min(n), b.min(n))
+            } else {
+                (b.min(n), a.min(n))
+            };
+            // Draws past 140 stand in for "no hint".
+            let hint = if h >= 140 { usize::MAX } else { h.min(n) };
+            let want = lo + values[lo..hi].partition_point(|&v| v < bound);
+            prop_assert_eq!(
+                storage.lub_from((lo, hi), hint, bound),
+                want,
+                "n={} lo={} hi={} hint={} bound={}", n, lo, hi, hint, bound
+            );
+        }
+    }
+
+    /// A hint-carrying cursor fed an arbitrary (not necessarily monotone)
+    /// bound sequence answers every probe exactly like the stateless listing
+    /// oracle — the gallop hint is an accelerator, never a semantic.
+    #[test]
+    fn hinted_seek_sequences_match_the_stateless_oracle(
+        cells in proptest::collection::vec(0u32..2, (DOM * DOM * DOM) as usize),
+        bounds in proptest::collection::vec(0u32..DOM + 3, 1..32),
+    ) {
+        let f = factor3(&cells);
+        let mut cur = TrieCursor::new(f.trie());
+        for &b in &bounds {
+            prop_assert_eq!(
+                cur.seek(b),
+                f.seek_column((0, f.len()), 0, b),
+                "bound {}", b
+            );
+        }
+    }
+}
+
 /// Thread counts under test for the join-equivalence layer.
 const THREADS: [usize; 3] = [1, 2, 4];
 
@@ -154,6 +242,7 @@ fn assert_rep_equivalent<D: AggDomain + Sync>(q: &FaqQuery<D>) {
         insideout_par(q, &ExecPolicy::sequential().min_chunk_rows(1).rep(JoinRep::Listing))
             .unwrap();
     for threads in THREADS {
+        let mut seeks: Option<u64> = None;
         for rep in [JoinRep::Listing, JoinRep::Trie] {
             let policy = ExecPolicy::sequential().threads(threads).min_chunk_rows(1).rep(rep);
             let out = insideout_par(q, &policy).unwrap();
@@ -161,6 +250,21 @@ fn assert_rep_equivalent<D: AggDomain + Sync>(q: &FaqQuery<D>) {
                 out.factor, reference.factor,
                 "diverged under rep={rep:?} threads={threads}"
             );
+            // Sequentially, both kernels drive the same leapfrog loop over
+            // the same full-range windows, so their seek counts must agree
+            // exactly — kernel swaps change the cost per seek, never the
+            // number of seeks. (Chunked runs slice the root windows
+            // per-representation, so counts are only pinned at 1 thread.)
+            if threads == 1 {
+                let total = out.stats.total_seeks();
+                match seeks {
+                    None => seeks = Some(total),
+                    Some(s) => assert_eq!(
+                        s, total,
+                        "seek counts diverged under rep={rep:?} threads={threads}"
+                    ),
+                }
+            }
         }
     }
 }
