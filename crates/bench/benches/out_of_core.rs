@@ -1,0 +1,85 @@
+//! Out-of-core triangle count: a spilled relation ≥ 4× the resident cap.
+//!
+//! Before any timing, one full pass (`faq_bench::out_of_core::run`) asserts
+//! the out-of-core claims end to end, under **two** independent gauges:
+//!
+//! * the chunk-pin gauge — peak simultaneously-pinned chunk bytes stay
+//!   under the configured cap ([`faq_factor::peak_pinned_bytes`]);
+//! * the counting allocator installed below — the whole run's peak heap
+//!   growth stays under the relation's on-disk size, i.e. the listing is
+//!   never materialized.
+//!
+//! The count itself is self-checking (it must equal the planted wedges).
+//! Criterion then measures the steady-state evaluation over the already
+//! generated instance.
+//!
+//! Defaults are the CI smoke scale (~1.3·10⁶ rows vs a 4 MiB cap, seconds
+//! per pass); set `FAQ_OOC_ROWS` / `FAQ_OOC_CAP_MB` for the full 10⁷–10⁸
+//! row runs recorded in `EXPERIMENTS.md`. CI runs `--test` mode (one
+//! unmeasured pass — the assertion pass still runs) on every push.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faq_bench::out_of_core::{self, OocParams, OocReport};
+
+#[global_allocator]
+static ALLOC: faq_testalloc::CountingAllocator = faq_testalloc::CountingAllocator;
+
+fn params() -> OocParams {
+    if std::env::var_os("FAQ_OOC_ROWS").is_some() || std::env::var_os("FAQ_OOC_CAP_MB").is_some() {
+        OocParams::full()
+    } else {
+        OocParams::smoke()
+    }
+}
+
+/// Run once with both memory gauges armed and every claim asserted.
+fn assert_out_of_core_claims(p: &OocParams) -> OocReport {
+    let before = faq_testalloc::current_bytes();
+    faq_testalloc::reset_peak_bytes();
+    let report = out_of_core::run(p);
+    let heap_growth = faq_testalloc::peak_bytes().saturating_sub(before) as usize;
+    assert!(
+        heap_growth < report.file_bytes,
+        "peak heap growth {heap_growth} B reached the on-disk listing size {} B — \
+         the factor must stream, not materialize",
+        report.file_bytes
+    );
+    eprintln!(
+        "  out_of_core: {} rows ({} MiB on disk) vs {} MiB cap → \
+         peak pinned {} KiB, peak heap growth {} KiB, {} chunk reads, \
+         {} triangles, gen {:.2}s, eval {:.2}s ({} threads)",
+        report.rows,
+        report.file_bytes >> 20,
+        report.cap_bytes >> 20,
+        report.peak_pinned >> 10,
+        heap_growth >> 10,
+        report.reads,
+        report.triangles,
+        report.gen_secs,
+        report.eval_secs,
+        report.threads,
+    );
+    report
+}
+
+fn bench_out_of_core(c: &mut Criterion) {
+    let p = params();
+    assert_out_of_core_claims(&p);
+    let data = out_of_core::generate(&p);
+    let mut group = c.benchmark_group("out_of_core/triangle");
+    group.sample_size(10);
+    group.bench_function(
+        BenchmarkId::new("spilled", format!("r{}_cap{}mb", p.rows, p.cap_bytes >> 20)),
+        |b| {
+            b.iter(|| {
+                let triangles = out_of_core::count_triangles(&data, p.threads);
+                assert_eq!(triangles, data.planted as u64);
+                triangles
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_out_of_core);
+criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! `asc` (sorted bounds, the hint carries — warm leapfrog traffic) and `rand`
 //! (unsorted bounds, no hint — cold first probes, where the head-sample array
 //! does the work). Checksums pin the two kernels to identical results before
-//! any timing, and the `paper_tables` S1 table / `BENCH_8.json` `"seek"`
+//! any timing, and the `paper_tables` S1 table / `BENCH_9.json` `"seek"`
 //! records measure the same passes.
 //!
 //! Run in `--test` mode (one unmeasured pass per benchmark) via

@@ -44,6 +44,13 @@ fn bench_serving(c: &mut Criterion) {
                 "  {}: {:.1} qps, p50 {:.2} ms, p99 {:.2} ms (result sharing on)",
                 r.name, r.qps, r.p50_ms, r.p99_ms
             );
+            eprintln!(
+                "  memory: {} live epochs, {} resident KiB, {} cached results, {} coalesced",
+                r.live_epochs,
+                r.resident_bytes / 1024,
+                r.cache_entries,
+                r.coalesced
+            );
             r.requests
         })
     });

@@ -5,9 +5,10 @@
 //!
 //! `--threads N` sets the worker-pool size of the parallel-engine table
 //! (default: the host's available parallelism). `--json` additionally writes
-//! the hot-path (H1), incremental-delta (D1), serving (M1) and seek-kernel
-//! (S1) tables as machine-readable JSON — the per-PR perf trajectory CI
-//! uploads as an artifact — to `PATH` (default `BENCH_8.json`).
+//! the hot-path (H1), incremental-delta (D1), serving (M1), seek-kernel
+//! (S1) and out-of-core (O1) tables as machine-readable JSON — the per-PR
+//! perf trajectory CI uploads as an artifact — to `PATH` (default
+//! `BENCH_9.json`).
 
 use faq_apps::{cq, joins, matrix, pgm, qcq};
 use faq_bench::{example_5_6_good_order, example_5_6_input_order, example_5_6_query};
@@ -37,7 +38,7 @@ fn main() {
         args.get(i + 1)
             .filter(|v| !v.starts_with("--"))
             .cloned()
-            .unwrap_or_else(|| "BENCH_8.json".to_string())
+            .unwrap_or_else(|| "BENCH_9.json".to_string())
     });
     let iters = if fast { 1 } else { 3 };
     println!("# FAQ paper reproduction — measured tables\n");
@@ -57,7 +58,8 @@ fn main() {
     let delta_rows = delta_table(iters, fast);
     let serving_rows = serving_table(fast);
     let seek_rows = seek_table(iters, fast);
-    hot_table(iters, fast, json_path.as_deref(), &delta_rows, &serving_rows, &seek_rows);
+    let ooc_rows = ooc_table(fast);
+    hot_table(iters, fast, json_path.as_deref(), &delta_rows, &serving_rows, &seek_rows, &ooc_rows);
     width_table();
     sat_tables(iters, fast);
     composition_table();
@@ -425,9 +427,9 @@ fn delta_table(iters: usize, fast: bool) -> Vec<(String, f64, f64)> {
 /// InsideOut pipeline (PR 5) on the triangle / path4 / PGM-chain workloads
 /// the `hot_path` bench measures, plus the conditional-query volume and
 /// output size per workload. With `--json`, the same rows — plus the D1
-/// incremental-delta, M1 serving and S1 seek-kernel rows — are written to a
-/// machine-readable file (`BENCH_8.json` by default) so CI can archive one
-/// perf point per push.
+/// incremental-delta, M1 serving, S1 seek-kernel and O1 out-of-core rows —
+/// are written to a machine-readable file (`BENCH_9.json` by default) so CI
+/// can archive one perf point per push.
 fn hot_table(
     iters: usize,
     fast: bool,
@@ -435,6 +437,7 @@ fn hot_table(
     delta_rows: &[(String, f64, f64)],
     serving_rows: &[faq_bench::serving::ServingReport],
     seek_rows: &[(String, f64, f64)],
+    ooc_rows: &[faq_bench::out_of_core::OocReport],
 ) {
     println!("## H1 Hot path — flat-row InsideOut pipeline (perf trajectory)\n");
     println!("| workload | median (ms) | seeks | out rows |");
@@ -519,6 +522,16 @@ fn hot_table(
                  \"gallop_us\": {gallop_us:.1}}}{sep}\n"
             ));
         }
+        s.push_str("  ],\n  \"out_of_core\": [\n");
+        for (i, r) in ooc_rows.iter().enumerate() {
+            let sep = if i + 1 < ooc_rows.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"rows\": {}, \"file_bytes\": {}, \"cap_bytes\": {}, \
+                 \"peak_pinned_bytes\": {}, \"chunk_reads\": {}, \"eval_s\": {:.3}, \
+                 \"threads\": {}}}{sep}\n",
+                r.rows, r.file_bytes, r.cap_bytes, r.peak_pinned, r.reads, r.eval_secs, r.threads
+            ));
+        }
         s.push_str("  ]\n}\n");
         std::fs::write(path, s).expect("write the perf-trajectory JSON");
         println!("wrote perf trajectory to {path}\n");
@@ -586,6 +599,39 @@ fn seek_table(iters: usize, fast: bool) -> Vec<(String, f64, f64)> {
     }
     println!();
     rows
+}
+
+/// O1: out-of-core factors — triangle count over a file-chunked relation at
+/// least 4× the configured resident cap ([`faq_bench::out_of_core`]). The
+/// run itself asserts the claims (peak pinned chunk bytes under the cap,
+/// count equal to the planted triangles); the row records how far under the
+/// cap the resident window stayed. Rows join the `--json` perf trajectory
+/// as the `"out_of_core"` array.
+fn ooc_table(fast: bool) -> Vec<faq_bench::out_of_core::OocReport> {
+    use faq_bench::out_of_core::{self, OocParams};
+    println!("## O1 Out-of-core — spilled triangle count under a resident-memory cap\n");
+    println!("| rows | file (MiB) | cap (MiB) | peak pinned (KiB) | chunk reads | eval (s) |");
+    println!("|---|---|---|---|---|---|");
+    let mut p = OocParams::smoke();
+    if fast {
+        p.rows = 200_000;
+        p.nodes = 2048;
+        p.planted = 64;
+        p.cap_bytes = 700 << 10;
+        p.chunk_rows = 1024;
+    }
+    let r = out_of_core::run(&p);
+    println!(
+        "| {} | {:.1} | {:.1} | {} | {} | {:.3} |",
+        r.rows,
+        r.file_bytes as f64 / (1 << 20) as f64,
+        r.cap_bytes as f64 / (1 << 20) as f64,
+        r.peak_pinned >> 10,
+        r.reads,
+        r.eval_secs
+    );
+    println!();
+    vec![r]
 }
 
 /// §7.2.1: faqw vs Chen–Dalmau prefix width on the ∀…∀∃ family.

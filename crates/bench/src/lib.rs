@@ -106,13 +106,15 @@ pub fn example_5_6_query(n: u32, seed: u64) -> FaqQuery<RealDomain> {
     .unwrap()
 }
 
+pub mod out_of_core;
+
 /// The multi-tenant serving workload — the single definition shared by
-/// `benches/serving.rs` and the `paper_tables` M1 table / `BENCH_8.json`
+/// `benches/serving.rs` and the `paper_tables` M1 table / `BENCH_9.json`
 /// `"serving"` records.
 pub mod serving;
 
 /// The seek-kernel microbench workload — the single definition shared by
-/// `benches/seek_kernel.rs` and the `paper_tables` S1 table / `BENCH_8.json`
+/// `benches/seek_kernel.rs` and the `paper_tables` S1 table / `BENCH_9.json`
 /// `"seek"` records. Isolates the windowed least-upper-bound search (the one
 /// operation behind every leapfrog seek) from the join machinery, so the
 /// plain binary search and the galloping kernel can be compared per probe.
@@ -184,7 +186,7 @@ pub mod seek {
 }
 
 /// The hot-path workload family — the *single* definition shared by
-/// `benches/hot_path.rs` and the `paper_tables` H1 table / `BENCH_8.json`
+/// `benches/hot_path.rs` and the `paper_tables` H1 table / `BENCH_9.json`
 /// perf trajectory, so the archived trajectory always measures exactly what
 /// the bench measures (same seeds, sizes, and query shapes).
 pub mod hot_path {

@@ -31,6 +31,14 @@ pub struct ServingReport {
     pub p50_ms: f64,
     /// 99th-percentile submission-to-completion latency, milliseconds.
     pub p99_ms: f64,
+    /// Submissions coalesced onto an identical in-flight leader.
+    pub coalesced: u64,
+    /// Epoch snapshots alive at the end of the round.
+    pub live_epochs: usize,
+    /// Resident catalog bytes at the end of the round.
+    pub resident_bytes: usize,
+    /// Shared results carried by the final snapshot's cache.
+    pub cache_entries: usize,
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -126,6 +134,7 @@ pub fn run_triangle_serving(
     ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let requests = ms.len();
     assert_eq!(requests, tenants * per_tenant, "every request must complete");
+    let stats = server.stats();
     ServingReport {
         name: format!(
             "triangle_m{m}_{}",
@@ -140,5 +149,9 @@ pub fn run_triangle_serving(
         qps: requests as f64 / wall,
         p50_ms: percentile(&ms, 0.50),
         p99_ms: percentile(&ms, 0.99),
+        coalesced: stats.coalesced,
+        live_epochs: stats.live_epochs,
+        resident_bytes: stats.resident_bytes,
+        cache_entries: stats.cache_entries,
     }
 }

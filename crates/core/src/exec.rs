@@ -320,9 +320,21 @@ pub(crate) fn grouped_join<E: SemiringElem>(
         .filter(|f| f.schema().first() == Some(&first))
         .max_by_key(|f| f.len())
         .ok_or_else(|| FaqError::Uncoverable(vec![first]))?;
-    let ranges = match rep {
-        JoinRep::Trie => basis.trie().partition_root(max_chunks),
-        JoinRep::Listing => basis.column_partition(0, max_chunks),
+    // When the largest spilled basis factor is file-chunked, prefer cuts on
+    // its chunk boundaries: each worker's range then pins a disjoint run of
+    // chunks, so the resident window stays bounded per worker instead of
+    // thrashing one shared window across threads.
+    let spilled_basis = chunk_inputs
+        .iter()
+        .map(|i| i.factor)
+        .filter(|f| f.is_spilled() && f.schema().first() == Some(&first))
+        .max_by_key(|f| f.len());
+    let ranges = match spilled_basis.and_then(|f| f.chunk_aligned_partition(max_chunks)) {
+        Some(r) => r,
+        None => match rep {
+            JoinRep::Trie => basis.trie().partition_root(max_chunks),
+            JoinRep::Listing => basis.column_partition(0, max_chunks),
+        },
     };
     if ranges.len() <= 1 {
         // Too few distinct values to chunk. Run sequentially over the inputs

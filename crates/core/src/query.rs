@@ -154,9 +154,11 @@ impl<D: AggDomain> FaqQuery<D> {
             // Listing tuples must stay inside the declared domains — the
             // naive semantics of eq. (1) never see out-of-domain points, so
             // admitting them would silently diverge from the specification.
-            for i in 0..f.len() {
-                for (pos, v) in f.schema().iter().enumerate() {
-                    let value = f.row(i)[pos];
+            // Checking per-column maxima instead of scanning rows keeps this
+            // O(arity) and — for spilled factors — avoids faulting every
+            // chunk in just to admit the query.
+            for (pos, v) in f.schema().iter().enumerate() {
+                if let Some(value) = f.max_in_column(pos) {
                     if value >= self.domains.size(*v) {
                         return Err(FaqError::ValueOutOfDomain { var: *v, value });
                     }
@@ -265,10 +267,11 @@ impl<D: AggDomain> FaqQuery<D> {
     pub fn shape_promising_idempotent_inputs(&self) -> QueryShape {
         for f in &self.factors {
             for i in 0..f.len() {
+                let v = f.value_at(i);
                 assert!(
-                    self.domain.is_mul_idempotent(f.value(i)),
+                    self.domain.is_mul_idempotent(v.as_ref()),
                     "factor value {:?} is not ⊗-idempotent; the F(D_I) promise does not hold",
-                    f.value(i)
+                    v.as_ref()
                 );
             }
         }

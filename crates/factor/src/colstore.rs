@@ -1,0 +1,1293 @@
+//! File-chunked out-of-core column storage — the disk backing behind
+//! spilled factors and spilled trie levels.
+//!
+//! A [`crate::Factor`] normally keeps its listing (`rows` + `vals`) and its
+//! trie index in memory. This module adds a second backing, built on
+//! `std::fs` only, where both live in fixed-size chunks inside unlinked-on-
+//! drop spill files and at most a small *pinned window* of chunks is resident
+//! at a time:
+//!
+//! * [`FileChunkedColumns`] — the listing: row-major keys plus fixed-width
+//!   encoded values ([`FixedBytes`]), chunked by row count. Chunk metadata
+//!   (first/last tuple, row count, file offset) stays resident, so range
+//!   queries, chunk-aligned partitioning and delta splices know which chunks
+//!   to fault without reading any of them.
+//! * [`FileChunkedLevel`] — one trie level (`values`/`child`/`rows` arrays)
+//!   in uniform entry chunks, with the head-sample array (`values[64k]`) kept
+//!   resident so a cold seek narrows to one 64-entry stride — at most one
+//!   chunk fault — before touching the file (see [`crate::storage`] for the
+//!   seek contract it must match bit for bit).
+//! * [`FactorLevel`] — the enum a default [`crate::trie::FactorTrie`] is
+//!   stored in: heap ([`crate::storage::VecStorage`]) or disk, chosen per
+//!   factor, with every in-memory consumer compiling against the same type.
+//!
+//! Writes are strictly sequential: [`SpillWriter`] (driven by
+//! [`crate::FactorBuilder`] in spill mode) appends encoded chunks and never
+//! seeks backwards, so building a spilled factor streams at disk bandwidth
+//! with one chunk of buffering. Reads go through a per-column LRU window
+//! ([`SpillConfig::window_chunks`]); every pinned chunk is accounted in a
+//! process-global gauge ([`pinned_bytes`] / [`peak_pinned_bytes`]) that the
+//! out-of-core benchmarks assert against their resident cap.
+//!
+//! Spill files live in a per-factor temporary directory that is removed when
+//! the last handle drops (`SpillDir`), so cloned factors and snapshots
+//! share the cold data by reference and nothing is copied on epoch publish.
+
+use crate::storage::{block_lub, LevelStorage, HEAD_STRIDE};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Pinned-chunk gauges
+// ---------------------------------------------------------------------------
+
+static PINNED_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_PINNED: AtomicUsize = AtomicUsize::new(0);
+static CHUNK_READS: AtomicU64 = AtomicU64::new(0);
+
+fn track_pin(bytes: usize) {
+    let now = PINNED_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK_PINNED.fetch_max(now, Ordering::Relaxed);
+}
+
+fn untrack_pin(bytes: usize) {
+    PINNED_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+/// Bytes of spilled chunks currently pinned in memory, process-wide.
+pub fn pinned_bytes() -> usize {
+    PINNED_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`pinned_bytes`] since the last
+/// [`reset_peak_pinned_bytes`].
+pub fn peak_pinned_bytes() -> usize {
+    PEAK_PINNED.load(Ordering::Relaxed)
+}
+
+/// Reset the [`peak_pinned_bytes`] high-water mark to the current level.
+pub fn reset_peak_pinned_bytes() {
+    PEAK_PINNED.store(PINNED_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Chunks faulted in from spill files since process start, process-wide.
+pub fn chunk_reads() -> u64 {
+    CHUNK_READS.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-width value codec
+// ---------------------------------------------------------------------------
+
+/// Fixed-width byte codec for semiring carriers that can be spilled to disk.
+///
+/// Spilled chunks store one value per row at a fixed [`FixedBytes::WIDTH`],
+/// so chunk offsets are arithmetic and reads never parse. Implemented for the
+/// plain-data carriers of the stock domains (`u32`, `u64`, `i64`, `f64`,
+/// `bool`, `u8`); variable-size carriers (sets, polynomials) cannot spill.
+pub trait FixedBytes: Sized {
+    /// Encoded size in bytes of every value.
+    const WIDTH: usize;
+    /// Append exactly [`FixedBytes::WIDTH`] bytes encoding `self`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decode a value from exactly [`FixedBytes::WIDTH`] bytes.
+    fn decode(bytes: &[u8]) -> Self;
+}
+
+macro_rules! fixed_bytes_int {
+    ($($t:ty),*) => {$(
+        impl FixedBytes for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("fixed width"))
+            }
+        }
+    )*};
+}
+fixed_bytes_int!(u8, u32, u64, i64);
+
+impl FixedBytes for f64 {
+    const WIDTH: usize = 8;
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Self {
+        f64::from_bits(u64::from_le_bytes(bytes.try_into().expect("fixed width")))
+    }
+}
+
+impl FixedBytes for bool {
+    const WIDTH: usize = 1;
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(bytes: &[u8]) -> Self {
+        bytes[0] != 0
+    }
+}
+
+fn decode_fn<E: FixedBytes>(bytes: &[u8]) -> E {
+    E::decode(bytes)
+}
+
+fn encode_fn<E: FixedBytes>(e: &E, out: &mut Vec<u8>) {
+    e.encode(out)
+}
+
+// ---------------------------------------------------------------------------
+// Spill directories and files
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs of the file-chunked backing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillConfig {
+    /// Directory to create the spill directory under; the OS temp dir when
+    /// `None`.
+    pub dir: Option<PathBuf>,
+    /// Rows per listing chunk ([`FileChunkedColumns`]).
+    pub chunk_rows: usize,
+    /// Entries per trie-level chunk ([`FileChunkedLevel`]); rounded up to a
+    /// multiple of the head-sample stride (64) so a cold seek's narrowed
+    /// window never straddles a chunk boundary.
+    pub level_chunk_entries: usize,
+    /// Maximum chunks pinned per column / per level (the LRU window).
+    pub window_chunks: usize,
+}
+
+impl Default for SpillConfig {
+    fn default() -> SpillConfig {
+        SpillConfig { dir: None, chunk_rows: 4096, level_chunk_entries: 4096, window_chunks: 8 }
+    }
+}
+
+impl SpillConfig {
+    fn level_entries(&self) -> usize {
+        self.level_chunk_entries.max(1).div_ceil(HEAD_STRIDE) * HEAD_STRIDE
+    }
+}
+
+/// A uniquely-named spill directory, removed (with everything in it) when the
+/// last [`Arc`] handle drops — factors, their tries and their clones share
+/// one.
+#[derive(Debug)]
+pub(crate) struct SpillDir {
+    path: PathBuf,
+}
+
+impl SpillDir {
+    fn create(under: Option<&PathBuf>) -> Arc<SpillDir> {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let base = under.cloned().unwrap_or_else(std::env::temp_dir);
+        let path = base.join(format!("faq-spill-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create spill directory");
+        Arc::new(SpillDir { path })
+    }
+
+    fn new_file(&self, name: &str) -> Arc<SpillFile> {
+        let path = self.path.join(name);
+        let file = File::options()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .expect("create spill file");
+        Arc::new(SpillFile { file: Mutex::new(file) })
+    }
+
+    /// The directory path (tests assert cleanup-on-drop against it).
+    #[cfg(test)]
+    pub(crate) fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// One spill file. All access serializes on the file handle itself, so
+/// factor clones sharing chunks across caches never interleave seek/read
+/// pairs.
+#[derive(Debug)]
+pub(crate) struct SpillFile {
+    file: Mutex<File>,
+}
+
+impl SpillFile {
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) {
+        let mut f = self.file.lock().expect("spill file lock");
+        f.seek(SeekFrom::Start(offset)).expect("seek spill file");
+        f.read_exact(buf).expect("read spill file");
+    }
+
+    fn append(&self, offset: u64, bytes: &[u8]) {
+        let mut f = self.file.lock().expect("spill file lock");
+        f.seek(SeekFrom::Start(offset)).expect("seek spill file");
+        f.write_all(bytes).expect("write spill file");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pinned-window LRU
+// ---------------------------------------------------------------------------
+
+/// A tiny LRU over chunk index → pinned chunk. The window is small (a
+/// handful of chunks), so eviction is a linear min-tick scan.
+#[derive(Debug)]
+struct Lru<T> {
+    map: HashMap<usize, (u64, Arc<T>)>,
+    tick: u64,
+    cap: usize,
+}
+
+impl<T> Lru<T> {
+    fn new(cap: usize) -> Lru<T> {
+        Lru { map: HashMap::new(), tick: 0, cap: cap.max(1) }
+    }
+
+    fn get(&mut self, k: usize) -> Option<Arc<T>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&k).map(|e| {
+            e.0 = tick;
+            Arc::clone(&e.1)
+        })
+    }
+
+    fn insert(&mut self, k: usize, v: Arc<T>) {
+        self.tick += 1;
+        self.map.insert(k, (self.tick, v));
+        while self.map.len() > self.cap {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(&k, _)| k)
+                .expect("non-empty map");
+            self.map.remove(&oldest);
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileChunkedColumns: the spilled listing
+// ---------------------------------------------------------------------------
+
+/// Resident metadata of one listing chunk. The first/last tuples let range
+/// and splice logic decide which chunks a key touches without faulting any;
+/// each chunk carries its own file handle so a delta splice can mix original
+/// chunks with freshly written ones.
+#[derive(Debug, Clone)]
+pub(crate) struct ChunkMeta {
+    file: Arc<SpillFile>,
+    offset: u64,
+    rows: usize,
+    first_row: Vec<u32>,
+    last_row: Vec<u32>,
+}
+
+/// One faulted listing chunk: decoded rows and values, gauge-accounted while
+/// pinned.
+#[derive(Debug)]
+struct DataChunk<E> {
+    rows: Vec<u32>,
+    vals: Vec<E>,
+    bytes: usize,
+}
+
+impl<E> Drop for DataChunk<E> {
+    fn drop(&mut self) {
+        untrack_pin(self.bytes);
+    }
+}
+
+/// Read-side statistics of one spilled listing (see
+/// [`crate::Factor::spill_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SpillStats {
+    /// Number of listing chunks on disk.
+    pub chunks: usize,
+    /// Chunks faulted in from disk over this listing's lifetime (shared by
+    /// clones).
+    pub reads: u64,
+    /// Bytes of this listing's chunks currently pinned.
+    pub resident_bytes: usize,
+    /// Total encoded bytes on disk.
+    pub file_bytes: usize,
+}
+
+struct ColsInner<E> {
+    arity: usize,
+    len: usize,
+    width: usize,
+    decode: fn(&[u8]) -> E,
+    /// Captured at construction (where `E: FixedBytes` is known), so splices
+    /// can write new chunks without re-stating the bound.
+    encode: fn(&E, &mut Vec<u8>),
+    chunks: Vec<ChunkMeta>,
+    /// `row_starts[k]` = first listing row of chunk `k`; one end sentinel.
+    row_starts: Vec<usize>,
+    /// Per-column maximum key value (resident, so domain validation never
+    /// faults a chunk). An upper bound after delta splices with deletions.
+    col_maxes: Vec<u32>,
+    config: SpillConfig,
+    dir: Arc<SpillDir>,
+    cache: Mutex<Lru<DataChunk<E>>>,
+    reads: AtomicU64,
+}
+
+impl<E> std::fmt::Debug for ColsInner<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileChunkedColumns")
+            .field("arity", &self.arity)
+            .field("len", &self.len)
+            .field("chunks", &self.chunks.len())
+            .finish()
+    }
+}
+
+/// A factor listing spilled to disk in row chunks, with a bounded pinned
+/// window. Cloning is an `Arc` bump: clones (and epoch snapshots holding
+/// them) share the chunks, the cache and the spill directory.
+pub struct FileChunkedColumns<E> {
+    inner: Arc<ColsInner<E>>,
+}
+
+impl<E> Clone for FileChunkedColumns<E> {
+    fn clone(&self) -> Self {
+        FileChunkedColumns { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<E> std::fmt::Debug for FileChunkedColumns<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<E> FileChunkedColumns<E> {
+    pub(crate) fn len(&self) -> usize {
+        self.inner.len
+    }
+
+    pub(crate) fn col_max(&self, d: usize) -> Option<u32> {
+        (self.inner.len > 0).then(|| self.inner.col_maxes[d])
+    }
+
+    pub(crate) fn col_maxes(&self) -> &[u32] {
+        &self.inner.col_maxes
+    }
+
+    #[cfg(test)]
+    pub(crate) fn spill_dir(&self) -> &Arc<SpillDir> {
+        &self.inner.dir
+    }
+
+    pub(crate) fn stats(&self) -> SpillStats {
+        let i = &self.inner;
+        let resident = i.cache.lock().expect("cache lock").map.values().map(|(_, c)| c.bytes).sum();
+        let row_bytes = i.arity * 4 + i.width;
+        SpillStats {
+            chunks: i.chunks.len(),
+            reads: i.reads.load(Ordering::Relaxed),
+            resident_bytes: resident,
+            file_bytes: i.len * row_bytes,
+        }
+    }
+
+    fn chunk_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.inner.len);
+        self.inner.row_starts.partition_point(|&s| s <= i) - 1
+    }
+
+    fn pin(&self, k: usize) -> Arc<DataChunk<E>> {
+        let inner = &self.inner;
+        let mut cache = inner.cache.lock().expect("cache lock");
+        if let Some(c) = cache.get(k) {
+            return c;
+        }
+        let meta = &inner.chunks[k];
+        let row_bytes = meta.rows * inner.arity * 4;
+        let val_bytes = meta.rows * inner.width;
+        let mut buf = vec![0u8; row_bytes + val_bytes];
+        meta.file.read_exact_at(meta.offset, &mut buf);
+        let rows: Vec<u32> = buf[..row_bytes]
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .collect();
+        let vals: Vec<E> =
+            buf[row_bytes..].chunks_exact(inner.width.max(1)).map(inner.decode).collect();
+        let bytes = buf.len();
+        track_pin(bytes);
+        inner.reads.fetch_add(1, Ordering::Relaxed);
+        CHUNK_READS.fetch_add(1, Ordering::Relaxed);
+        let chunk = Arc::new(DataChunk { rows, vals, bytes });
+        cache.insert(k, Arc::clone(&chunk));
+        chunk
+    }
+
+    /// Key value of row `i`, column `d`.
+    pub(crate) fn col(&self, i: usize, d: usize) -> u32 {
+        let k = self.chunk_of(i);
+        let chunk = self.pin(k);
+        let local = i - self.inner.row_starts[k];
+        chunk.rows[local * self.inner.arity + d]
+    }
+
+    /// Run `f` over chunk `k`'s decoded rows and values; `start` is the
+    /// chunk's first listing row.
+    pub(crate) fn with_chunk<R>(&self, k: usize, f: impl FnOnce(usize, &[u32], &[E]) -> R) -> R {
+        let chunk = self.pin(k);
+        f(self.inner.row_starts[k], &chunk.rows, &chunk.vals)
+    }
+
+    pub(crate) fn num_chunks(&self) -> usize {
+        self.inner.chunks.len()
+    }
+
+    pub(crate) fn chunk_first_row(&self, k: usize) -> &[u32] {
+        &self.inner.chunks[k].first_row
+    }
+
+    pub(crate) fn chunk_last_row(&self, k: usize) -> &[u32] {
+        &self.inner.chunks[k].last_row
+    }
+
+    pub(crate) fn share_chunk_meta(&self, k: usize) -> ChunkMeta {
+        self.inner.chunks[k].clone()
+    }
+}
+
+impl<E: Clone> FileChunkedColumns<E> {
+    /// Owned copy of row `i`'s value.
+    pub(crate) fn value_owned(&self, i: usize) -> E {
+        self.with_value(i, E::clone)
+    }
+}
+
+impl<E> FileChunkedColumns<E> {
+    /// Run `f` over row `i`'s value without cloning it out of the chunk.
+    fn with_value<R>(&self, i: usize, f: impl FnOnce(&E) -> R) -> R {
+        let k = self.chunk_of(i);
+        let chunk = self.pin(k);
+        f(&chunk.vals[i - self.inner.row_starts[k]])
+    }
+}
+
+impl<E: PartialEq> FileChunkedColumns<E> {
+    /// Entry-wise comparison against an in-memory listing.
+    pub(crate) fn eq_mem(&self, rows: &[u32], vals: &[E]) -> bool {
+        if vals.len() != self.inner.len {
+            return false;
+        }
+        for k in 0..self.num_chunks() {
+            let equal = self.with_chunk(k, |start, crows, cvals| {
+                let a = self.inner.arity;
+                crows == &rows[start * a..start * a + crows.len()]
+                    && cvals == &vals[start..start + cvals.len()]
+            });
+            if !equal {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Entry-wise comparison against another spilled listing (chunk grids
+    /// may differ).
+    pub(crate) fn eq_spill(&self, other: &FileChunkedColumns<E>) -> bool {
+        if self.inner.len != other.inner.len || self.inner.arity != other.inner.arity {
+            return false;
+        }
+        let a = self.inner.arity;
+        for k in 0..self.num_chunks() {
+            let equal = self.with_chunk(k, |start, crows, cvals| {
+                (0..cvals.len()).all(|j| {
+                    let i = start + j;
+                    (0..a).all(|d| other.col(i, d) == crows[j * a + d])
+                        && other.with_value(i, |v| *v == cvals[j])
+                })
+            });
+            if !equal {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl<E> FileChunkedColumns<E> {
+    /// Partition the first column into at most `max_chunks` half-open value
+    /// ranges whose cuts fall on *chunk boundaries* — same contract as
+    /// [`crate::Factor::column_partition`] (ascending, covering
+    /// `[0, u32::MAX)`, never splitting a value), chosen so each worker of a
+    /// chunked join pins only its own range's chunks. Computed entirely from
+    /// resident metadata: no chunk is faulted.
+    pub(crate) fn partition_first(&self, max_chunks: usize) -> Vec<(u32, u32)> {
+        let inner = &self.inner;
+        if max_chunks <= 1 || inner.len < 2 {
+            return Vec::new();
+        }
+        let target = inner.len.div_ceil(max_chunks);
+        let mut cuts: Vec<u32> = Vec::new();
+        let mut taken = 0usize;
+        for (k, meta) in inner.chunks.iter().enumerate() {
+            // A cut at this chunk's first value is legal only when the value
+            // run does not extend back into the previous chunk.
+            if taken >= target
+                && cuts.len() + 1 < max_chunks
+                && k > 0
+                && inner.chunks[k - 1].last_row[0] < meta.first_row[0]
+            {
+                cuts.push(meta.first_row[0]);
+                taken = 0;
+            }
+            taken += meta.rows;
+        }
+        if cuts.is_empty() {
+            return Vec::new();
+        }
+        let mut ranges = Vec::with_capacity(cuts.len() + 1);
+        let mut lo = 0u32;
+        for &c in &cuts {
+            ranges.push((lo, c));
+            lo = c;
+        }
+        ranges.push((lo, u32::MAX));
+        ranges
+    }
+
+    /// Streaming rebuild of the factor's trie index with spilled levels:
+    /// chunks are faulted once, in order, and each level's arrays are written
+    /// straight back out in level chunks — peak residency is the pinned
+    /// window plus one level chunk of buffering per column.
+    pub(crate) fn build_trie(&self) -> crate::trie::FactorTrie {
+        let arity = self.inner.arity;
+        let mut builder = SpillTrieBuilder::new(
+            arity,
+            Arc::clone(&self.inner.dir),
+            self.inner.config.level_entries(),
+            self.inner.config.window_chunks,
+        );
+        let mut prev: Vec<u32> = Vec::new();
+        for k in 0..self.num_chunks() {
+            self.with_chunk(k, |_, rows, _| {
+                for row in rows.chunks_exact(arity.max(1)) {
+                    builder.push(row, if prev.is_empty() { None } else { Some(&prev) });
+                    prev.clear();
+                    prev.extend_from_slice(row);
+                }
+            });
+        }
+        builder.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpillWriter: strictly-sequential chunk writing
+// ---------------------------------------------------------------------------
+
+/// Strictly-sequential writer of a [`FileChunkedColumns`]: rows arrive in
+/// ascending order, buffer one chunk at a time, and flush as encoded bytes
+/// appended to the spill file. Also the splice engine of delta application:
+/// `SpillWriter::adopt_chunk` passes an untouched chunk of an existing
+/// spilled listing through by reference — no read, no copy.
+pub struct SpillWriter<E> {
+    dir: Arc<SpillDir>,
+    file: Arc<SpillFile>,
+    offset: u64,
+    arity: usize,
+    width: usize,
+    decode: fn(&[u8]) -> E,
+    encode: fn(&E, &mut Vec<u8>),
+    config: SpillConfig,
+    buf_rows: Vec<u32>,
+    buf_vals: Vec<E>,
+    chunks: Vec<ChunkMeta>,
+    row_starts: Vec<usize>,
+    len: usize,
+    col_maxes: Vec<u32>,
+}
+
+static FILE_N: AtomicU64 = AtomicU64::new(0);
+
+impl<E: FixedBytes> SpillWriter<E> {
+    /// A writer over a fresh spill directory.
+    pub fn new(arity: usize, config: SpillConfig) -> SpillWriter<E> {
+        let dir = SpillDir::create(config.dir.as_ref());
+        let file = dir.new_file(&format!("cols-{}.bin", FILE_N.fetch_add(1, Ordering::Relaxed)));
+        SpillWriter {
+            dir,
+            file,
+            offset: 0,
+            arity,
+            width: E::WIDTH,
+            decode: decode_fn::<E>,
+            encode: encode_fn::<E>,
+            config,
+            buf_rows: Vec::new(),
+            buf_vals: Vec::new(),
+            chunks: Vec::new(),
+            row_starts: vec![0],
+            len: 0,
+            col_maxes: vec![0; arity],
+        }
+    }
+}
+
+impl<E> SpillWriter<E> {
+    /// A writer producing a sibling listing of `base`: same spill directory,
+    /// codec and configuration, writing to a fresh file. The splice engine of
+    /// delta application — no `FixedBytes` bound, the codec was captured when
+    /// `base` was built.
+    pub(crate) fn new_like(base: &FileChunkedColumns<E>) -> SpillWriter<E> {
+        let dir = Arc::clone(&base.inner.dir);
+        let file = dir.new_file(&format!("cols-{}.bin", FILE_N.fetch_add(1, Ordering::Relaxed)));
+        let arity = base.inner.arity;
+        SpillWriter {
+            dir,
+            file,
+            offset: 0,
+            arity,
+            width: base.inner.width,
+            decode: base.inner.decode,
+            encode: base.inner.encode,
+            config: base.inner.config.clone(),
+            buf_rows: Vec::new(),
+            buf_vals: Vec::new(),
+            chunks: Vec::new(),
+            row_starts: vec![0],
+            len: 0,
+            col_maxes: vec![0; arity],
+        }
+    }
+}
+
+impl<E> SpillWriter<E> {
+    /// Rows written so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no row has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub(crate) fn last_row(&self) -> Option<Vec<u32>> {
+        let n = self.buf_vals.len();
+        if n > 0 {
+            Some(self.buf_rows[(n - 1) * self.arity..].to_vec())
+        } else {
+            self.chunks.last().map(|c| c.last_row.clone())
+        }
+    }
+
+    /// Append the next row (strictly ascending; debug-asserted by the
+    /// builder driving this writer).
+    pub fn push(&mut self, row: &[u32], val: E) {
+        debug_assert_eq!(row.len(), self.arity);
+        for (m, &v) in self.col_maxes.iter_mut().zip(row) {
+            *m = (*m).max(v);
+        }
+        self.buf_rows.extend_from_slice(row);
+        self.buf_vals.push(val);
+        self.len += 1;
+        if self.buf_vals.len() >= self.config.chunk_rows.max(1) {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        let n = self.buf_vals.len();
+        if n == 0 {
+            return;
+        }
+        let mut bytes = Vec::with_capacity(n * (self.arity * 4 + self.width));
+        for &k in &self.buf_rows {
+            bytes.extend_from_slice(&k.to_le_bytes());
+        }
+        for v in &self.buf_vals {
+            (self.encode)(v, &mut bytes);
+        }
+        self.file.append(self.offset, &bytes);
+        self.chunks.push(ChunkMeta {
+            file: Arc::clone(&self.file),
+            offset: self.offset,
+            rows: n,
+            first_row: self.buf_rows[..self.arity].to_vec(),
+            last_row: self.buf_rows[(n - 1) * self.arity..].to_vec(),
+        });
+        self.offset += bytes.len() as u64;
+        self.row_starts.push(self.len);
+        self.buf_rows.clear();
+        self.buf_vals.clear();
+    }
+
+    /// Adopt an untouched chunk of an existing spilled listing by reference:
+    /// its rows slot in after everything written so far without any I/O.
+    /// Pending buffered rows are flushed first (chunk row counts may vary).
+    pub(crate) fn adopt_chunk(&mut self, meta: &ChunkMeta) {
+        self.flush();
+        for (m, &v) in self.col_maxes.iter_mut().zip(&meta.first_row) {
+            *m = (*m).max(v);
+        }
+        for (m, &v) in self.col_maxes.iter_mut().zip(&meta.last_row) {
+            *m = (*m).max(v);
+        }
+        self.len += meta.rows;
+        self.row_starts.push(self.len);
+        self.chunks.push(meta.clone());
+    }
+
+    /// Raise the resident per-column maxima to at least `maxes` (adopted
+    /// chunks only reveal their first/last tuples, so a splice folds in the
+    /// base listing's maxima wholesale — an upper bound after deletions).
+    pub(crate) fn raise_col_maxes(&mut self, maxes: &[u32]) {
+        for (m, &v) in self.col_maxes.iter_mut().zip(maxes) {
+            *m = (*m).max(v);
+        }
+    }
+
+    /// Seal the listing.
+    pub(crate) fn finish_cols(mut self) -> FileChunkedColumns<E> {
+        self.flush();
+        let window = self.config.window_chunks;
+        FileChunkedColumns {
+            inner: Arc::new(ColsInner {
+                arity: self.arity,
+                len: self.len,
+                width: self.width,
+                decode: self.decode,
+                encode: self.encode,
+                chunks: self.chunks,
+                row_starts: self.row_starts,
+                col_maxes: self.col_maxes,
+                config: self.config,
+                dir: self.dir,
+                cache: Mutex::new(Lru::new(window)),
+                reads: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileChunkedLevel: spilled trie levels
+// ---------------------------------------------------------------------------
+
+/// One faulted trie-level chunk, gauge-accounted while pinned.
+#[derive(Debug)]
+struct LevelChunk {
+    values: Vec<u32>,
+    child: Vec<usize>,
+    rows: Vec<usize>,
+    bytes: usize,
+}
+
+impl Drop for LevelChunk {
+    fn drop(&mut self) {
+        untrack_pin(self.bytes);
+    }
+}
+
+#[derive(Debug)]
+struct LevelInner {
+    len: usize,
+    /// Entries per full chunk; a multiple of the head-sample stride, so the
+    /// narrowed window of a cold seek never spans two chunks.
+    entries: usize,
+    file: Arc<SpillFile>,
+    #[allow(dead_code)] // held to keep the spill directory alive
+    dir: Arc<SpillDir>,
+    /// Resident head samples: `heads[k] = values[HEAD_STRIDE * k]`.
+    heads: Vec<u32>,
+    /// Resident end sentinels (`child[len]` / `rows[len]` are never on disk).
+    child_end: usize,
+    rows_end: usize,
+    cache: Mutex<Lru<LevelChunk>>,
+}
+
+/// A trie level spilled to disk in uniform entry chunks, with the
+/// head-sample array resident. Implements the same windowed-lub contract as
+/// [`crate::storage::VecStorage`] (identical results for every window, hint
+/// and bound — the join layer's seek accounting can not tell them apart);
+/// a cold seek narrows on the resident heads and faults at most one chunk.
+#[derive(Clone, Debug)]
+pub struct FileChunkedLevel {
+    inner: Arc<LevelInner>,
+}
+
+/// On-disk entry width: `values` u32 + `child` u64 + `rows` u64.
+const LEVEL_ENTRY_BYTES: usize = 4 + 8 + 8;
+
+impl FileChunkedLevel {
+    fn pin(&self, k: usize) -> Arc<LevelChunk> {
+        let inner = &self.inner;
+        let mut cache = inner.cache.lock().expect("level cache lock");
+        if let Some(c) = cache.get(k) {
+            return c;
+        }
+        let start = k * inner.entries;
+        let n = inner.entries.min(inner.len - start);
+        let mut buf = vec![0u8; n * LEVEL_ENTRY_BYTES];
+        inner.file.read_exact_at((start * LEVEL_ENTRY_BYTES) as u64, &mut buf);
+        let (vb, rest) = buf.split_at(n * 4);
+        let (cb, rb) = rest.split_at(n * 8);
+        let values =
+            vb.chunks_exact(4).map(|b| u32::from_le_bytes(b.try_into().unwrap())).collect();
+        let child = cb
+            .chunks_exact(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()) as usize)
+            .collect();
+        let rows = rb
+            .chunks_exact(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()) as usize)
+            .collect();
+        let bytes = buf.len();
+        track_pin(bytes);
+        CHUNK_READS.fetch_add(1, Ordering::Relaxed);
+        let chunk = Arc::new(LevelChunk { values, child, rows, bytes });
+        cache.insert(k, Arc::clone(&chunk));
+        chunk
+    }
+
+    fn with_entry<R>(&self, j: usize, f: impl FnOnce(&LevelChunk, usize) -> R) -> R {
+        let k = j / self.inner.entries;
+        let chunk = self.pin(k);
+        f(&chunk, j - k * self.inner.entries)
+    }
+
+    fn val(&self, j: usize) -> u32 {
+        // Head-aligned entries are resident; everything else is one chunk.
+        if j.is_multiple_of(HEAD_STRIDE) {
+            return self.inner.heads[j / HEAD_STRIDE];
+        }
+        self.with_entry(j, |c, l| c.values[l])
+    }
+}
+
+impl PartialEq for FileChunkedLevel {
+    fn eq(&self, other: &Self) -> bool {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return true;
+        }
+        self.inner.len == other.inner.len
+            && (0..self.inner.len).all(|j| {
+                self.value(j) == other.value(j)
+                    && self.child_at(j) == other.child_at(j)
+                    && self.row_at(j) == other.row_at(j)
+            })
+            && self.child_at(self.inner.len) == other.child_at(self.inner.len)
+            && self.row_at(self.inner.len) == other.row_at(self.inner.len)
+    }
+}
+
+impl Eq for FileChunkedLevel {}
+
+impl FileChunkedLevel {
+    fn len(&self) -> usize {
+        self.inner.len
+    }
+
+    fn value(&self, j: usize) -> u32 {
+        self.val(j)
+    }
+
+    fn child_at(&self, j: usize) -> usize {
+        if j == self.inner.len {
+            return self.inner.child_end;
+        }
+        self.with_entry(j, |c, l| c.child[l])
+    }
+
+    fn row_at(&self, j: usize) -> usize {
+        if j == self.inner.len {
+            return self.inner.rows_end;
+        }
+        self.with_entry(j, |c, l| c.rows[l])
+    }
+
+    fn lub_from(&self, (lo, hi): (usize, usize), _hint: usize, bound: u32) -> usize {
+        if lo >= hi {
+            return hi;
+        }
+        // Narrow on the resident head samples exactly like the heap kernel;
+        // the surviving window spans at most one 64-entry stride, which lies
+        // inside one chunk (chunk sizes are multiples of the stride) — the
+        // stride-aligned probe at its upper edge is resident.
+        let ks = lo.div_ceil(HEAD_STRIDE);
+        let ke = hi.div_ceil(HEAD_STRIDE);
+        let (mut nlo, mut nhi) = (lo, hi);
+        if ks < ke {
+            let p = block_lub(&self.inner.heads, ks, ke, bound);
+            nlo = if p > ks { HEAD_STRIDE * (p - 1) + 1 } else { lo };
+            nhi = if p < ke { (HEAD_STRIDE * p + 1).min(hi) } else { hi };
+        }
+        // partition_point over [nlo, nhi) by probing — the hint is ignored
+        // (it only ever affects speed, never the result).
+        let (mut l, mut h) = (nlo, nhi);
+        while l < h {
+            let mid = (l + h) / 2;
+            if self.val(mid) < bound {
+                l = mid + 1;
+            } else {
+                h = mid;
+            }
+        }
+        l
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FactorLevel: the pluggable default level storage
+// ---------------------------------------------------------------------------
+
+use crate::storage::VecStorage;
+
+/// The storage of one default [`crate::trie::FactorTrie`] level: heap-backed
+/// ([`VecStorage`], what [`LevelStorage::from_parts`] builds) or spilled to
+/// disk ([`FileChunkedLevel`], built only by the streaming spill path of a
+/// spilled factor's index). Every delegated call is a single enum dispatch
+/// in front of the heap kernel, so code that never spills pays one
+/// well-predicted branch per storage probe.
+#[derive(Debug, Clone)]
+pub enum FactorLevel {
+    /// Heap-backed arrays with the branch-free galloping kernel.
+    Mem(VecStorage),
+    /// File-chunked arrays with resident head samples.
+    Disk(FileChunkedLevel),
+}
+
+impl PartialEq for FactorLevel {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (FactorLevel::Mem(a), FactorLevel::Mem(b)) => a == b,
+            (FactorLevel::Disk(a), FactorLevel::Disk(b)) => a == b,
+            // Mixed backings compare semantically, entry by entry.
+            (a, b) => {
+                let n = a.len();
+                n == b.len()
+                    && (0..=n).all(|j| {
+                        (j == n || (a.value(j) == b.value(j) && a.row_at(j) == b.row_at(j)))
+                            && a.child_at(j) == b.child_at(j)
+                            && a.row_at(j) == b.row_at(j)
+                    })
+            }
+        }
+    }
+}
+
+impl Eq for FactorLevel {}
+
+impl LevelStorage for FactorLevel {
+    fn from_parts(values: Vec<u32>, child: Vec<usize>, rows: Vec<usize>) -> FactorLevel {
+        FactorLevel::Mem(VecStorage::from_parts(values, child, rows))
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            FactorLevel::Mem(s) => s.len(),
+            FactorLevel::Disk(s) => s.len(),
+        }
+    }
+
+    #[inline]
+    fn value(&self, j: usize) -> u32 {
+        match self {
+            FactorLevel::Mem(s) => s.value(j),
+            FactorLevel::Disk(s) => s.value(j),
+        }
+    }
+
+    #[inline]
+    fn child_at(&self, j: usize) -> usize {
+        match self {
+            FactorLevel::Mem(s) => s.child_at(j),
+            FactorLevel::Disk(s) => s.child_at(j),
+        }
+    }
+
+    #[inline]
+    fn row_at(&self, j: usize) -> usize {
+        match self {
+            FactorLevel::Mem(s) => s.row_at(j),
+            FactorLevel::Disk(s) => s.row_at(j),
+        }
+    }
+
+    #[inline]
+    fn lub_from(&self, window: (usize, usize), hint: usize, bound: u32) -> usize {
+        match self {
+            FactorLevel::Mem(s) => s.lub_from(window, hint, bound),
+            FactorLevel::Disk(s) => s.lub_from(window, hint, bound),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpillTrieBuilder: streaming construction of spilled trie levels
+// ---------------------------------------------------------------------------
+
+/// One spilled level under streaming construction: a chunk of buffered
+/// entries plus the growing resident heads.
+struct LevelSpill {
+    file: Arc<SpillFile>,
+    offset: u64,
+    buf_values: Vec<u32>,
+    buf_child: Vec<usize>,
+    buf_rows: Vec<usize>,
+    total: usize,
+    heads: Vec<u32>,
+}
+
+impl LevelSpill {
+    fn push_entry(&mut self, value: u32, child_start: usize, row_start: usize, entries: usize) {
+        if self.total.is_multiple_of(HEAD_STRIDE) {
+            self.heads.push(value);
+        }
+        self.buf_values.push(value);
+        self.buf_child.push(child_start);
+        self.buf_rows.push(row_start);
+        self.total += 1;
+        if self.buf_values.len() >= entries {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        let n = self.buf_values.len();
+        if n == 0 {
+            return;
+        }
+        let mut bytes = Vec::with_capacity(n * LEVEL_ENTRY_BYTES);
+        for &v in &self.buf_values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        for &c in &self.buf_child {
+            bytes.extend_from_slice(&(c as u64).to_le_bytes());
+        }
+        for &r in &self.buf_rows {
+            bytes.extend_from_slice(&(r as u64).to_le_bytes());
+        }
+        self.file.append(self.offset, &bytes);
+        self.offset += bytes.len() as u64;
+        self.buf_values.clear();
+        self.buf_child.clear();
+        self.buf_rows.clear();
+    }
+}
+
+/// The streaming twin of the crate-internal `TrieBuilder` for spilled
+/// factors: rows arrive in ascending order (one faulted chunk at a time) and
+/// every level's arrays stream straight back to disk — only the head samples
+/// and one chunk of buffering per level stay resident.
+pub(crate) struct SpillTrieBuilder {
+    levels: Vec<LevelSpill>,
+    num_rows: usize,
+    dir: Arc<SpillDir>,
+    entries: usize,
+    window_chunks: usize,
+}
+
+impl SpillTrieBuilder {
+    pub(crate) fn new(
+        arity: usize,
+        dir: Arc<SpillDir>,
+        entries: usize,
+        window_chunks: usize,
+    ) -> SpillTrieBuilder {
+        static LEVEL_N: AtomicU64 = AtomicU64::new(0);
+        let levels = (0..arity)
+            .map(|d| LevelSpill {
+                file: dir.new_file(&format!(
+                    "trie-{}-l{d}.bin",
+                    LEVEL_N.fetch_add(1, Ordering::Relaxed)
+                )),
+                offset: 0,
+                buf_values: Vec::new(),
+                buf_child: Vec::new(),
+                buf_rows: Vec::new(),
+                total: 0,
+                heads: Vec::new(),
+            })
+            .collect();
+        SpillTrieBuilder { levels, num_rows: 0, dir, entries, window_chunks }
+    }
+
+    /// Mirror of `TrieBuilder::push`: the row's first difference from its
+    /// predecessor opens one entry at every level at or below that column.
+    pub(crate) fn push(&mut self, row: &[u32], prev: Option<&[u32]>) {
+        let arity = self.levels.len();
+        debug_assert_eq!(row.len(), arity);
+        let start = match prev {
+            None => 0,
+            Some(p) => {
+                debug_assert!(p < row, "spilled trie rows must be strictly ascending");
+                row.iter().zip(p).position(|(a, b)| a != b).expect("rows are distinct")
+            }
+        };
+        for (d, &value) in row.iter().enumerate().skip(start) {
+            let child_start = if d + 1 < arity { self.levels[d + 1].total } else { self.num_rows };
+            let entries = self.entries;
+            self.levels[d].push_entry(value, child_start, self.num_rows, entries);
+        }
+        self.num_rows += 1;
+    }
+
+    /// Seal the trie: flush every level's tail chunk and assemble
+    /// [`FileChunkedLevel`]s (the end sentinels stay resident, never on
+    /// disk).
+    pub(crate) fn finish(self) -> crate::trie::FactorTrie {
+        let num_rows = self.num_rows;
+        let arity = self.levels.len();
+        let next_len: Vec<usize> = (0..arity)
+            .map(|d| if d + 1 < arity { self.levels[d + 1].total } else { num_rows })
+            .collect();
+        let levels = self
+            .levels
+            .into_iter()
+            .zip(next_len)
+            .map(|(mut ls, end)| {
+                ls.flush();
+                let storage = FactorLevel::Disk(FileChunkedLevel {
+                    inner: Arc::new(LevelInner {
+                        len: ls.total,
+                        entries: self.entries,
+                        file: ls.file,
+                        dir: Arc::clone(&self.dir),
+                        heads: ls.heads,
+                        child_end: end,
+                        rows_end: num_rows,
+                        cache: Mutex::new(Lru::new(self.window_chunks)),
+                    }),
+                });
+                crate::trie::TrieLevel::from_storage(storage)
+            })
+            .collect();
+        crate::trie::FactorTrie::from_levels(levels, num_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_bytes_roundtrip() {
+        fn rt<E: FixedBytes + PartialEq + std::fmt::Debug>(v: E) {
+            let mut buf = Vec::new();
+            v.encode(&mut buf);
+            assert_eq!(buf.len(), E::WIDTH);
+            assert_eq!(E::decode(&buf), v);
+        }
+        rt(0u32);
+        rt(u32::MAX);
+        rt(u64::MAX - 1);
+        rt(-17i64);
+        rt(3.5f64);
+        rt(f64::NEG_INFINITY);
+        rt(true);
+        rt(false);
+        rt(255u8);
+    }
+
+    #[test]
+    fn writer_chunks_and_rereads() {
+        let cfg = SpillConfig { chunk_rows: 3, window_chunks: 2, ..SpillConfig::default() };
+        let mut w: SpillWriter<u64> = SpillWriter::new(2, cfg);
+        for i in 0..10u32 {
+            w.push(&[i, i + 1], u64::from(i) * 10);
+        }
+        let cols = w.finish_cols();
+        assert_eq!(cols.len(), 10);
+        assert_eq!(cols.num_chunks(), 4); // 3+3+3+1
+        for i in 0..10u32 {
+            assert_eq!(cols.col(i as usize, 0), i);
+            assert_eq!(cols.col(i as usize, 1), i + 1);
+            assert_eq!(cols.value_owned(i as usize), u64::from(i) * 10);
+        }
+        assert_eq!(cols.col_max(0), Some(9));
+        assert_eq!(cols.col_max(1), Some(10));
+        // The LRU window bounds residency to at most 2 chunks.
+        let stats = cols.stats();
+        assert!(stats.reads >= 4, "each chunk faulted at least once");
+        assert!(cols.inner.cache.lock().unwrap().len() <= 2);
+    }
+
+    #[test]
+    fn spill_dir_removed_on_drop() {
+        let cfg = SpillConfig { chunk_rows: 2, ..SpillConfig::default() };
+        let mut w: SpillWriter<u64> = SpillWriter::new(1, cfg);
+        w.push(&[1], 1);
+        w.push(&[2], 2);
+        let cols = w.finish_cols();
+        let path = cols.spill_dir().path().to_path_buf();
+        assert!(path.exists());
+        let clone = cols.clone();
+        drop(cols);
+        assert!(path.exists(), "clone still holds the directory");
+        drop(clone);
+        assert!(!path.exists(), "last handle removes the spill directory");
+    }
+
+    #[test]
+    fn partition_cuts_on_chunk_boundaries() {
+        let cfg = SpillConfig { chunk_rows: 4, ..SpillConfig::default() };
+        let mut w: SpillWriter<u64> = SpillWriter::new(1, cfg);
+        for i in 0..32u32 {
+            w.push(&[i / 2], 1); // two rows per value: 16 distinct values
+        }
+        let cols = w.finish_cols();
+        let ranges = cols.partition_first(4);
+        assert!(!ranges.is_empty());
+        assert_eq!(ranges[0].0, 0);
+        assert_eq!(ranges.last().unwrap().1, u32::MAX);
+        for w2 in ranges.windows(2) {
+            assert_eq!(w2[0].1, w2[1].0);
+        }
+        // Every cut falls on a chunk's first value.
+        for &(_, hi) in &ranges[..ranges.len() - 1] {
+            assert!(
+                (0..cols.num_chunks()).any(|k| cols.chunk_first_row(k)[0] == hi),
+                "cut {hi} not on a chunk boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_gauge_rises_and_falls() {
+        let cfg = SpillConfig { chunk_rows: 8, window_chunks: 2, ..SpillConfig::default() };
+        let mut w: SpillWriter<u64> = SpillWriter::new(1, cfg);
+        for i in 0..64u32 {
+            w.push(&[i], 1);
+        }
+        let cols = w.finish_cols();
+        let before = pinned_bytes();
+        for i in 0..64usize {
+            let _ = cols.col(i, 0);
+        }
+        assert!(pinned_bytes() > before, "chunks pinned while reading");
+        assert!(peak_pinned_bytes() >= pinned_bytes());
+        drop(cols);
+        assert!(pinned_bytes() <= before, "dropping the listing releases its pins");
+    }
+}

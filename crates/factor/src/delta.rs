@@ -12,9 +12,25 @@
 //! Like the rest of this crate, deltas are semiring-agnostic: the `⊕` used by
 //! `Merge` and the zero test are passed in as closures.
 
+use crate::colstore::SpillWriter;
 use crate::factor::{check_schema, Factor, FactorBuilder, FactorError};
 use faq_hypergraph::Var;
 use faq_semiring::SemiringElem;
+
+/// Record `key`'s first-column value as changed, coalescing with the last
+/// range. Keys are visited in ascending tuple order, so first-column values
+/// are non-decreasing and coalescing only ever touches the last range.
+fn note_change(key: &[u32], changed: &mut Vec<(u32, u32)>) {
+    let (lo, hi) = match key.first() {
+        Some(&v) => (v, v.saturating_add(1)),
+        None => (0, u32::MAX),
+    };
+    match changed.last_mut() {
+        Some(last) if last.1 >= hi => {}
+        Some(last) if lo <= last.1 => last.1 = hi,
+        _ => changed.push((lo, hi)),
+    }
+}
 
 /// One keyed operation of a [`DeltaFactor`].
 #[derive(Debug, Clone, PartialEq)]
@@ -170,24 +186,15 @@ impl<E: SemiringElem> DeltaFactor<E> {
             &self.schema[..],
             "delta schema must match the base factor's column order"
         );
+        if base.is_spilled() {
+            return self.apply_to_spilled(base, &mut merge, &mut is_zero);
+        }
         let arity = self.schema.len();
         let mut out =
             FactorBuilder::new(self.schema.clone()).expect("delta schema already validated");
         out.reserve(base.len() + self.len());
         let mut changed: Vec<(u32, u32)> = Vec::new();
-        // Keys are visited in ascending tuple order, so first-column values
-        // are non-decreasing and coalescing only ever touches the last range.
-        let note = |key: &[u32], changed: &mut Vec<(u32, u32)>| {
-            let (lo, hi) = match key.first() {
-                Some(&v) => (v, v.saturating_add(1)),
-                None => (0, u32::MAX),
-            };
-            match changed.last_mut() {
-                Some(last) if last.1 >= hi => {}
-                Some(last) if lo <= last.1 => last.1 = hi,
-                _ => changed.push((lo, hi)),
-            }
-        };
+        let note = note_change;
         let (mut i, mut d) = (0usize, 0usize);
         while i < base.len() || d < self.len() {
             let order = if i == base.len() {
@@ -249,6 +256,118 @@ impl<E: SemiringElem> DeltaFactor<E> {
         }
         debug_assert!(arity > 0 || out.len() <= 1);
         (out.finish(), changed)
+    }
+
+    /// [`DeltaFactor::apply_to`] against a file-chunked base: a chunk-local
+    /// splice. Chunks no delta key lands in pass through *by handle*
+    /// ([`SpillWriter::adopt_chunk`]) — their bytes are never read — while
+    /// touched chunks are decoded and merged exactly like the in-memory path,
+    /// so the result factor and the reported changed ranges are bit-identical
+    /// to applying the same delta to an unspilled copy of the base.
+    fn apply_to_spilled(
+        &self,
+        base: &Factor<E>,
+        merge: &mut impl FnMut(&E, &E) -> E,
+        is_zero: &mut impl FnMut(&E) -> bool,
+    ) -> (Factor<E>, Vec<(u32, u32)>) {
+        let cols = base.spill_cols().expect("caller checked is_spilled");
+        let arity = self.schema.len();
+        debug_assert!(arity > 0, "nullary factors cannot spill");
+        let mut w = SpillWriter::new_like(cols);
+        let mut changed: Vec<(u32, u32)> = Vec::new();
+        let mut d = 0usize;
+        // Inserts for keys absent from the base and sorting before `upper`
+        // (exclusive); `upper = None` means "all remaining keys". Deletes and
+        // zero inserts of absent keys are no-ops, exactly as in `apply_to`.
+        let insert_gap = |upper: Option<&[u32]>,
+                          d: &mut usize,
+                          w: &mut SpillWriter<E>,
+                          is_zero: &mut dyn FnMut(&E) -> bool,
+                          changed: &mut Vec<(u32, u32)>| {
+            while *d < self.len() && upper.is_none_or(|u| self.key(*d) < u) {
+                if let DeltaOp::Put(v) | DeltaOp::Merge(v) = self.op(*d) {
+                    if !is_zero(v) {
+                        w.push(self.key(*d), v.clone());
+                        note_change(self.key(*d), changed);
+                    }
+                }
+                *d += 1;
+            }
+        };
+        for k in 0..cols.num_chunks() {
+            insert_gap(Some(cols.chunk_first_row(k)), &mut d, &mut w, is_zero, &mut changed);
+            let touched = d < self.len() && self.key(d) <= cols.chunk_last_row(k);
+            if !touched {
+                // No remaining key lands inside this chunk: share its
+                // metadata without faulting its bytes in.
+                w.adopt_chunk(&cols.share_chunk_meta(k));
+                continue;
+            }
+            cols.with_chunk(k, |_, rows, vals| {
+                let n = vals.len();
+                let last = &rows[(n - 1) * arity..n * arity];
+                let mut i = 0usize;
+                while i < n || (d < self.len() && self.key(d) <= last) {
+                    let order = if i == n {
+                        std::cmp::Ordering::Greater
+                    } else if d == self.len() || self.key(d) > last {
+                        std::cmp::Ordering::Less
+                    } else {
+                        rows[i * arity..(i + 1) * arity].cmp(self.key(d))
+                    };
+                    match order {
+                        std::cmp::Ordering::Less => {
+                            w.push(&rows[i * arity..(i + 1) * arity], vals[i].clone());
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            if let DeltaOp::Put(v) | DeltaOp::Merge(v) = self.op(d) {
+                                if !is_zero(v) {
+                                    w.push(self.key(d), v.clone());
+                                    note_change(self.key(d), &mut changed);
+                                }
+                            }
+                            d += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            let old = &vals[i];
+                            match self.op(d) {
+                                DeltaOp::Put(v) => {
+                                    if is_zero(v) {
+                                        note_change(self.key(d), &mut changed);
+                                    } else {
+                                        if v != old {
+                                            note_change(self.key(d), &mut changed);
+                                        }
+                                        w.push(self.key(d), v.clone());
+                                    }
+                                }
+                                DeltaOp::Merge(v) => {
+                                    let nv = merge(old, v);
+                                    if is_zero(&nv) {
+                                        note_change(self.key(d), &mut changed);
+                                    } else {
+                                        if nv != *old {
+                                            note_change(self.key(d), &mut changed);
+                                        }
+                                        w.push(self.key(d), nv);
+                                    }
+                                }
+                                DeltaOp::Delete => note_change(self.key(d), &mut changed),
+                            }
+                            i += 1;
+                            d += 1;
+                        }
+                    }
+                }
+            });
+        }
+        insert_gap(None, &mut d, &mut w, is_zero, &mut changed);
+        // Adopted chunks only reveal their first/last tuples, so fold the
+        // base's column maxima in: the result stays a sound upper bound for
+        // per-column validation (see `Factor::max_in_column`).
+        w.raise_col_maxes(cols.col_maxes());
+        (Factor::from_spill(self.schema.clone(), w.finish_cols()), changed)
     }
 }
 
@@ -367,6 +486,42 @@ mod tests {
         let (f, ranges) = d.apply_to(&b, |a, b| a + b, |&x| x == 0);
         assert_eq!(f.get(&[]), Some(&9));
         assert_eq!(ranges, vec![(0, u32::MAX)]);
+    }
+
+    #[test]
+    fn spilled_apply_matches_mem_and_skips_cold_chunks() {
+        use crate::colstore::SpillConfig;
+        // 32 rows in 8 chunks of 4; touch only the second and last chunks.
+        let rows: Vec<(Vec<u32>, u64)> =
+            (0..32u32).map(|i| (vec![i, i % 3], u64::from(i) + 1)).collect();
+        let mem = Factor::new(vec![v(0), v(1)], rows).unwrap();
+        let config = SpillConfig { chunk_rows: 4, ..SpillConfig::default() };
+        let spilled = mem.to_spilled(config);
+        let d = DeltaFactor::new(
+            vec![v(0), v(1)],
+            vec![
+                (vec![5, 2], DeltaOp::Put(99u64)), // chunk 1: overwrite
+                (vec![6, 0], DeltaOp::Merge(10)),  // chunk 1: 7 ⊕ 10
+                (vec![30, 0], DeltaOp::Delete),    // chunk 7: remove
+                (vec![31, 2], DeltaOp::Put(1)),    // gap insert after last row
+            ],
+        )
+        .unwrap();
+        let (want, want_ranges) = d.apply_to(&mem, |a, b| a + b, |&x| x == 0);
+        let before = spilled.spill_stats().unwrap().reads;
+        let (got, got_ranges) = d.apply_to(&spilled, |a, b| a + b, |&x| x == 0);
+        assert!(got.is_spilled());
+        assert_eq!(got, want);
+        assert_eq!(got_ranges, want_ranges);
+        // Only the two touched chunks were decoded; the six cold ones were
+        // adopted by handle.
+        let reads = spilled.spill_stats().unwrap().reads - before;
+        assert_eq!(reads, 2, "expected only touched chunks to fault in");
+        // The spliced factor answers point lookups like the mem result.
+        assert_eq!(got.get_cloned(&[5, 2]), Some(99));
+        assert_eq!(got.get_cloned(&[6, 0]), Some(17));
+        assert_eq!(got.get_cloned(&[30, 0]), None);
+        assert_eq!(got.get_cloned(&[31, 2]), Some(1));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! [`FactorBuilder`] that assembles factors column-flat from sorted row
 //! streams.
 
+use crate::colstore::{FileChunkedColumns, FixedBytes, SpillConfig, SpillStats, SpillWriter};
 use crate::trie::{FactorTrie, TrieBuilder};
 use faq_hypergraph::Var;
 use faq_semiring::SemiringElem;
@@ -77,8 +78,7 @@ impl FactorStats {
 /// and cached for the factor's lifetime.
 pub struct Factor<E> {
     schema: Vec<Var>,
-    rows: Vec<u32>,
-    vals: Vec<E>,
+    cols: Columns<E>,
     len: usize,
     /// Lazily-built columnar trie index (see [`crate::trie`]). Not part of
     /// the factor's identity: equality ignores it. The index is immutable
@@ -88,6 +88,67 @@ pub struct Factor<E> {
     /// Point lookups served off the cold (trie-less) listing so far; once it
     /// reaches [`Factor::GETS_BEFORE_TRIE`], [`Factor::get`] builds the index.
     gets: AtomicU32,
+}
+
+/// The backing of a factor's listing: heap-resident flat arrays (the
+/// default) or a file-chunked spill with a bounded pinned window (see
+/// [`crate::colstore`]).
+enum Columns<E> {
+    Mem { rows: Vec<u32>, vals: Vec<E> },
+    Spill(FileChunkedColumns<E>),
+}
+
+impl<E: Clone> Clone for Columns<E> {
+    fn clone(&self) -> Self {
+        match self {
+            Columns::Mem { rows, vals } => Columns::Mem { rows: rows.clone(), vals: vals.clone() },
+            // Spilled listings clone by handle: the clone shares the chunks,
+            // the pinned-window cache and the spill directory — cold data is
+            // never copied (this is what makes epoch snapshots of spilled
+            // catalogs O(1)).
+            Columns::Spill(c) => Columns::Spill(c.clone()),
+        }
+    }
+}
+
+/// A value read from a factor that may live on disk: borrowed from the heap
+/// listing, or decoded (owned) out of a pinned spill chunk.
+#[derive(Debug)]
+pub enum ValRef<'a, E> {
+    /// Borrowed from an in-memory listing.
+    Borrowed(&'a E),
+    /// Decoded out of a spilled chunk.
+    Owned(E),
+}
+
+impl<E> AsRef<E> for ValRef<'_, E> {
+    fn as_ref(&self) -> &E {
+        match self {
+            ValRef::Borrowed(e) => e,
+            ValRef::Owned(e) => e,
+        }
+    }
+}
+
+impl<E> ValRef<'_, E> {
+    /// Take the value by clone-or-move.
+    pub fn into_owned(self) -> E
+    where
+        E: Clone,
+    {
+        match self {
+            ValRef::Borrowed(e) => e.clone(),
+            ValRef::Owned(e) => e,
+        }
+    }
+}
+
+impl<E> std::ops::Deref for ValRef<'_, E> {
+    type Target = E;
+
+    fn deref(&self) -> &E {
+        self.as_ref()
+    }
 }
 
 impl<E: Clone> Clone for Factor<E> {
@@ -101,8 +162,7 @@ impl<E: Clone> Clone for Factor<E> {
         }
         Factor {
             schema: self.schema.clone(),
-            rows: self.rows.clone(),
-            vals: self.vals.clone(),
+            cols: self.cols.clone(),
             len: self.len,
             trie,
             gets: AtomicU32::new(self.gets.load(Ordering::Relaxed)),
@@ -112,24 +172,63 @@ impl<E: Clone> Clone for Factor<E> {
 
 impl<E: PartialEq> PartialEq for Factor<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.schema == other.schema && self.rows == other.rows && self.vals == other.vals
+        if self.schema != other.schema || self.len != other.len {
+            return false;
+        }
+        match (&self.cols, &other.cols) {
+            (Columns::Mem { rows: ra, vals: va }, Columns::Mem { rows: rb, vals: vb }) => {
+                ra == rb && va == vb
+            }
+            (Columns::Spill(a), Columns::Mem { rows, vals })
+            | (Columns::Mem { rows, vals }, Columns::Spill(a)) => a.eq_mem(rows, vals),
+            (Columns::Spill(a), Columns::Spill(b)) => a.eq_spill(b),
+        }
     }
 }
 
 impl<E: SemiringElem> fmt::Debug for Factor<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Factor{:?}[{} rows]", self.schema, self.len)?;
-        if self.len <= 16 {
+        let tag = if self.is_spilled() { ", spilled" } else { "" };
+        write!(f, "Factor{:?}[{} rows{tag}]", self.schema, self.len)?;
+        if self.len <= 16 && !self.is_spilled() {
             write!(f, " {{")?;
             for i in 0..self.len {
                 if i > 0 {
                     write!(f, ", ")?;
                 }
-                write!(f, "{:?}→{:?}", self.row(i), self.vals[i])?;
+                write!(f, "{:?}→{:?}", self.row(i), self.value(i))?;
             }
             write!(f, "}}")?;
         }
         Ok(())
+    }
+}
+
+impl<E> Factor<E> {
+    /// Whether the listing lives on disk (file-chunked) rather than on the
+    /// heap.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.cols, Columns::Spill(_))
+    }
+
+    #[track_caller]
+    fn mem_rows(&self) -> &[u32] {
+        match &self.cols {
+            Columns::Mem { rows, .. } => rows,
+            Columns::Spill(_) => {
+                panic!("this operation requires an in-memory listing, but the factor is spilled")
+            }
+        }
+    }
+
+    #[track_caller]
+    fn mem_vals(&self) -> &[E] {
+        match &self.cols {
+            Columns::Mem { vals, .. } => vals,
+            Columns::Spill(_) => {
+                panic!("this operation requires an in-memory listing, but the factor is spilled")
+            }
+        }
     }
 }
 
@@ -195,7 +294,13 @@ impl<E: SemiringElem> Factor<E> {
             rows.extend_from_slice(&t);
             vals.push(v);
         }
-        Factor { schema, rows, vals, len, trie: OnceLock::new(), gets: AtomicU32::new(0) }
+        Factor {
+            schema,
+            cols: Columns::Mem { rows, vals },
+            len,
+            trie: OnceLock::new(),
+            gets: AtomicU32::new(0),
+        }
     }
 
     /// Build a factor directly from column-flat storage whose rows are
@@ -238,7 +343,13 @@ impl<E: SemiringElem> Factor<E> {
                     .all(|(a, b)| a < b),
             "from_sorted_distinct requires strictly ascending rows"
         );
-        Ok(Factor { schema, rows, vals, len, trie: OnceLock::new(), gets: AtomicU32::new(0) })
+        Ok(Factor {
+            schema,
+            cols: Columns::Mem { rows, vals },
+            len,
+            trie: OnceLock::new(),
+            gets: AtomicU32::new(0),
+        })
     }
 
     /// A nullary (constant) factor: `Some(v)` is the scalar `v`, `None` is the
@@ -248,8 +359,7 @@ impl<E: SemiringElem> Factor<E> {
         let len = vals.len();
         Factor {
             schema: Vec::new(),
-            rows: Vec::new(),
-            vals,
+            cols: Columns::Mem { rows: Vec::new(), vals },
             len,
             trie: OnceLock::new(),
             gets: AtomicU32::new(0),
@@ -314,20 +424,117 @@ impl<E: SemiringElem> Factor<E> {
         self.len == 0
     }
 
-    /// The `i`-th row.
+    /// The `i`-th row. Requires an in-memory listing (panics on a spilled
+    /// factor — use [`Factor::col`] for backing-agnostic key access).
     pub fn row(&self, i: usize) -> &[u32] {
         let a = self.arity();
-        &self.rows[i * a..(i + 1) * a]
+        &self.mem_rows()[i * a..(i + 1) * a]
     }
 
-    /// The `i`-th value.
+    /// The `i`-th value. Requires an in-memory listing (panics on a spilled
+    /// factor — use [`Factor::value_at`] for backing-agnostic access).
     pub fn value(&self, i: usize) -> &E {
-        &self.vals[i]
+        &self.mem_vals()[i]
     }
 
-    /// Iterate `(row, value)` pairs in sorted row order.
+    /// The key value of row `i`, column `d` — works over both backings; a
+    /// spilled factor pins (at most) one chunk.
+    pub fn col(&self, i: usize, d: usize) -> u32 {
+        match &self.cols {
+            Columns::Mem { rows, .. } => rows[i * self.arity() + d],
+            Columns::Spill(c) => c.col(i, d),
+        }
+    }
+
+    /// The `i`-th value over either backing: borrowed from the heap listing,
+    /// or decoded out of a pinned spill chunk.
+    pub fn value_at(&self, i: usize) -> ValRef<'_, E> {
+        match &self.cols {
+            Columns::Mem { vals, .. } => ValRef::Borrowed(&vals[i]),
+            Columns::Spill(c) => ValRef::Owned(c.value_owned(i)),
+        }
+    }
+
+    /// The largest key value in column `d`, or `None` for an empty factor.
+    /// Resident for spilled factors (tracked at write time), a column scan
+    /// for in-memory ones — domain validation must not fault chunks in.
+    /// After a delta splice with deletions this is an upper bound for a
+    /// spilled factor, never an underestimate.
+    pub fn max_in_column(&self, d: usize) -> Option<u32> {
+        match &self.cols {
+            Columns::Mem { rows, .. } => {
+                let a = self.arity();
+                (0..self.len).map(|i| rows[i * a + d]).max()
+            }
+            Columns::Spill(c) => c.col_max(d),
+        }
+    }
+
+    /// Iterate `(row, value)` pairs in sorted row order. Requires an
+    /// in-memory listing (panics on a spilled factor).
     pub fn iter(&self) -> impl Iterator<Item = (&[u32], &E)> + '_ {
         (0..self.len).map(move |i| (self.row(i), self.value(i)))
+    }
+
+    /// Copy this factor's listing into a file-chunked spill (see
+    /// [`crate::colstore`]): the returned factor holds the same rows and
+    /// values, chunked on disk with a bounded pinned window.
+    pub fn to_spilled(&self, config: SpillConfig) -> Factor<E>
+    where
+        E: FixedBytes,
+    {
+        assert!(self.arity() > 0, "nullary factors cannot spill");
+        let mut w: SpillWriter<E> = SpillWriter::new(self.arity(), config);
+        for (row, val) in self.iter() {
+            w.push(row, val.clone());
+        }
+        Factor::from_spill(self.schema.clone(), w.finish_cols())
+    }
+
+    /// Wrap an already-written spilled listing (rows strictly ascending) in a
+    /// factor.
+    pub(crate) fn from_spill(schema: Vec<Var>, cols: FileChunkedColumns<E>) -> Factor<E> {
+        let len = cols.len();
+        Factor {
+            schema,
+            cols: Columns::Spill(cols),
+            len,
+            trie: OnceLock::new(),
+            gets: AtomicU32::new(0),
+        }
+    }
+
+    /// Read access to the spilled listing, when there is one.
+    pub(crate) fn spill_cols(&self) -> Option<&FileChunkedColumns<E>> {
+        match &self.cols {
+            Columns::Spill(c) => Some(c),
+            Columns::Mem { .. } => None,
+        }
+    }
+
+    /// Chunk and read statistics of the spilled listing, or `None` for an
+    /// in-memory factor.
+    pub fn spill_stats(&self) -> Option<SpillStats> {
+        self.spill_cols().map(FileChunkedColumns::stats)
+    }
+
+    /// Heap bytes this factor's listing currently keeps resident: the full
+    /// flat arrays for an in-memory factor, only the pinned chunk window for
+    /// a spilled one.
+    pub fn resident_bytes(&self) -> usize {
+        match &self.cols {
+            Columns::Mem { rows, vals } => rows.len() * 4 + vals.len() * std::mem::size_of::<E>(),
+            Columns::Spill(c) => c.stats().resident_bytes,
+        }
+    }
+
+    /// First-column partition whose cuts align to this factor's spill-chunk
+    /// boundaries (same contract as [`Factor::column_partition`]), computed
+    /// from resident chunk metadata without faulting anything — each worker
+    /// of a chunked join then pins only its own range's chunks. `None` for
+    /// in-memory factors, which have no chunk grid to align to.
+    pub fn chunk_aligned_partition(&self, max_chunks: usize) -> Option<Vec<(u32, u32)>> {
+        self.spill_cols().map(|c| c.partition_first(max_chunks))
     }
 
     /// The columnar trie index over this factor's rows (see [`crate::trie`]).
@@ -337,7 +544,13 @@ impl<E: SemiringElem> Factor<E> {
     /// factor share one index. Thread-safe: concurrent first callers race
     /// benignly on a [`OnceLock`].
     pub fn trie(&self) -> &FactorTrie {
-        self.trie.get_or_init(|| FactorTrie::build(self.schema.len(), &self.rows, self.len))
+        self.trie.get_or_init(|| match &self.cols {
+            Columns::Mem { rows, .. } => FactorTrie::build(self.schema.len(), rows, self.len),
+            // Spilled listings stream their index straight back to disk: one
+            // pass over the chunks, spilled levels out (see
+            // [`crate::colstore`]).
+            Columns::Spill(c) => c.build_trie(),
+        })
     }
 
     /// The trie index if it has already been built, without forcing a build.
@@ -381,11 +594,11 @@ impl<E: SemiringElem> Factor<E> {
     pub fn get(&self, tuple: &[u32]) -> Option<&E> {
         assert_eq!(tuple.len(), self.arity());
         if self.arity() == 0 {
-            return self.vals.first();
+            return self.mem_vals().first();
         }
         if self.trie_if_built().is_none() {
             let cold_gets = self.gets.fetch_add(1, Ordering::Relaxed) + 1;
-            if cold_gets < Self::GETS_BEFORE_TRIE {
+            if cold_gets < Self::GETS_BEFORE_TRIE && !self.is_spilled() {
                 let mut range = (0usize, self.len);
                 for (depth, &value) in tuple.iter().enumerate() {
                     range = self.prefix_range(range, depth, value);
@@ -393,7 +606,7 @@ impl<E: SemiringElem> Factor<E> {
                         return None;
                     }
                 }
-                return Some(&self.vals[range.0]);
+                return Some(&self.mem_vals()[range.0]);
             }
         }
         let trie = self.trie();
@@ -402,7 +615,27 @@ impl<E: SemiringElem> Factor<E> {
             let level = trie.level(depth);
             let entry = level.find(window, value)?;
             if depth + 1 == self.arity() {
-                return Some(&self.vals[level.row_range(entry).0]);
+                return Some(&self.mem_vals()[level.row_range(entry).0]);
+            }
+            window = level.child_range(entry);
+        }
+        unreachable!("loop returns at the deepest level")
+    }
+
+    /// [`Factor::get`] over either backing, returning the value by clone —
+    /// the spilled twin of `get`, whose borrowed return cannot outlive a
+    /// pinned chunk.
+    pub fn get_cloned(&self, tuple: &[u32]) -> Option<E> {
+        if !self.is_spilled() {
+            return self.get(tuple).cloned();
+        }
+        let trie = self.trie();
+        let mut window = trie.root();
+        for (depth, &value) in tuple.iter().enumerate() {
+            let level = trie.level(depth);
+            let entry = level.find(window, value)?;
+            if depth + 1 == self.arity() {
+                return Some(self.value_at(level.row_range(entry).0).into_owned());
             }
             window = level.child_range(entry);
         }
@@ -415,8 +648,8 @@ impl<E: SemiringElem> Factor<E> {
     pub fn prefix_range(&self, range: (usize, usize), depth: usize, value: u32) -> (usize, usize) {
         debug_assert!(depth < self.arity());
         let (lo, hi) = range;
-        let start = lo + partition_point(hi - lo, |i| self.row(lo + i)[depth] < value);
-        let end = lo + partition_point(hi - lo, |i| self.row(lo + i)[depth] <= value);
+        let start = lo + partition_point(hi - lo, |i| self.col(lo + i, depth) < value);
+        let end = lo + partition_point(hi - lo, |i| self.col(lo + i, depth) <= value);
         (start, end)
     }
 
@@ -424,9 +657,9 @@ impl<E: SemiringElem> Factor<E> {
     /// `None` — the "seek least upper bound" conditional query.
     pub fn seek_column(&self, range: (usize, usize), depth: usize, bound: u32) -> Option<u32> {
         let (lo, hi) = range;
-        let idx = lo + partition_point(hi - lo, |i| self.row(lo + i)[depth] < bound);
+        let idx = lo + partition_point(hi - lo, |i| self.col(lo + i, depth) < bound);
         if idx < hi {
-            Some(self.row(idx)[depth])
+            Some(self.col(idx, depth))
         } else {
             None
         }
@@ -450,6 +683,25 @@ impl<E: SemiringElem> Factor<E> {
         if perm.iter().enumerate().all(|(i, &p)| i == p) {
             return self.clone();
         }
+        // A spilled listing cannot serve the random row access of the index
+        // sort below: stream its chunks once, permute each row, and sort the
+        // materialized pairs. Engine paths keep large factors σ-aligned (the
+        // identity branch above and `align_to_cow`'s borrow), so this
+        // fallback only sees factors small enough to hold on the heap.
+        if self.is_spilled() {
+            let mut pairs: Vec<(Vec<u32>, E)> = Vec::with_capacity(self.len);
+            self.for_each_row_grouped(true, &[], &mut |row, val| {
+                pairs.push((perm.iter().map(|&p| row[p]).collect(), val.clone()));
+            });
+            pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            let mut out =
+                FactorBuilder::new(new_schema.to_vec()).expect("permuted schema stays valid");
+            out.reserve(pairs.len());
+            for (row, val) in pairs {
+                out.push(&row, val);
+            }
+            return out.finish();
+        }
         // Sort row *indices* under the permuted comparison, then write the
         // permuted rows column-flat — no per-row tuple is ever allocated.
         let mut idx: Vec<usize> = (0..self.len).collect();
@@ -465,7 +717,7 @@ impl<E: SemiringElem> Factor<E> {
             for (slot, &p) in buf.iter_mut().zip(&perm) {
                 *slot = row[p];
             }
-            out.push(&buf, self.vals[i].clone());
+            out.push(&buf, self.mem_vals()[i].clone());
         }
         out.finish()
     }
@@ -527,9 +779,11 @@ impl<E: SemiringElem> Factor<E> {
     ///
     /// When `positions` is a prefix of the column order, the input's
     /// sortedness already groups equal keys consecutively — one streaming
-    /// pass. Otherwise row *indices* are stably sorted under the projected
-    /// key (ties keep row order, so non-commutative folds match the previous
-    /// sort-of-pairs behaviour bit for bit). Neither path allocates per row.
+    /// pass, which spilled listings serve chunk by chunk without ever
+    /// materializing. Otherwise row *indices* are stably sorted under the
+    /// projected key (ties keep row order, so non-commutative folds match the
+    /// previous sort-of-pairs behaviour bit for bit). Neither path allocates
+    /// per row.
     fn project_fold(
         &self,
         positions: &[usize],
@@ -541,27 +795,41 @@ impl<E: SemiringElem> Factor<E> {
         let k = positions.len();
         let mut out = FactorBuilder::new(new_schema).expect("projected schema stays valid");
         let is_prefix = positions.iter().enumerate().all(|(i, &p)| i == p);
-        // The prefix path streams the rows as-is; only a genuine reordering
-        // pays for (and fills) an index sort.
-        let sorted: Option<Vec<usize>> = (!is_prefix).then(|| {
-            let mut idx: Vec<usize> = (0..self.len).collect();
-            idx.sort_by(|&a, &b| {
-                let (ra, rb) = (self.row(a), self.row(b));
-                positions.iter().map(|&p| ra[p]).cmp(positions.iter().map(|&p| rb[p]))
+        if !is_prefix && self.is_spilled() {
+            // Reordering projection of a spilled listing: group through a
+            // sorted map instead of an index sort, so the chunks stream once
+            // in listing order (each group still folds in row order, which
+            // is what the stable index sort of the heap path yields).
+            let mut groups: std::collections::BTreeMap<Vec<u32>, E> =
+                std::collections::BTreeMap::new();
+            self.for_each_row_grouped(true, positions, &mut |row, val| {
+                let key: Vec<u32> = positions.iter().map(|&p| row[p]).collect();
+                match groups.entry(key) {
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        let folded = combine(e.get(), &contribution(val));
+                        *e.get_mut() = folded;
+                    }
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(contribution(val));
+                    }
+                }
             });
-            idx
-        });
+            for (key, done) in groups {
+                if !is_zero(&done) {
+                    out.push(&key, done);
+                }
+            }
+            return out.finish();
+        }
         let mut key: Vec<u32> = Vec::with_capacity(k);
         let mut buf: Vec<u32> = vec![0; k];
         let mut acc: Option<E> = None;
-        for pos in 0..self.len {
-            let i = sorted.as_ref().map_or(pos, |s| s[pos]);
-            let row = self.row(i);
+        self.for_each_row_grouped(is_prefix, positions, &mut |row, val| {
             for (slot, &p) in buf.iter_mut().zip(positions) {
                 *slot = row[p];
             }
             match &mut acc {
-                Some(a) if key == buf => *a = combine(a, &contribution(&self.vals[i])),
+                Some(a) if key == buf => *a = combine(a, &contribution(val)),
                 _ => {
                     if let Some(done) = acc.take() {
                         if !is_zero(&done) {
@@ -570,16 +838,57 @@ impl<E: SemiringElem> Factor<E> {
                     }
                     key.clear();
                     key.extend_from_slice(&buf);
-                    acc = Some(contribution(&self.vals[i]));
+                    acc = Some(contribution(val));
                 }
             }
-        }
+        });
         if let Some(done) = acc.take() {
             if !is_zero(&done) {
                 out.push(&key, done);
             }
         }
         out.finish()
+    }
+
+    /// Drive `feed` over every `(row, value)` pair: in listing order when
+    /// `grouped` (the projection key is already consecutive), otherwise in
+    /// stable projected-key order via an index sort. Spilled listings stream
+    /// one chunk at a time and therefore support only the `grouped` order —
+    /// which is the order every σ-aligned elimination step uses, since such
+    /// steps always project away a suffix of the schema.
+    fn for_each_row_grouped(
+        &self,
+        grouped: bool,
+        positions: &[usize],
+        feed: &mut impl FnMut(&[u32], &E),
+    ) {
+        if let Columns::Spill(cols) = &self.cols {
+            assert!(
+                grouped,
+                "reordering projections of a spilled factor require an in-memory listing"
+            );
+            let arity = self.arity();
+            for c in 0..cols.num_chunks() {
+                cols.with_chunk(c, |_, rows, vals| {
+                    for (i, val) in vals.iter().enumerate() {
+                        feed(&rows[i * arity..(i + 1) * arity], val);
+                    }
+                });
+            }
+        } else if grouped {
+            for i in 0..self.len {
+                feed(self.row(i), &self.mem_vals()[i]);
+            }
+        } else {
+            let mut idx: Vec<usize> = (0..self.len).collect();
+            idx.sort_by(|&a, &b| {
+                let (ra, rb) = (self.row(a), self.row(b));
+                positions.iter().map(|&p| ra[p]).cmp(positions.iter().map(|&p| rb[p]))
+            });
+            for i in idx {
+                feed(self.row(i), &self.mem_vals()[i]);
+            }
+        }
     }
 
     /// Product marginalization (paper Assumption 2):
@@ -603,44 +912,41 @@ impl<E: SemiringElem> Factor<E> {
         let positions: Vec<usize> = (0..self.arity()).filter(|&i| i != vpos).collect();
         let new_schema: Vec<Var> = positions.iter().map(|&i| self.schema[i]).collect();
 
-        // Group rows by the projected key via a stable index sort (dropping
-        // the *last* column keeps rows grouped already, so skip the sort —
-        // and the index allocation with it).
-        let sorted: Option<Vec<usize>> = (vpos + 1 != self.arity()).then(|| {
-            let mut idx: Vec<usize> = (0..self.len).collect();
-            idx.sort_by(|&a, &b| {
-                let (ra, rb) = (self.row(a), self.row(b));
-                positions.iter().map(|&p| ra[p]).cmp(positions.iter().map(|&p| rb[p]))
-            });
-            idx
-        });
-        let at = |pos: usize| sorted.as_ref().map_or(pos, |s| s[pos]);
-        let projected_eq = |a: usize, b: usize| {
-            let (ra, rb) = (self.row(a), self.row(b));
-            positions.iter().all(|&p| ra[p] == rb[p])
-        };
+        // Dropping the *last* column keeps rows grouped already (the order
+        // spilled listings stream in); any other column pays for a stable
+        // index sort inside `for_each_row_grouped`.
+        let grouped = vpos + 1 == self.arity();
         let mut out = FactorBuilder::new(new_schema).expect("projected schema stays valid");
-        let mut key: Vec<u32> = vec![0; positions.len()];
-        let mut i = 0;
-        while i < self.len {
-            let mut j = i + 1;
-            while j < self.len && projected_eq(at(i), at(j)) {
-                j += 1;
+        let mut key: Vec<u32> = Vec::with_capacity(positions.len());
+        let mut buf: Vec<u32> = vec![0; positions.len()];
+        // The running fold plus the group's row count: a group only survives
+        // when it lists every one of the `dom_size` values of `var`.
+        let mut acc: Option<(E, u64)> = None;
+        self.for_each_row_grouped(grouped, &positions, &mut |row, val| {
+            for (slot, &p) in buf.iter_mut().zip(&positions) {
+                *slot = row[p];
             }
-            if (j - i) as u64 == dom_size as u64 {
-                let mut acc = self.vals[at(i)].clone();
-                for r in i + 1..j {
-                    acc = mul(&acc, &self.vals[at(r)]);
+            match &mut acc {
+                Some((a, n)) if key == buf => {
+                    *a = mul(a, val);
+                    *n += 1;
                 }
-                if !is_zero(&acc) {
-                    let row = self.row(at(i));
-                    for (slot, &p) in key.iter_mut().zip(&positions) {
-                        *slot = row[p];
+                _ => {
+                    if let Some((done, n)) = acc.take() {
+                        if n == u64::from(dom_size) && !is_zero(&done) {
+                            out.push(&key, done);
+                        }
                     }
-                    out.push(&key, acc);
+                    key.clear();
+                    key.extend_from_slice(&buf);
+                    acc = Some((val.clone(), 1));
                 }
             }
-            i = j;
+        });
+        if let Some((done, n)) = acc.take() {
+            if n == u64::from(dom_size) && !is_zero(&done) {
+                out.push(&key, done);
+            }
         }
         out.finish()
     }
@@ -654,7 +960,7 @@ impl<E: SemiringElem> Factor<E> {
         let mut out = FactorBuilder::new(self.schema.clone()).expect("schema already valid");
         out.reserve(self.len);
         for i in 0..self.len {
-            let nv = f(&self.vals[i]);
+            let nv = f(&self.mem_vals()[i]);
             if !is_zero(&nv) {
                 out.push(self.row(i), nv);
             }
@@ -679,6 +985,12 @@ impl<E: SemiringElem> Factor<E> {
         assert!(col < self.arity(), "column {col} out of range for arity {}", self.arity());
         if max_chunks <= 1 || self.len < 2 {
             return Vec::new();
+        }
+        // Spilled listings partition on resident chunk metadata only —
+        // faulting every chunk to scan a column would defeat the point.
+        if let Columns::Spill(c) = &self.cols {
+            assert_eq!(col, 0, "spilled factors partition only on the first column");
+            return c.partition_first(max_chunks);
         }
         // Column 0 with a built trie index: the root level already lists the
         // distinct values with their row counts — no scan of the listing.
@@ -774,7 +1086,7 @@ impl<E: SemiringElem> Factor<E> {
         let (mut i, mut j) = (0usize, 0usize);
         for &(lo, hi) in ranges {
             while i < self.len && self.row(i)[0] < lo {
-                out.push(self.row(i), self.vals[i].clone());
+                out.push(self.row(i), self.mem_vals()[i].clone());
                 i += 1;
             }
             while i < self.len && self.row(i)[0] < hi {
@@ -782,12 +1094,12 @@ impl<E: SemiringElem> Factor<E> {
             }
             while j < replacement.len && replacement.row(j)[0] < hi {
                 debug_assert!(replacement.row(j)[0] >= lo, "replacement row outside ranges");
-                out.push(replacement.row(j), replacement.vals[j].clone());
+                out.push(replacement.row(j), replacement.mem_vals()[j].clone());
                 j += 1;
             }
         }
         while i < self.len {
-            out.push(self.row(i), self.vals[i].clone());
+            out.push(self.row(i), self.mem_vals()[i].clone());
             i += 1;
         }
         debug_assert_eq!(j, replacement.len, "replacement row outside ranges");
@@ -817,7 +1129,7 @@ impl<E: SemiringElem> Factor<E> {
             for (slot, &p) in buf.iter_mut().zip(&positions) {
                 *slot = row[p];
             }
-            out.push(&buf, self.vals[i].clone());
+            out.push(&buf, self.mem_vals()[i].clone());
         }
         out.finish()
     }
@@ -863,10 +1175,16 @@ pub(crate) fn check_schema(schema: &[Var]) -> Result<(), FactorError> {
 pub struct FactorBuilder<E> {
     schema: Vec<Var>,
     arity: usize,
-    rows: Vec<u32>,
-    vals: Vec<E>,
+    cols: BuilderCols<E>,
     len: usize,
     trie: Option<TrieBuilder>,
+}
+
+/// The accumulation target of a [`FactorBuilder`]: heap buffers (the
+/// default) or a strictly-sequential spill writer.
+enum BuilderCols<E> {
+    Mem { rows: Vec<u32>, vals: Vec<E> },
+    Spill(SpillWriter<E>),
 }
 
 impl<E: SemiringElem> FactorBuilder<E> {
@@ -874,21 +1192,57 @@ impl<E: SemiringElem> FactorBuilder<E> {
     pub fn new(schema: Vec<Var>) -> Result<Self, FactorError> {
         check_schema(&schema)?;
         let arity = schema.len();
-        Ok(FactorBuilder { schema, arity, rows: Vec::new(), vals: Vec::new(), len: 0, trie: None })
+        Ok(FactorBuilder {
+            schema,
+            arity,
+            cols: BuilderCols::Mem { rows: Vec::new(), vals: Vec::new() },
+            len: 0,
+            trie: None,
+        })
+    }
+
+    /// An empty builder whose rows stream straight to a file-chunked spill
+    /// (see [`crate::colstore`]): pushes buffer one chunk at a time, writes
+    /// are strictly sequential, and [`FactorBuilder::finish`] yields a
+    /// spilled factor whose resident footprint is the chunk metadata plus the
+    /// pinned window. Streaming tries and [`FactorBuilder::append`] are not
+    /// supported in spill mode (the index is built lazily, streaming from
+    /// the chunks).
+    pub fn new_spilled(schema: Vec<Var>, config: SpillConfig) -> Result<Self, FactorError>
+    where
+        E: FixedBytes,
+    {
+        check_schema(&schema)?;
+        let arity = schema.len();
+        assert!(arity > 0, "nullary factors cannot spill");
+        Ok(FactorBuilder {
+            schema,
+            arity,
+            cols: BuilderCols::Spill(SpillWriter::new(arity, config)),
+            len: 0,
+            trie: None,
+        })
     }
 
     /// Grow the trie index incrementally as rows are appended (see the type
     /// docs). Must be enabled before the first push.
     pub fn with_streaming_trie(mut self) -> Self {
         assert_eq!(self.len, 0, "enable the streaming trie before pushing rows");
+        assert!(
+            matches!(self.cols, BuilderCols::Mem { .. }),
+            "spilled builders index lazily; streaming tries are heap-only"
+        );
         self.trie = Some(TrieBuilder::new(self.arity));
         self
     }
 
-    /// Pre-allocate room for `additional` more rows.
+    /// Pre-allocate room for `additional` more rows (no-op in spill mode,
+    /// which buffers at most one chunk).
     pub fn reserve(&mut self, additional: usize) {
-        self.rows.reserve(additional * self.arity);
-        self.vals.reserve(additional);
+        if let BuilderCols::Mem { rows, vals } = &mut self.cols {
+            rows.reserve(additional * self.arity);
+            vals.reserve(additional);
+        }
     }
 
     /// The column order of the factor under construction.
@@ -911,18 +1265,30 @@ impl<E: SemiringElem> FactorBuilder<E> {
     pub fn push(&mut self, row: &[u32], val: E) {
         debug_assert_eq!(row.len(), self.arity, "row arity must match the schema");
         debug_assert!(self.arity > 0 || self.len == 0, "a nullary factor holds at most one row");
-        if let Some(trie) = &mut self.trie {
-            let prev =
-                if self.len == 0 { None } else { Some(&self.rows[(self.len - 1) * self.arity..]) };
-            trie.push(row, prev);
-        } else {
-            debug_assert!(
-                self.len == 0 || &self.rows[(self.len - 1) * self.arity..] < row,
-                "builder rows must be strictly ascending"
-            );
+        let len = self.len;
+        let arity = self.arity;
+        match &mut self.cols {
+            BuilderCols::Mem { rows, vals } => {
+                if let Some(trie) = &mut self.trie {
+                    let prev = if len == 0 { None } else { Some(&rows[(len - 1) * arity..]) };
+                    trie.push(row, prev);
+                } else {
+                    debug_assert!(
+                        len == 0 || &rows[(len - 1) * arity..] < row,
+                        "builder rows must be strictly ascending"
+                    );
+                }
+                rows.extend_from_slice(row);
+                vals.push(val);
+            }
+            BuilderCols::Spill(w) => {
+                debug_assert!(
+                    w.last_row().is_none_or(|p| p.as_slice() < row),
+                    "builder rows must be strictly ascending"
+                );
+                w.push(row, val);
+            }
         }
-        self.rows.extend_from_slice(row);
-        self.vals.push(val);
         self.len += 1;
     }
 
@@ -939,45 +1305,54 @@ impl<E: SemiringElem> FactorBuilder<E> {
         if other.len == 0 {
             return;
         }
-        debug_assert!(
-            self.len == 0
-                || self.arity == 0
-                || self.rows[(self.len - 1) * self.arity..] < other.rows[..self.arity],
-            "appended chunks must be disjoint and ascending"
+        let BuilderCols::Mem { rows: orows, vals: ovals } = other.cols else {
+            panic!("append of a spilled builder is not supported");
+        };
+        assert!(
+            matches!(self.cols, BuilderCols::Mem { .. }),
+            "append into a spilled builder is not supported"
         );
-        match &mut self.trie {
-            None => {
-                self.rows.extend_from_slice(&other.rows);
-                self.vals.extend(other.vals);
-                self.len += other.len;
-            }
-            Some(_) => {
-                self.reserve(other.len);
-                let mut vals = other.vals.into_iter();
-                if self.arity == 0 {
-                    for val in vals {
-                        self.push(&[], val);
-                    }
-                } else {
-                    for row in other.rows.chunks_exact(self.arity) {
-                        self.push(row, vals.next().expect("one value per row"));
-                    }
+        if self.trie.is_none() {
+            let len = self.len;
+            let arity = self.arity;
+            let BuilderCols::Mem { rows, vals } = &mut self.cols else { unreachable!() };
+            debug_assert!(
+                len == 0 || arity == 0 || rows[(len - 1) * arity..] < orows[..arity],
+                "appended chunks must be disjoint and ascending"
+            );
+            rows.extend_from_slice(&orows);
+            vals.extend(ovals);
+            self.len += other.len;
+        } else {
+            self.reserve(other.len);
+            let mut vals = ovals.into_iter();
+            if self.arity == 0 {
+                for val in vals {
+                    self.push(&[], val);
+                }
+            } else {
+                for row in orows.chunks_exact(self.arity) {
+                    self.push(row, vals.next().expect("one value per row"));
                 }
             }
         }
     }
 
     /// Finish: hand the flat buffers (and the streamed trie index, when
-    /// enabled) to the factor without copying or re-sorting anything.
+    /// enabled) to the factor without copying or re-sorting anything. A
+    /// spilled builder flushes its tail chunk and yields a spilled factor.
     pub fn finish(self) -> Factor<E> {
         let trie_slot = OnceLock::new();
         if let Some(trie) = self.trie {
             let _ = trie_slot.set(trie.finish());
         }
+        let cols = match self.cols {
+            BuilderCols::Mem { rows, vals } => Columns::Mem { rows, vals },
+            BuilderCols::Spill(w) => Columns::Spill(w.finish_cols()),
+        };
         Factor {
             schema: self.schema,
-            rows: self.rows,
-            vals: self.vals,
+            cols,
             len: self.len,
             trie: trie_slot,
             gets: AtomicU32::new(0),

@@ -23,19 +23,28 @@
 //! * [`trie`] — the columnar trie index: levels, cursors, range-restricted
 //!   views, root-level chunk partitioning;
 //! * [`storage`] — pluggable trie-level storage ([`LevelStorage`]) and the
-//!   branch-free galloping seek kernel of the default [`VecStorage`].
+//!   branch-free galloping seek kernel of [`VecStorage`];
+//! * [`colstore`] — the file-chunked out-of-core backing: spilled listings
+//!   ([`colstore::FileChunkedColumns`]), spilled trie levels
+//!   ([`colstore::FileChunkedLevel`]) and the [`FactorLevel`] enum the
+//!   default trie is stored in, plus the process-wide pinned-chunk gauges.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod colstore;
 pub mod delta;
 pub mod domains;
 pub mod factor;
 pub mod storage;
 pub mod trie;
 
+pub use colstore::{
+    chunk_reads, peak_pinned_bytes, pinned_bytes, reset_peak_pinned_bytes, FactorLevel,
+    FileChunkedLevel, FixedBytes, SpillConfig, SpillStats,
+};
 pub use delta::{DeltaFactor, DeltaOp};
 pub use domains::{AssignmentIter, Domains};
-pub use factor::{merge_sorted_rows, Factor, FactorBuilder, FactorError, FactorStats};
+pub use factor::{merge_sorted_rows, Factor, FactorBuilder, FactorError, FactorStats, ValRef};
 pub use storage::{LevelStorage, VecStorage};
 pub use trie::{FactorTrie, TrieCursor, TrieLevel, TrieView};

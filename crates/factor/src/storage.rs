@@ -81,7 +81,7 @@ pub trait LevelStorage: Clone + std::fmt::Debug + PartialEq + Eq + Send + Sync {
 }
 
 /// Values are sampled into the head array every `HEAD_STRIDE` entries.
-const HEAD_STRIDE: usize = 64;
+pub(crate) const HEAD_STRIDE: usize = 64;
 
 /// Tail width of the branchless block search; small enough to count with a
 /// handful of vector lanes, large enough to end the halving loop early.
@@ -90,7 +90,7 @@ const LANES: usize = 8;
 /// Branchless `partition_point` over `values[lo..hi]` (window-sorted):
 /// conditional-move halving down to `LANES`, then a branch-free tail count.
 #[inline]
-fn block_lub(values: &[u32], lo: usize, hi: usize, bound: u32) -> usize {
+pub(crate) fn block_lub(values: &[u32], lo: usize, hi: usize, bound: u32) -> usize {
     debug_assert!(lo <= hi && hi <= values.len());
     let mut base = lo;
     let mut len = hi - lo;

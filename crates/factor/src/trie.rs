@@ -11,10 +11,13 @@
 //! O(1) offset lookups.
 //!
 //! How a level's arrays are stored and searched is pluggable: every type here
-//! is generic over a [`LevelStorage`] backend, defaulting to the heap-backed
-//! [`crate::storage::VecStorage`] whose seek kernel gallops branch-free from
-//! the cursor's last position (see [`crate::storage`]). Downstream code that
-//! just writes `FactorTrie` / `TrieCursor` gets the default.
+//! is generic over a [`LevelStorage`] backend, defaulting to
+//! [`crate::colstore::FactorLevel`] — an enum over the heap-backed
+//! [`crate::storage::VecStorage`] (whose seek kernel gallops branch-free from
+//! the cursor's last position, see [`crate::storage`]) and the file-chunked
+//! [`crate::colstore::FileChunkedLevel`] a spilled factor's index lives in.
+//! Downstream code that just writes `FactorTrie` / `TrieCursor` gets the
+//! default and works over both backings.
 //!
 //! # Layout
 //!
@@ -68,17 +71,24 @@
 //! assert_eq!(cur.depth(), 0);
 //! ```
 
-use crate::storage::{LevelStorage, VecStorage};
+use crate::colstore::FactorLevel;
+use crate::storage::LevelStorage;
 
 /// One level of a [`FactorTrie`]: the distinct length-`d+1` prefixes of the
 /// factor's rows, in lexicographic order, stored columnar in a
 /// [`LevelStorage`] backend.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TrieLevel<S: LevelStorage = VecStorage> {
+pub struct TrieLevel<S: LevelStorage = FactorLevel> {
     storage: S,
 }
 
 impl<S: LevelStorage> TrieLevel<S> {
+    /// Wrap an already-assembled storage backend (the spill path builds its
+    /// levels directly, bypassing [`LevelStorage::from_parts`]).
+    pub(crate) fn from_storage(storage: S) -> TrieLevel<S> {
+        TrieLevel { storage }
+    }
+
     /// Number of entries (distinct prefixes) at this level.
     pub fn len(&self) -> usize {
         self.storage.len()
@@ -130,12 +140,17 @@ impl<S: LevelStorage> TrieLevel<S> {
 /// column. Built by [`crate::Factor::trie`] (lazily, cached) — see the
 /// [module docs](self) for layout and a worked example.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FactorTrie<S: LevelStorage = VecStorage> {
+pub struct FactorTrie<S: LevelStorage = FactorLevel> {
     levels: Vec<TrieLevel<S>>,
     num_rows: usize,
 }
 
 impl<S: LevelStorage> FactorTrie<S> {
+    /// Assemble a trie from already-built levels (the spill path).
+    pub(crate) fn from_levels(levels: Vec<TrieLevel<S>>, num_rows: usize) -> FactorTrie<S> {
+        FactorTrie { levels, num_rows }
+    }
+
     /// Build the index from a sorted, distinct, row-major listing.
     ///
     /// `rows` holds `num_rows × arity` values. One pass per level: level `d`
@@ -297,7 +312,7 @@ struct LevelBuilder {
 /// Accumulation is storage-agnostic (plain `Vec`s); [`TrieBuilder::finish`]
 /// seals the levels into the target [`LevelStorage`].
 #[derive(Debug, Clone)]
-pub(crate) struct TrieBuilder<S: LevelStorage = VecStorage> {
+pub(crate) struct TrieBuilder<S: LevelStorage = FactorLevel> {
     levels: Vec<LevelBuilder>,
     num_rows: usize,
     _storage: std::marker::PhantomData<S>,
@@ -367,7 +382,7 @@ impl<S: LevelStorage> TrieBuilder<S> {
 /// a half-open value range. The parallel InsideOut engine gives each worker
 /// one such view; a view over the full value range is the whole trie.
 #[derive(Debug)]
-pub struct TrieView<'t, S: LevelStorage = VecStorage> {
+pub struct TrieView<'t, S: LevelStorage = FactorLevel> {
     trie: &'t FactorTrie<S>,
     root: (usize, usize),
 }
@@ -424,7 +439,7 @@ impl<'t, S: LevelStorage> TrieView<'t, S> {
 /// ([`TrieCursor::at_leaf`]), [`TrieCursor::row`] is the listing row of the
 /// full binding.
 #[derive(Debug, Clone)]
-pub struct TrieCursor<'t, S: LevelStorage = VecStorage> {
+pub struct TrieCursor<'t, S: LevelStorage = FactorLevel> {
     trie: &'t FactorTrie<S>,
     /// `windows[d]` = candidate entry window at level `d`; `windows` has one
     /// more frame than `path` (the candidates of the current level).

@@ -371,7 +371,9 @@ fn search<E: SemiringElem>(
         let mut val = prefix.clone();
         for c in cursors.iter() {
             if c.use_value {
-                val = mul(&val, c.factor.value(c.row()));
+                // `value_at` goes through the factor's storage backing, so
+                // spilled (file-chunked) factors join without materializing.
+                val = mul(&val, c.factor.value_at(c.row()).as_ref());
             }
         }
         stats.matches += 1;

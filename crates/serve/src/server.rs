@@ -40,7 +40,7 @@ use faq_semiring::{AggDomain, AggId, SemiringElem};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -251,6 +251,20 @@ pub struct ServeStats {
     pub cache_hits: u64,
     /// Answers that ran a fresh evaluation.
     pub evaluated: u64,
+    /// Submissions answered by attaching to an identical in-flight
+    /// submission of the same epoch (no queueing, no evaluation of their
+    /// own).
+    pub coalesced: u64,
+    /// Epoch snapshots still alive — the latest one plus every older epoch
+    /// some reader (an in-flight job, a held [`FaqServer::snapshot`]) is
+    /// keeping pinned.
+    pub live_epochs: usize,
+    /// Resident bytes of the factor catalog: full array bytes for in-memory
+    /// factors, currently pinned chunk-window bytes for spilled ones. Epoch
+    /// snapshots share the same backing by handle, so they add nothing here.
+    pub resident_bytes: usize,
+    /// Shared results carried by the latest snapshot's cache.
+    pub cache_entries: usize,
 }
 
 #[derive(Debug, Default)]
@@ -260,6 +274,7 @@ struct Counters {
     rejected: AtomicU64,
     cache_hits: AtomicU64,
     evaluated: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 /// Releases admission slots when the job finishes (or is dropped anywhere
@@ -283,8 +298,27 @@ struct Job<D: AggDomain> {
     cache: CacheMode,
     submitted: Instant,
     reply: Sender<Result<ServeOutput<D::E>, ServeError>>,
+    /// `Some` when this job leads a coalescing group: the key under which
+    /// identical same-epoch submissions queued up as followers. The worker
+    /// retires the entry and fans the answer out after evaluating.
+    coalesce: Option<(usize, u64)>,
     _permit: AdmissionPermit,
 }
+
+/// A submission answered by an identical in-flight leader instead of a job
+/// of its own. Holds its admission permit until the fan-out, so coalesced
+/// submissions still count against the caps they were admitted under.
+struct Follower<D: AggDomain> {
+    reply: Sender<Result<ServeOutput<D::E>, ServeError>>,
+    /// When this follower was admitted — its fanned-out answer reports its
+    /// own submission-to-completion latency, not the leader's.
+    submitted: Instant,
+    _permit: AdmissionPermit,
+}
+
+/// In-flight leaders by `(query, epoch-at-submission)`, each with the
+/// followers awaiting its answer.
+type Inflight<D> = Mutex<HashMap<(usize, u64), Vec<Follower<D>>>>;
 
 enum Msg<D: AggDomain> {
     Epoch(Arc<Snapshot<D>>),
@@ -341,6 +375,10 @@ pub struct FaqServer<D: AggDomain> {
     published_epoch: AtomicU64,
     latest: Mutex<Arc<Snapshot<D>>>,
     stats: Arc<Counters>,
+    /// Weak handles to every published snapshot, for the live-epoch gauge;
+    /// pruned opportunistically on publish and on [`FaqServer::stats`].
+    epochs: Mutex<Vec<Weak<Snapshot<D>>>>,
+    inflight: Arc<Inflight<D>>,
     writer: Mutex<WriterState<D>>,
 }
 
@@ -362,6 +400,7 @@ where
         catalog: Vec<Factor<D::E>>,
     ) -> FaqServer<D> {
         let stats = Arc::new(Counters::default());
+        let inflight: Arc<Inflight<D>> = Arc::new(Mutex::new(HashMap::new()));
         let (feedback_tx, feedback_rx) = channel::<Feedback<D::E>>();
         let mut worker_txs = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
@@ -373,10 +412,11 @@ where
             let _ = tx.send(Msg::Epoch(Arc::clone(&first)));
             let fb = feedback_tx.clone();
             let st = Arc::clone(&stats);
+            let infl = Arc::clone(&inflight);
             let share = config.share_results;
             let handle = std::thread::Builder::new()
                 .name(format!("faq-serve-{i}"))
-                .spawn(move || worker_loop::<D>(rx, fb, st, share))
+                .spawn(move || worker_loop::<D>(rx, fb, st, infl, share))
                 .expect("spawning a serving worker thread failed");
             worker_txs.push(tx);
             handles.push(handle);
@@ -393,6 +433,8 @@ where
             published_epoch: AtomicU64::new(0),
             latest: Mutex::new(Arc::clone(&first)),
             stats,
+            epochs: Mutex::new(vec![Arc::downgrade(&first)]),
+            inflight,
             writer: Mutex::new(WriterState {
                 epoch: 0,
                 domain,
@@ -424,14 +466,30 @@ where
         Arc::clone(&self.latest.lock().expect("serving snapshot lock poisoned"))
     }
 
-    /// Runtime counters (monotonic since construction).
+    /// Runtime counters (monotonic since construction) and memory gauges
+    /// (instantaneous).
     pub fn stats(&self) -> ServeStats {
+        let live_epochs = {
+            let mut epochs = self.epochs.lock().expect("serving epoch registry poisoned");
+            epochs.retain(|w| w.strong_count() > 0);
+            epochs.len()
+        };
+        let cache_entries =
+            self.latest.lock().expect("serving snapshot lock poisoned").results.len();
+        let resident_bytes = {
+            let w = self.writer.lock().expect("serving writer lock poisoned");
+            w.catalog.iter().map(|f| f.resident_bytes()).sum()
+        };
         ServeStats {
             submitted: self.stats.submitted.load(Ordering::SeqCst),
             completed: self.stats.completed.load(Ordering::SeqCst),
             rejected: self.stats.rejected.load(Ordering::SeqCst),
             cache_hits: self.stats.cache_hits.load(Ordering::SeqCst),
             evaluated: self.stats.evaluated.load(Ordering::SeqCst),
+            coalesced: self.stats.coalesced.load(Ordering::SeqCst),
+            live_epochs,
+            resident_bytes,
+            cache_entries,
         }
     }
 
@@ -573,6 +631,11 @@ where
             HashMap::new()
         };
         let snap = Arc::new(Snapshot { epoch: w.epoch, queries: w.published.clone(), results });
+        {
+            let mut epochs = self.epochs.lock().expect("serving epoch registry poisoned");
+            epochs.retain(|w| w.strong_count() > 0);
+            epochs.push(Arc::downgrade(&snap));
+        }
         for tx in &self.worker_txs {
             let _ = tx.send(Msg::Epoch(Arc::clone(&snap)));
         }
@@ -624,16 +687,44 @@ where
             counters: vec![Arc::clone(&self.global_in_flight), Arc::clone(&tenant.in_flight)],
         };
         let (reply_tx, reply_rx) = channel();
+        // Identical `Shared` submissions racing at the same epoch coalesce:
+        // the first becomes the group's leader, the rest enqueue as followers
+        // and are fanned the leader's single answer. `Bypass` submissions
+        // asked for an evaluation of their own and never coalesce.
+        let coalesce = (cache == CacheMode::Shared)
+            .then(|| (query.0, self.published_epoch.load(Ordering::SeqCst)));
+        if let Some(key) = coalesce {
+            let mut infl = self.inflight.lock().expect("serving in-flight table poisoned");
+            if let Some(followers) = infl.get_mut(&key) {
+                followers.push(Follower {
+                    reply: reply_tx,
+                    submitted: Instant::now(),
+                    _permit: permit,
+                });
+                self.stats.coalesced.fetch_add(1, Ordering::SeqCst);
+                return Ok(Ticket { rx: reply_rx });
+            }
+            infl.insert(key, Vec::new());
+        }
         let job = Job {
             query,
             budget: budget.cloned().unwrap_or_else(|| self.config.default_budget.clone()),
             cache,
             submitted: Instant::now(),
             reply: reply_tx,
+            coalesce,
             _permit: permit,
         };
         let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.worker_txs.len();
-        self.worker_txs[i].send(Msg::Job(job)).map_err(|_| ServeError::ShuttingDown)?;
+        if let Err(e) = self.worker_txs[i].send(Msg::Job(job)) {
+            // Retire the leader entry so later submissions don't enqueue
+            // behind a job that will never be answered.
+            if let Some(key) = coalesce {
+                self.inflight.lock().expect("serving in-flight table poisoned").remove(&key);
+            }
+            drop(e);
+            return Err(ServeError::ShuttingDown);
+        }
         Ok(Ticket { rx: reply_rx })
     }
 }
@@ -662,6 +753,7 @@ fn worker_loop<D>(
     rx: Receiver<Msg<D>>,
     feedback: Sender<Feedback<D::E>>,
     stats: Arc<Counters>,
+    inflight: Arc<Inflight<D>>,
     share: bool,
 ) where
     D: AggDomain + Clone + Sync,
@@ -676,10 +768,28 @@ fn worker_loop<D>(
             Msg::Job(job) => {
                 let reply = answer(&job, current.as_deref(), &mut memo, &feedback, &stats, share);
                 stats.completed.fetch_add(1, Ordering::SeqCst);
+                // Retire the coalescing group *before* replying: once the
+                // leader's answer is observable, an identical new submission
+                // must start a fresh group, not attach to a finished one.
+                let Job { reply: tx, coalesce, _permit: permit, .. } = job;
+                let followers = coalesce
+                    .and_then(|key| {
+                        inflight.lock().expect("serving in-flight table poisoned").remove(&key)
+                    })
+                    .unwrap_or_default();
                 // Release the admission slots before replying, so a caller
                 // returning from `Ticket::wait` observes its permits freed.
-                let Job { reply: tx, _permit: permit, .. } = job;
                 drop(permit);
+                for f in followers {
+                    let Follower { reply: ftx, submitted, _permit: fpermit } = f;
+                    drop(fpermit);
+                    stats.completed.fetch_add(1, Ordering::SeqCst);
+                    let mut fanned = reply.clone();
+                    if let Ok(out) = &mut fanned {
+                        out.latency = submitted.elapsed();
+                    }
+                    let _ = ftx.send(fanned);
+                }
                 let _ = tx.send(reply);
             }
         }
@@ -813,6 +923,107 @@ mod tests {
         assert_eq!(st.completed, 3);
         assert_eq!(st.cache_hits, 1);
         assert_eq!(st.evaluated, 2);
+    }
+
+    /// `CountDomain` with an artificially slow product, so a leader
+    /// evaluation reliably outlasts the followers' submission race.
+    #[derive(Clone)]
+    struct SlowDomain;
+
+    impl AggDomain for SlowDomain {
+        type E = u64;
+        fn zero(&self) -> u64 {
+            0
+        }
+        fn one(&self) -> u64 {
+            1
+        }
+        fn mul(&self, a: &u64, b: &u64) -> u64 {
+            std::thread::sleep(Duration::from_micros(300));
+            a * b
+        }
+        fn add(&self, _op: AggId, a: &u64, b: &u64) -> u64 {
+            a + b
+        }
+        fn num_ops(&self) -> usize {
+            1
+        }
+        fn op_desc(&self, _op: AggId) -> faq_semiring::AggDesc {
+            faq_semiring::AggDesc { name: "sum" }
+        }
+    }
+
+    /// Three complete binary relations over `0..d` — every triple is a
+    /// triangle, so evaluation performs Θ(d³) products.
+    fn complete_edges(d: u32) -> Vec<Factor<u64>> {
+        (0..3)
+            .map(|e| {
+                let (a, b) = [(0, 1), (1, 2), (0, 2)][e];
+                let rows = (0..d).flat_map(|x| (0..d).map(move |y| (vec![x, y], 1u64))).collect();
+                Factor::new(vec![v(a), v(b)], rows).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_submissions_coalesce_to_one_evaluation() {
+        let s = FaqServer::with_config(
+            ServeConfig::default().workers(2),
+            SlowDomain,
+            Domains::uniform(3, 6),
+            complete_edges(6),
+        );
+        let q = s.register(triangle_spec()).unwrap();
+        let t = s.tenant("t", 16);
+        // The first submission leads; the evaluation sleeps in every `⊗`, so
+        // the three racing duplicates attach as followers long before it
+        // finishes.
+        let tickets: Vec<_> = (0..4).map(|_| s.submit(&t, q).unwrap()).collect();
+        let outs: Vec<_> = tickets.into_iter().map(|tk| tk.wait().unwrap()).collect();
+        assert_eq!(*outs[0].factor.get(&[]).unwrap(), 216, "6³ triangles");
+        for o in &outs {
+            assert_eq!(o.factor, outs[0].factor);
+            assert_eq!(o.epoch, outs[0].epoch);
+        }
+        let st = s.stats();
+        assert_eq!(st.submitted, 4);
+        assert_eq!(st.completed, 4);
+        assert_eq!(st.evaluated, 1, "one evaluation fanned out to the whole group");
+        assert_eq!(st.coalesced, 3);
+        assert_eq!(st.cache_hits, 0);
+        assert_eq!(t.in_flight(), 0, "follower permits released at fan-out");
+        // A later identical submission starts a fresh group — the finished
+        // leader's entry was retired, so it does not coalesce.
+        let again = s.submit(&t, q).unwrap().wait().unwrap();
+        assert_eq!(again.factor, outs[0].factor);
+        assert_eq!(s.stats().coalesced, 3);
+    }
+
+    #[test]
+    fn stats_expose_memory_gauges() {
+        let s = server(1, 40);
+        let q = s.register(triangle_spec()).unwrap();
+        let st = s.stats();
+        assert!(st.resident_bytes > 0, "catalog factors are resident");
+        assert!(st.live_epochs >= 1, "the published snapshot is alive");
+        assert_eq!(st.cache_entries, 0);
+        let t = s.tenant("t", 4);
+        s.submit(&t, q).unwrap().wait().unwrap();
+        // A delta publish refreshes the affected result and seeds the new
+        // epoch's shared cache.
+        let delta = DeltaFactor::inserts(vec![v(0), v(1)], vec![(vec![0, 1], 1u64)]).unwrap();
+        s.publish_delta(0, &delta).unwrap();
+        assert!(s.stats().cache_entries >= 1, "delta publish seeds the shared cache");
+        // Holding an old snapshot keeps its epoch in the live gauge even
+        // after further publishes.
+        let held = s.snapshot();
+        s.publish_delta(
+            0,
+            &DeltaFactor::inserts(vec![v(0), v(1)], vec![(vec![2, 3], 1u64)]).unwrap(),
+        )
+        .unwrap();
+        assert!(s.stats().live_epochs >= 2, "held snapshot + latest are both live");
+        drop(held);
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //! `#[global_allocator]` and assert deltas of [`allocation_count`] around the
 //! code under test.
 //!
+//! Beyond event counts, the allocator tracks **live bytes** and their
+//! high-water mark: [`current_bytes`], [`peak_bytes`], and
+//! [`reset_peak_bytes`] let out-of-core tests assert that evaluating a
+//! spilled factor keeps peak resident heap under a configured cap.
+//!
 //! This crate is the one place in the workspace allowed to use `unsafe`
 //! (implementing [`GlobalAlloc`] requires it); it must stay a dev-dependency
 //! of test targets only.
@@ -16,30 +21,56 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static CURRENT_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 
-/// The system allocator plus a global counter of allocation events
+fn track_alloc(bytes: usize) {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    let now = CURRENT_BYTES.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+    PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
+}
+
+fn track_dealloc(bytes: usize) {
+    CURRENT_BYTES.fetch_sub(bytes as u64, Ordering::Relaxed);
+}
+
+/// The system allocator plus global gauges: a counter of allocation events
 /// (`alloc`, `alloc_zeroed`, and growth via `realloc` — frees are not
-/// counted). Install with `#[global_allocator]` in a test binary.
+/// counted) and a live-byte gauge with a high-water mark. Install with
+/// `#[global_allocator]` in a test binary.
 pub struct CountingAllocator;
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            track_alloc(layout.size());
+        }
+        ptr
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        track_dealloc(layout.size());
         System.dealloc(ptr, layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            track_alloc(layout.size());
+        }
+        ptr
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            track_dealloc(layout.size());
+            let now = CURRENT_BYTES.fetch_add(new_size as u64, Ordering::Relaxed) + new_size as u64;
+            PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
+        }
+        new_ptr
     }
 }
 
@@ -47,4 +78,21 @@ unsafe impl GlobalAlloc for CountingAllocator {
 /// after the code under test; the difference is its allocation count.
 pub fn allocation_count() -> u64 {
     ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// Live heap bytes right now (allocated minus freed).
+pub fn current_bytes() -> u64 {
+    CURRENT_BYTES.load(Ordering::SeqCst)
+}
+
+/// High-water mark of [`current_bytes`] since process start (or the last
+/// [`reset_peak_bytes`]).
+pub fn peak_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::SeqCst)
+}
+
+/// Restart the peak gauge from the current live-byte level, so a test can
+/// measure the high-water mark of just the code under test.
+pub fn reset_peak_bytes() {
+    PEAK_BYTES.store(CURRENT_BYTES.load(Ordering::SeqCst), Ordering::SeqCst);
 }

@@ -10,7 +10,7 @@
 //! rollback regression (failed updates leave cached intermediates intact).
 
 use faq::core::{FaqError, FaqQuery, Planner, PreparedQuery, VarAgg};
-use faq::factor::{DeltaFactor, DeltaOp, Domains, Factor};
+use faq::factor::{DeltaFactor, DeltaOp, Domains, Factor, SpillConfig};
 use faq::hypergraph::Var;
 use faq::semiring::{AggDomain, AggId, BoolDomain, CountDomain, MaxPlus, SingleSemiringDomain};
 use proptest::prelude::*;
@@ -422,4 +422,51 @@ fn failed_update_factor_names_slot_and_keeps_delta_cache() {
     let d3 =
         DeltaFactor::new(vec![Var(0), Var(1)], vec![(vec![3, 3], DeltaOp::Merge(5u64))]).unwrap();
     assert_delta_matches(&mut prepared, &mut oracle, 0, &d3);
+}
+
+/// Deltas against a *spilled* base splice only the touched chunks: the merge
+/// faults in exactly the chunk the delta lands in (cold chunks are shared by
+/// metadata), the spliced result stays spilled and bit-identical to merging
+/// on an in-memory copy, and the incremental engine path over the spilled
+/// slot matches a scratch recompute under every planner.
+#[test]
+fn spilled_base_delta_splices_only_touched_chunks() {
+    let q = counting_triangle();
+    let config = SpillConfig {
+        chunk_rows: 3,
+        level_chunk_entries: 3,
+        window_chunks: 2,
+        ..SpillConfig::default()
+    };
+    let spilled = q.factors[0].to_spilled(config);
+    let chunks = spilled.spill_stats().unwrap().chunks;
+    assert!(chunks >= 3, "base must span several chunks, got {chunks}");
+
+    // Every delta key has a = 0, so only the first chunk is touched: the
+    // base's a = 0 rows all sort before chunk 1's first row.
+    let entries: Vec<(Vec<u32>, DeltaOp<u64>)> = vec![
+        (vec![0, 0], DeltaOp::Merge(7)),
+        (vec![0, 1], DeltaOp::Put(9)),
+        (vec![0, 3], DeltaOp::Delete),
+    ];
+    let delta = DeltaFactor::new(vec![Var(0), Var(1)], entries.clone()).unwrap();
+    let before = spilled.spill_stats().unwrap().reads;
+    let (merged, changed) = delta.apply_to(&spilled, |a, b| a + b, |&x| x == 0);
+    let faulted = spilled.spill_stats().unwrap().reads - before;
+    assert!(merged.is_spilled(), "splicing a spilled base stays spilled");
+    assert_eq!(faulted, 1, "only the touched chunk may fault in");
+    let (mem_merged, mem_changed) = delta.apply_to(&q.factors[0], |a, b| a + b, |&x| x == 0);
+    assert_eq!(changed, mem_changed, "changed first-column ranges");
+    assert_eq!(merged, mem_merged, "spliced listing diverged from the heap merge");
+
+    // End-to-end: the prepared-query delta path over the spilled slot.
+    let q_spilled = FaqQuery::new(
+        CountDomain,
+        Domains::uniform(3, DOM),
+        q.free.clone(),
+        q.bound.clone(),
+        vec![spilled, q.factors[1].clone(), q.factors[2].clone()],
+    )
+    .unwrap();
+    check_delta_family(&q_spilled, 0, entries);
 }

@@ -7,10 +7,16 @@
 //!    direct pushes and for the chunked `append` path the parallel engine's
 //!    k-way merge uses;
 //!
+//! 3. file-chunked (spilled) listings are accessor-level drop-ins for the
+//!    in-memory backing — equality, column/value reads across chunk
+//!    boundaries, column maxima, point lookups, projections — at chunk
+//!    sizes 1, C−1, C, C+1, with the spill directory removed when the last
+//!    handle drops;
+//!
 //! each across the counting (`u64`), max-tropical (`f64`), and boolean
 //! carriers.
 
-use faq::factor::{Factor, FactorBuilder};
+use faq::factor::{Factor, FactorBuilder, SpillConfig};
 use faq::hypergraph::Var;
 use faq::semiring::SemiringElem;
 use proptest::prelude::*;
@@ -158,4 +164,134 @@ fn builder_rejects_unsorted_rows_in_debug() {
     let mut b = FactorBuilder::<u64>::new(schema3()).unwrap();
     b.push(&[1, 0, 0], 1);
     b.push(&[0, 0, 0], 1);
+}
+
+/// Spill one factor at several chunk geometries and check every
+/// backing-agnostic accessor against the in-memory original: equality,
+/// column/value reads (ascending then descending, so the 2-chunk LRU
+/// window must evict and re-fault), column maxima, point lookups, and the
+/// indicator-projection family — including reordering (non-prefix) keeps,
+/// which group through a sorted map on a spilled listing.
+fn check_spilled_accessors<E>(mem: &Factor<E>, one: E)
+where
+    E: SemiringElem + faq::factor::FixedBytes + PartialEq,
+{
+    // Chunk geometries around the natural boundary C = 4: a single row per
+    // chunk, C − 1, C, and C + 1, so rows straddle chunk boundaries in
+    // every alignment the reader can see.
+    for chunk_rows in [1usize, 3, 4, 5] {
+        let config = SpillConfig {
+            chunk_rows,
+            level_chunk_entries: chunk_rows,
+            window_chunks: 2,
+            ..SpillConfig::default()
+        };
+        let spilled = mem.to_spilled(config);
+        assert!(spilled.is_spilled());
+        assert_eq!(&spilled, mem, "chunk_rows {chunk_rows}");
+        assert_eq!(spilled.len(), mem.len());
+        let stats = spilled.spill_stats().expect("spilled listing has stats");
+        assert_eq!(stats.chunks, mem.len().div_ceil(chunk_rows));
+        for d in 0..mem.arity() {
+            assert_eq!(spilled.max_in_column(d), mem.max_in_column(d), "col {d} max");
+        }
+        for i in (0..mem.len()).chain((0..mem.len()).rev()) {
+            for d in 0..mem.arity() {
+                assert_eq!(spilled.col(i, d), mem.col(i, d), "row {i} col {d}");
+            }
+            assert!(spilled.value_at(i).as_ref() == mem.value(i), "value {i}");
+        }
+        // Point lookups pin chunks on demand through the spilled trie.
+        let mut probe = vec![0u32; mem.arity()];
+        for i in 0..mem.len() {
+            for (d, slot) in probe.iter_mut().enumerate() {
+                *slot = mem.col(i, d);
+            }
+            assert!(spilled.get_cloned(&probe).as_ref() == Some(mem.value(i)));
+        }
+        assert!(spilled.get_cloned(&vec![DOM; mem.arity()]).is_none());
+        // Prefix and reordering projections agree with the heap path.
+        for keep in [vec![Var(0)], vec![Var(0), Var(1)], vec![Var(1), Var(2)], vec![Var(2)]] {
+            assert_eq!(
+                spilled.indicator_projection(&keep, one.clone()),
+                mem.indicator_projection(&keep, one.clone()),
+                "indicator keep {keep:?} chunk_rows {chunk_rows}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// File-chunked accessors ≡ the in-memory listing, counting carrier.
+    #[test]
+    fn counting_spilled_accessors_agree(
+        cells in proptest::collection::vec(0u32..3, (DOM * DOM * DOM) as usize),
+    ) {
+        let rows: Vec<(Vec<u32>, u64)> =
+            rows_of(&cells).into_iter().map(|(t, x)| (t, x as u64)).collect();
+        if !rows.is_empty() {
+            let mem = Factor::new(schema3(), rows).unwrap();
+            check_spilled_accessors(&mem, 1u64);
+        }
+    }
+
+    /// File-chunked accessors ≡ the in-memory listing, max-tropical carrier
+    /// (`f64` — the fixed-width codec round-trips through `to_bits`).
+    #[test]
+    fn max_tropical_spilled_accessors_agree(
+        cells in proptest::collection::vec(0u32..4, (DOM * DOM * DOM) as usize),
+    ) {
+        let rows: Vec<(Vec<u32>, f64)> =
+            rows_of(&cells).into_iter().map(|(t, x)| (t, x as f64 * 0.25)).collect();
+        if !rows.is_empty() {
+            let mem = Factor::new(schema3(), rows).unwrap();
+            check_spilled_accessors(&mem, 0.0f64);
+        }
+    }
+
+    /// File-chunked accessors ≡ the in-memory listing, boolean carrier.
+    #[test]
+    fn boolean_spilled_accessors_agree(
+        cells in proptest::collection::vec(0u32..2, (DOM * DOM * DOM) as usize),
+    ) {
+        let rows: Vec<(Vec<u32>, bool)> =
+            rows_of(&cells).into_iter().map(|(t, _)| (t, true)).collect();
+        if !rows.is_empty() {
+            let mem = Factor::new(schema3(), rows).unwrap();
+            check_spilled_accessors(&mem, true);
+        }
+    }
+}
+
+/// Spill chunks live in a per-listing directory that is removed when the
+/// last handle (factor clones included) drops — no on-disk residue.
+#[test]
+fn spill_directory_removed_when_last_handle_drops() {
+    let base = std::env::temp_dir().join(format!("faq-flat-factor-cleanup-{}", std::process::id()));
+    std::fs::create_dir_all(&base).unwrap();
+    let count = |dir: &std::path::Path| std::fs::read_dir(dir).unwrap().count();
+    assert_eq!(count(&base), 0, "fresh base directory must be empty");
+
+    let rows: Vec<(Vec<u32>, u64)> =
+        (0..64u32).map(|i| (vec![i / 16, (i / 4) % 4, i % 4], u64::from(i) + 1)).collect();
+    let mem = Factor::new(schema3(), rows).unwrap();
+    let spilled = mem.to_spilled(SpillConfig {
+        dir: Some(base.clone()),
+        chunk_rows: 7,
+        level_chunk_entries: 7,
+        window_chunks: 2,
+    });
+    assert_eq!(count(&base), 1, "spilling creates exactly one directory");
+
+    // A clone shares the directory; dropping the original must not delete it.
+    let clone = spilled.clone();
+    drop(spilled);
+    assert_eq!(count(&base), 1, "directory outlives the original while a clone reads");
+    assert_eq!(clone.col(63, 2), 3);
+
+    drop(clone);
+    assert_eq!(count(&base), 0, "last drop removes the spill directory");
+    std::fs::remove_dir(&base).unwrap();
 }

@@ -16,10 +16,15 @@
 //!    [`faq::factor::VecStorage`] matches the `partition_point` oracle on
 //!    adversarial windows (empty, singleton, all-equal, head-sample boundary
 //!    sizes 63/64/65) for every hint, and hint-carrying cursor seek sequences
-//!    match the stateless listing oracle probe for probe.
+//!    match the stateless listing oracle probe for probe;
+//! 5. **Spilled storage** — file-chunked ([`faq::factor::SpillConfig`])
+//!    inputs produce bit-identical join outputs to the same factors on the
+//!    heap across semirings and thread counts, for chunk sizes 1 / C−1 / C /
+//!    C+1 (rows straddling every boundary alignment), at identical 1-thread
+//!    seek counts.
 
-use faq::core::{insideout_par, ExecPolicy, FaqQuery, JoinRep, VarAgg};
-use faq::factor::{Domains, Factor, LevelStorage, TrieCursor, VecStorage};
+use faq::core::{insideout_par, insideout_par_with_order, ExecPolicy, FaqQuery, JoinRep, VarAgg};
+use faq::factor::{Domains, Factor, LevelStorage, SpillConfig, TrieCursor, VecStorage};
 use faq::hypergraph::Var;
 use faq::semiring::{AggDomain, BoolDomain, CountDomain, MaxPlus, SingleSemiringDomain};
 use proptest::prelude::*;
@@ -408,4 +413,133 @@ fn large_query_listing_equals_trie_under_chunking() {
     )
     .unwrap();
     assert_rep_equivalent(&q);
+}
+
+/// A spill geometry with `chunk_rows` rows per chunk and a deliberately tiny
+/// pinned window, so even these small factors page chunks in and out.
+fn tiny_spill(chunk_rows: usize) -> SpillConfig {
+    SpillConfig {
+        chunk_rows,
+        level_chunk_entries: chunk_rows,
+        window_chunks: 2,
+        ..Default::default()
+    }
+}
+
+/// Evaluate `q` along the fixed ordering `(0, 1, 2)` — every triangle factor
+/// schema is a subsequence of it, so spilled inputs join without realignment
+/// — and assert the output is bit-identical to `reference` for thread counts
+/// {1, 2, 4}. Returns the 1-thread seek count.
+fn eval_triangle_order<D: AggDomain + Sync>(
+    q: &FaqQuery<D>,
+    reference: Option<&Factor<D::E>>,
+) -> (Factor<D::E>, u64) {
+    let mut one_thread = None;
+    for threads in THREADS {
+        let policy = ExecPolicy::sequential().threads(threads).min_chunk_rows(1);
+        let out = insideout_par_with_order(q, &[Var(0), Var(1), Var(2)], &policy).unwrap();
+        if let Some(r) = reference {
+            assert_eq!(&out.factor, r, "diverged at threads={threads}");
+        }
+        if threads == 1 {
+            one_thread = Some((out.factor, out.stats.total_seeks()));
+        }
+    }
+    one_thread.expect("THREADS contains 1")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// File-chunked inputs are a drop-in for the heap listing on the join
+    /// path: any subset of the triangle's factors may spill, under chunk
+    /// sizes 1, C−1, C, C+1 (C = 4, so 16-row factors straddle every
+    /// boundary alignment), and outputs stay bit-identical across thread
+    /// counts with 1-thread seek counts unchanged.
+    #[test]
+    fn spilled_counting_inputs_equal_mem_inputs(
+        s01 in proptest::collection::vec(0u32..3, (DOM * DOM) as usize),
+        s12 in proptest::collection::vec(0u32..3, (DOM * DOM) as usize),
+        s02 in proptest::collection::vec(0u32..3, (DOM * DOM) as usize),
+        chunk_pick in 0usize..4,
+        spill_mask in 1u32..8,
+        aggs in proptest::collection::vec(0usize..2, 3),
+        free in 0usize..3,
+    ) {
+        let chunk_rows = [1usize, 3, 4, 5][chunk_pick];
+        let mem = vec![
+            pairs_factor(0, 1, &s01, |i| s01[i] as u64),
+            pairs_factor(1, 2, &s12, |i| s12[i] as u64),
+            pairs_factor(0, 2, &s02, |i| s02[i] as u64),
+        ];
+        let spilled: Vec<Factor<u64>> = mem
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                if spill_mask & (1 << i) != 0 && !f.is_empty() {
+                    f.to_spilled(tiny_spill(chunk_rows))
+                } else {
+                    f.clone()
+                }
+            })
+            .collect();
+        let (free_vars, bound) = skeleton(free, &aggs, |a| match a {
+            0 => VarAgg::Semiring(CountDomain::SUM),
+            _ => VarAgg::Semiring(CountDomain::MAX),
+        });
+        let mk = |factors| {
+            FaqQuery::new(
+                CountDomain,
+                Domains::uniform(3, DOM),
+                free_vars.clone(),
+                bound.clone(),
+                factors,
+            )
+            .unwrap()
+        };
+        let (reference, mem_seeks) = eval_triangle_order(&mk(mem), None);
+        let (_, spill_seeks) = eval_triangle_order(&mk(spilled), Some(&reference));
+        // Seeks are counted in the join layer, above the storage backend, and
+        // the file-chunked `lub_from` answers exactly like `VecStorage` — so
+        // sequential seek counts must not move at all.
+        prop_assert_eq!(mem_seeks, spill_seeks);
+    }
+
+    /// Same drop-in claim on the max-tropical f64 carrier (bit-identity of
+    /// the float payloads through the encode/decode roundtrip, not
+    /// tolerance).
+    #[test]
+    fn spilled_tropical_inputs_equal_mem_inputs(
+        s01 in proptest::collection::vec(0u32..4, (DOM * DOM) as usize),
+        s12 in proptest::collection::vec(0u32..4, (DOM * DOM) as usize),
+        chunk_pick in 0usize..4,
+        free in 0usize..3,
+    ) {
+        let val = |s: &[u32]| {
+            let s = s.to_vec();
+            move |i: usize| s[i] as f64 * 0.25
+        };
+        let chunk_rows = [1usize, 3, 4, 5][chunk_pick];
+        let f01 = pairs_factor(0, 1, &s01, val(&s01));
+        let f12 = pairs_factor(1, 2, &s12, val(&s12));
+        let spill = |f: &Factor<f64>| {
+            if f.is_empty() { f.clone() } else { f.to_spilled(tiny_spill(chunk_rows)) }
+        };
+        let (f01s, f12s) = (spill(&f01), spill(&f12));
+        let (free_vars, bound) = skeleton(free, &[0, 0, 0], |_| {
+            VarAgg::Semiring(SingleSemiringDomain::<MaxPlus>::OP)
+        });
+        let mk = |factors| {
+            FaqQuery::new(
+                SingleSemiringDomain::new(MaxPlus),
+                Domains::uniform(3, DOM),
+                free_vars.clone(),
+                bound.clone(),
+                factors,
+            )
+            .unwrap()
+        };
+        let (reference, _) = eval_triangle_order(&mk(vec![f01, f12]), None);
+        eval_triangle_order(&mk(vec![f01s, f12s]), Some(&reference));
+    }
 }
