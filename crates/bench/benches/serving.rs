@@ -8,7 +8,12 @@
 //!
 //! The round's own qps/p50/p99 numbers are printed to stderr — criterion
 //! measures the wall time of the round, the `paper_tables` M1 table records
-//! the serving metrics themselves.
+//! the serving metrics themselves. Each round also prints the server's
+//! failure counters (rejected / deadline-exceeded / panicked / I/O retries
+//! / corrupt chunks); on a healthy in-memory run all of them are 0. The
+//! fault-injection counterpart of this workload is
+//! `tests/chaos_serving.rs`, parameterized by `FAQ_CHAOS_SEED`,
+//! `FAQ_CHAOS_WORKERS`, `FAQ_CHAOS_SUBMISSIONS`, and `FAQ_CHAOS_SUMMARY`.
 //!
 //! Run in `--test` mode (one unmeasured pass per benchmark) via
 //! `cargo bench -p faq_bench --bench serving -- --test` — CI does this on
@@ -32,6 +37,11 @@ fn bench_serving(c: &mut Criterion) {
                         "  {}: {} tenants {} workers → {:.1} qps, p50 {:.2} ms, p99 {:.2} ms",
                         r.name, r.tenants, r.workers, r.qps, r.p50_ms, r.p99_ms
                     );
+                    eprintln!(
+                        "  failures: {} rejected, {} deadline-exceeded, {} panicked, \
+                         {} I/O retries, {} corrupt chunks",
+                        r.rejected, r.deadline_exceeded, r.panicked, r.io_retries, r.corrupt_chunks
+                    );
                     r.requests
                 })
             },
@@ -50,6 +60,11 @@ fn bench_serving(c: &mut Criterion) {
                 r.resident_bytes / 1024,
                 r.cache_entries,
                 r.coalesced
+            );
+            eprintln!(
+                "  failures: {} rejected, {} deadline-exceeded, {} panicked, \
+                 {} I/O retries, {} corrupt chunks",
+                r.rejected, r.deadline_exceeded, r.panicked, r.io_retries, r.corrupt_chunks
             );
             r.requests
         })

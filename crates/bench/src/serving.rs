@@ -39,6 +39,17 @@ pub struct ServingReport {
     pub resident_bytes: usize,
     /// Shared results carried by the final snapshot's cache.
     pub cache_entries: usize,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Submissions answered with `ServeError::DeadlineExceeded`.
+    pub deadline_exceeded: u64,
+    /// Submissions answered with `ServeError::QueryPanicked`.
+    pub panicked: u64,
+    /// Chunk I/O retries absorbed by the storage layer (process-wide).
+    pub io_retries: u64,
+    /// Chunk reads failing checksum verification on every attempt
+    /// (process-wide).
+    pub corrupt_chunks: u64,
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -153,5 +164,10 @@ pub fn run_triangle_serving(
         live_epochs: stats.live_epochs,
         resident_bytes: stats.resident_bytes,
         cache_entries: stats.cache_entries,
+        rejected: stats.rejected,
+        deadline_exceeded: stats.deadline_exceeded,
+        panicked: stats.panicked,
+        io_retries: stats.io_retries,
+        corrupt_chunks: stats.corrupt_chunks,
     }
 }

@@ -39,11 +39,13 @@
 
 use crate::insideout::FaqOutput;
 use crate::query::{FaqError, FaqQuery};
+use faq_factor::fault::{self, AbortCtl, QueryAbort};
 use faq_factor::{Domains, Factor, FactorBuilder};
 use faq_hypergraph::Var;
 use faq_join::{multiway_join_range_rep, JoinInput, JoinStats};
 use faq_semiring::{AggDomain, SemiringElem};
 
+pub use faq_factor::{CancelToken, Deadline};
 pub use faq_join::JoinRep;
 
 /// Execution policy for the InsideOut engine.
@@ -73,6 +75,14 @@ pub struct ExecPolicy {
     /// Factor representation for the join kernels ([`JoinRep::Trie`] by
     /// default; [`JoinRep::Listing`] is the reference / comparison kernel).
     pub rep: JoinRep,
+    /// Abort the evaluation once this instant passes. Checked cooperatively
+    /// — every few thousand seeks in the join loop and at every chunk
+    /// fault-in — and surfaced as [`FaqError::DeadlineExceeded`]. `None`
+    /// (the default) runs to completion.
+    pub deadline: Option<Deadline>,
+    /// Abort the evaluation when this token is triggered (same checkpoints
+    /// as the deadline); surfaced as [`FaqError::Cancelled`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl ExecPolicy {
@@ -82,7 +92,13 @@ impl ExecPolicy {
 
     /// The sequential policy: one thread, chunking disabled.
     pub fn sequential() -> ExecPolicy {
-        ExecPolicy { threads: 1, min_chunk_rows: usize::MAX, rep: JoinRep::default() }
+        ExecPolicy {
+            threads: 1,
+            min_chunk_rows: usize::MAX,
+            rep: JoinRep::default(),
+            deadline: None,
+            cancel: None,
+        }
     }
 
     /// A parallel policy with `threads` workers and the default chunk floor.
@@ -91,6 +107,8 @@ impl ExecPolicy {
             threads: threads.max(1),
             min_chunk_rows: Self::DEFAULT_MIN_CHUNK_ROWS,
             rep: JoinRep::default(),
+            deadline: None,
+            cancel: None,
         }
     }
 
@@ -112,6 +130,20 @@ impl ExecPolicy {
         self
     }
 
+    /// This policy aborting (with [`FaqError::DeadlineExceeded`]) once
+    /// `deadline` passes.
+    pub fn deadline(mut self, deadline: Deadline) -> ExecPolicy {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// This policy aborting (with [`FaqError::Cancelled`]) when `token`
+    /// fires.
+    pub fn cancel_token(mut self, token: CancelToken) -> ExecPolicy {
+        self.cancel = Some(token);
+        self
+    }
+
     /// This policy with the join kernels walking `rep` (alias of
     /// [`ExecPolicy::with_rep`], matching the other builder setters).
     pub fn rep(mut self, rep: JoinRep) -> ExecPolicy {
@@ -128,6 +160,11 @@ impl ExecPolicy {
         let mut p = self.clone();
         p.threads = p.threads.min(cap.effective_threads()).max(1);
         p.min_chunk_rows = p.min_chunk_rows.max(cap.min_chunk_rows);
+        // The earlier deadline binds; the budget's cancel token (if any)
+        // supersedes the plan's — a submission's token must always be able
+        // to stop the evaluation it paid for.
+        p.deadline = Deadline::earliest(p.deadline, cap.deadline);
+        p.cancel = cap.cancel.clone().or(p.cancel);
         p
     }
 
@@ -165,6 +202,15 @@ pub trait PolicySource: Sync {
     fn policy_for(&self, var: Var) -> &ExecPolicy;
     /// Policy for the final OutsideIn join over the free variables.
     fn output_policy(&self) -> &ExecPolicy;
+    /// The abort controls (deadline / cancel token) of a whole evaluation
+    /// under this source, installed at the evaluation entry point. The
+    /// output policy carries them: [`ExecPolicy::capped`] merges a budget's
+    /// controls into every step *and* the output policy, so reading the
+    /// latter sees everything a submission imposed.
+    fn abort_ctl(&self) -> AbortCtl {
+        let p = self.output_policy();
+        AbortCtl { deadline: p.deadline, cancel: p.cancel.clone() }
+    }
 }
 
 impl PolicySource for ExecPolicy {
@@ -358,30 +404,39 @@ pub(crate) fn grouped_join<E: SemiringElem>(
     }
 
     // Scoped worker pool: one worker per chunk (ranges.len() ≤ threads), each
-    // stream-folding into its own flat builder.
-    let mut slots: Vec<Option<(FactorBuilder<E>, JoinStats)>> = Vec::new();
+    // stream-folding into its own flat builder. `std::thread::scope` would
+    // swallow a worker's raised QueryAbort into an opaque scope panic, so
+    // each worker installs the parent's abort controls, catches its own
+    // abort and parks it in its slot for the parent to re-raise.
+    let ctl = fault::current_ctl();
+    type WorkerSlot<E> = Option<Result<(FactorBuilder<E>, JoinStats), QueryAbort>>;
+    let mut slots: Vec<WorkerSlot<E>> = Vec::new();
     slots.resize_with(ranges.len(), || None);
     std::thread::scope(|s| {
         for (&range, slot) in ranges.iter().zip(slots.iter_mut()) {
             let chunk_inputs = &chunk_inputs;
             let schema = &schema;
+            let ctl = ctl.clone();
             s.spawn(move || {
-                let mut out =
-                    FactorBuilder::new(schema.clone()).expect("join-order variables are distinct");
-                let stats = grouped_join_range(
-                    rep,
-                    domains,
-                    order,
-                    chunk_inputs,
-                    range,
-                    one,
-                    group_arity,
-                    mul,
-                    fold,
-                    is_zero,
-                    &mut out,
-                );
-                *slot = Some((out, stats));
+                let _g = fault::install_ctl(ctl);
+                *slot = Some(fault::catch_abort(|| {
+                    let mut out = FactorBuilder::new(schema.clone())
+                        .expect("join-order variables are distinct");
+                    let stats = grouped_join_range(
+                        rep,
+                        domains,
+                        order,
+                        chunk_inputs,
+                        range,
+                        one,
+                        group_arity,
+                        mul,
+                        fold,
+                        is_zero,
+                        &mut out,
+                    );
+                    (out, stats)
+                }));
             });
         }
     });
@@ -392,7 +447,12 @@ pub(crate) fn grouped_join<E: SemiringElem>(
     let mut stats = JoinStats::default();
     let mut out = out_builder();
     for slot in slots {
-        let (chunk, chunk_stats) = slot.expect("worker completed");
+        let (chunk, chunk_stats) = match slot.expect("worker completed") {
+            Ok(r) => r,
+            // Deterministic choice: the first (lowest-range) worker's abort
+            // wins, whatever order the workers actually failed in.
+            Err(abort) => fault::raise(abort),
+        };
         stats.matches += chunk_stats.matches;
         stats.seeks += chunk_stats.seeks;
         stats.nodes += chunk_stats.nodes;
@@ -512,8 +572,13 @@ mod tests {
             let seq = insideout(&q).unwrap();
             for threads in [1usize, 2, 4] {
                 for min_chunk in [0usize, 1, 7, usize::MAX] {
-                    let policy =
-                        ExecPolicy { threads, min_chunk_rows: min_chunk, rep: JoinRep::default() };
+                    let policy = ExecPolicy {
+                        threads,
+                        min_chunk_rows: min_chunk,
+                        rep: JoinRep::default(),
+                        deadline: None,
+                        cancel: None,
+                    };
                     let par = insideout_par(&q, &policy).unwrap();
                     assert_eq!(
                         par.factor, seq.factor,
@@ -554,7 +619,13 @@ mod tests {
         for threads in [2usize, 3, 4] {
             let par = insideout_par(
                 &q,
-                &ExecPolicy { threads, min_chunk_rows: 1, rep: JoinRep::default() },
+                &ExecPolicy {
+                    threads,
+                    min_chunk_rows: 1,
+                    rep: JoinRep::default(),
+                    deadline: None,
+                    cancel: None,
+                },
             )
             .unwrap();
             assert_eq!(par.factor, seq.factor, "threads {threads}");
@@ -585,7 +656,13 @@ mod tests {
         let seq = insideout(&q).unwrap();
         let par = insideout_par(
             &q,
-            &ExecPolicy { threads: 4, min_chunk_rows: 1, rep: JoinRep::default() },
+            &ExecPolicy {
+                threads: 4,
+                min_chunk_rows: 1,
+                rep: JoinRep::default(),
+                deadline: None,
+                cancel: None,
+            },
         )
         .unwrap();
         assert_eq!(par.factor, seq.factor);

@@ -27,6 +27,7 @@
 
 use crate::exec::{grouped_join, ExecPolicy, PolicySource};
 use crate::query::{FaqError, FaqQuery, VarAgg};
+use faq_factor::fault;
 use faq_factor::Factor;
 use faq_hypergraph::{Var, VarSet};
 use faq_join::{JoinInput, JoinStats};
@@ -161,9 +162,34 @@ pub(crate) fn insideout_with_policy<D: AggDomain + Sync>(
     insideout_with_source(q, sigma, policy)
 }
 
+/// Run `f` with the policy source's abort controls (deadline / cancel token)
+/// installed on this thread, converting a raised [`fault::QueryAbort`] —
+/// storage failure, deadline, cancellation — into the matching typed
+/// [`FaqError`]. Every evaluation entry point funnels through this guard, so
+/// no abort unwinds past the engine boundary. Nested installs are fine: the
+/// inner guard restores the outer controls on drop.
+pub(crate) fn with_abort_guard<P: PolicySource, R>(
+    policies: &P,
+    f: impl FnOnce() -> Result<R, FaqError>,
+) -> Result<R, FaqError> {
+    let _g = fault::install_ctl(policies.abort_ctl());
+    match fault::catch_abort(f) {
+        Ok(r) => r,
+        Err(abort) => Err(abort.into()),
+    }
+}
+
 /// [`insideout_with_policy`] over an arbitrary per-step [`PolicySource`] —
 /// the entry point of plan-driven execution ([`crate::plan::QueryPlan`]).
 pub(crate) fn insideout_with_source<D: AggDomain + Sync, P: PolicySource>(
+    q: &FaqQuery<D>,
+    sigma: &[Var],
+    policies: &P,
+) -> Result<FaqOutput<D::E>, FaqError> {
+    with_abort_guard(policies, || insideout_with_source_inner(q, sigma, policies))
+}
+
+fn insideout_with_source_inner<D: AggDomain + Sync, P: PolicySource>(
     q: &FaqQuery<D>,
     sigma: &[Var],
     policies: &P,
@@ -224,6 +250,14 @@ pub fn run_elimination_with_policy<D: AggDomain + Sync>(
 /// [`PolicySource`], so a [`crate::plan::QueryPlan`] can fix every step's
 /// policy individually.
 pub(crate) fn run_elimination_with_source<D: AggDomain + Sync, P: PolicySource>(
+    q: &FaqQuery<D>,
+    sigma: &[Var],
+    policies: &P,
+) -> Result<EliminationArtifacts<D::E>, FaqError> {
+    with_abort_guard(policies, || run_elimination_with_source_inner(q, sigma, policies))
+}
+
+fn run_elimination_with_source_inner<D: AggDomain + Sync, P: PolicySource>(
     q: &FaqQuery<D>,
     sigma: &[Var],
     policies: &P,

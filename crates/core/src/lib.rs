@@ -49,7 +49,10 @@ pub mod width;
 
 pub use delta::{DeltaFactor, DeltaOp};
 pub use engine::Engine;
-pub use exec::{insideout_par, insideout_par_with_order, ExecPolicy, JoinRep, PolicySource};
+pub use exec::{
+    insideout_par, insideout_par_with_order, CancelToken, Deadline, ExecPolicy, JoinRep,
+    PolicySource,
+};
 pub use exprtree::{ExprTree, QueryShape, Tag};
 pub use insideout::{
     insideout, insideout_with_order, run_elimination, run_elimination_with_policy, ElimStats,

@@ -39,6 +39,7 @@ use crate::delta::DeltaCache;
 use crate::exec::{ExecPolicy, PolicySource};
 use crate::insideout::{insideout_with_source, ElimStats, FaqOutput};
 use crate::query::{FaqError, FaqQuery, VarAgg};
+use faq_factor::fault;
 use faq_factor::{DeltaFactor, Factor, FactorStats};
 use faq_hypergraph::ordering::best_ordering;
 use faq_hypergraph::widths::agm_bound;
@@ -292,6 +293,8 @@ impl Planner {
             threads: if parallel { self.threads } else { 1 },
             min_chunk_rows: if parallel { self.min_chunk_rows } else { usize::MAX },
             rep,
+            deadline: None,
+            cancel: None,
         }
     }
 }
@@ -640,16 +643,26 @@ impl<D: AggDomain + Clone + Sync> PreparedQuery<D> {
         }
 
         if self.cache.is_none() {
-            self.cache =
-                Some(crate::delta::traced_eval(&self.query, &self.plan.order, &*self.plan)?);
+            let traced = fault::catch_abort(|| {
+                crate::delta::traced_eval(&self.query, &self.plan.order, &*self.plan)
+            })
+            .unwrap_or_else(|abort| Err(abort.into()))?;
+            self.cache = Some(traced);
         }
 
+        // The merge (including the spilled splice path, which does chunk I/O
+        // on this thread) and the trie rebuild run BEFORE anything is
+        // installed: a storage abort here surfaces as a typed error with the
+        // handle — factor and cached trace — completely untouched.
         let dom = &self.query.domain;
-        let (merged, ranges) = aligned.apply_to(
-            &self.query.factors[slot],
-            |a, b| dom.add(op, a, b),
-            |x| dom.is_zero(x),
-        );
+        let (merged, ranges) = fault::catch_abort(|| {
+            aligned.apply_to(
+                &self.query.factors[slot],
+                |a, b| dom.add(op, a, b),
+                |x| dom.is_zero(x),
+            )
+        })
+        .map_err(FaqError::from)?;
         if ranges.is_empty() {
             // The batch was a no-op (e.g. deletes of absent keys): serve the
             // cached output, no replay.
@@ -659,10 +672,36 @@ impl<D: AggDomain + Clone + Sync> PreparedQuery<D> {
                 stats: ElimStats::default(),
             });
         }
-        merged.trie(); // keep the handle serving-ready, like update_factor
-        self.query.factors[slot] = merged;
-        let cache = self.cache.as_mut().expect("cache primed above");
-        crate::delta::replay(cache, &self.query, &*self.plan, slot, ranges)
+        // keep the handle serving-ready, like update_factor
+        fault::catch_abort(|| {
+            merged.trie();
+        })
+        .map_err(FaqError::from)?;
+
+        // Replay mutates the trace's cached node factors in place, so a
+        // mid-replay failure cannot leave the trace consistent: roll the
+        // factor back and drop the cache (the next delta re-primes it via a
+        // fresh traced evaluation). Earlier failure points never reach this.
+        let prev = std::mem::replace(&mut self.query.factors[slot], merged);
+        let replayed = {
+            let cache = self.cache.as_mut().expect("cache primed above");
+            fault::catch_abort(|| {
+                crate::delta::replay(cache, &self.query, &*self.plan, slot, ranges)
+            })
+        };
+        match replayed {
+            Ok(Ok(out)) => Ok(out),
+            Ok(Err(e)) => {
+                self.query.factors[slot] = prev;
+                self.cache = None;
+                Err(e)
+            }
+            Err(abort) => {
+                self.query.factors[slot] = prev;
+                self.cache = None;
+                Err(abort.into())
+            }
+        }
     }
 
     /// The plan this handle executes.

@@ -51,6 +51,17 @@ pub enum FaqError {
     /// Raised by the width and planning machinery on degenerate queries —
     /// evaluation itself handles such variables by domain iteration.
     Uncoverable(Vec<Var>),
+    /// An out-of-core chunk operation failed after bounded retries — either a
+    /// hard I/O error or a checksum mismatch on fault-in. Carries the typed
+    /// [`StorageError`](faq_factor::StorageError) from the storage layer.
+    Storage(faq_factor::StorageError),
+    /// Evaluation overran the [`Deadline`](faq_factor::Deadline) attached to
+    /// its [`ExecPolicy`](crate::exec::ExecPolicy) and was abandoned at a
+    /// cooperative checkpoint.
+    DeadlineExceeded,
+    /// Evaluation was cancelled via its
+    /// [`CancelToken`](faq_factor::CancelToken).
+    Cancelled,
 }
 
 impl fmt::Display for FaqError {
@@ -72,11 +83,24 @@ impl fmt::Display for FaqError {
             FaqError::Uncoverable(vars) => {
                 write!(f, "variable set {vars:?} is not coverable by any query edge")
             }
+            FaqError::Storage(e) => write!(f, "storage failure: {e}"),
+            FaqError::DeadlineExceeded => write!(f, "evaluation deadline exceeded"),
+            FaqError::Cancelled => write!(f, "evaluation cancelled"),
         }
     }
 }
 
 impl std::error::Error for FaqError {}
+
+impl From<faq_factor::QueryAbort> for FaqError {
+    fn from(abort: faq_factor::QueryAbort) -> FaqError {
+        match abort {
+            faq_factor::QueryAbort::Storage(e) => FaqError::Storage(e),
+            faq_factor::QueryAbort::DeadlineExceeded => FaqError::DeadlineExceeded,
+            faq_factor::QueryAbort::Cancelled => FaqError::Cancelled,
+        }
+    }
+}
 
 /// A Functional Aggregate Query over a multi-aggregate domain `D`.
 ///

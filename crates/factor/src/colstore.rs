@@ -33,13 +33,42 @@
 //! the last handle drops (`SpillDir`), so cloned factors and snapshots
 //! share the cold data by reference and nothing is copied on epoch publish.
 
+use crate::fault::{self, Injected, QueryAbort, StorageError};
 use crate::storage::{block_lub, LevelStorage, HEAD_STRIDE};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Retry budget of one logical chunk operation: the initial attempt plus two
+/// retries, with a short growing backoff between attempts.
+const MAX_IO_ATTEMPTS: u32 = 3;
+
+fn retry_backoff(attempt: u32) {
+    std::thread::sleep(std::time::Duration::from_micros(50 * u64::from(attempt)));
+}
+
+/// FNV-1a 64-bit over a chunk's encoded bytes — the per-chunk checksum
+/// recorded at write time and verified on every fault-in.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Convert a typed storage failure into a raised [`QueryAbort`] at the
+/// infallible accessor boundary (see [`crate::fault`] for the transport).
+fn ok_or_raise<T>(r: Result<T, StorageError>) -> T {
+    match r {
+        Ok(t) => t,
+        Err(e) => fault::raise(QueryAbort::Storage(e)),
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Pinned-chunk gauges
@@ -182,16 +211,17 @@ pub(crate) struct SpillDir {
 }
 
 impl SpillDir {
-    fn create(under: Option<&PathBuf>) -> Arc<SpillDir> {
+    fn create(under: Option<&PathBuf>) -> Result<Arc<SpillDir>, StorageError> {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
         let base = under.cloned().unwrap_or_else(std::env::temp_dir);
         let path = base.join(format!("faq-spill-{}-{n}", std::process::id()));
-        std::fs::create_dir_all(&path).expect("create spill directory");
-        Arc::new(SpillDir { path })
+        std::fs::create_dir_all(&path)
+            .map_err(|e| StorageError::io("create spill directory", &path, &e, 1))?;
+        Ok(Arc::new(SpillDir { path }))
     }
 
-    fn new_file(&self, name: &str) -> Arc<SpillFile> {
+    fn new_file(&self, name: &str) -> Result<Arc<SpillFile>, StorageError> {
         let path = self.path.join(name);
         let file = File::options()
             .create(true)
@@ -199,8 +229,8 @@ impl SpillDir {
             .read(true)
             .write(true)
             .open(&path)
-            .expect("create spill file");
-        Arc::new(SpillFile { file: Mutex::new(file) })
+            .map_err(|e| StorageError::io("create spill file", &path, &e, 1))?;
+        Ok(Arc::new(SpillFile { file: Mutex::new(file), path }))
     }
 
     /// The directory path (tests assert cleanup-on-drop against it).
@@ -216,25 +246,163 @@ impl Drop for SpillDir {
     }
 }
 
+/// Sweep spill directories orphaned by crashed processes.
+///
+/// Scans `under` (the OS temp dir when `None`) for `faq-spill-<pid>-<n>`
+/// directories whose owning pid is neither this process nor a live one, and
+/// removes them. Liveness is probed via `/proc/<pid>` on Linux; elsewhere
+/// foreign pids are conservatively assumed alive and left alone. Returns the
+/// number of directories removed; I/O failures skip the entry (a stale dir
+/// is retried at the next sweep, and nothing here may panic).
+pub fn gc_stale_spill_dirs(under: Option<&Path>) -> usize {
+    let base = under.map(Path::to_path_buf).unwrap_or_else(std::env::temp_dir);
+    let Ok(entries) = std::fs::read_dir(&base) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(rest) = name.to_string_lossy().strip_prefix("faq-spill-").map(str::to_owned)
+        else {
+            continue;
+        };
+        let Some((pid, _n)) = rest.split_once('-') else {
+            continue;
+        };
+        let Ok(pid) = pid.parse::<u32>() else {
+            continue;
+        };
+        if pid == std::process::id() || process_alive(pid) {
+            continue;
+        }
+        if std::fs::remove_dir_all(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(target_os = "linux")]
+fn process_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn process_alive(_pid: u32) -> bool {
+    // No portable liveness probe without extra dependencies: assume alive,
+    // never delete another process's data.
+    true
+}
+
 /// One spill file. All access serializes on the file handle itself, so
 /// factor clones sharing chunks across caches never interleave seek/read
 /// pairs.
 #[derive(Debug)]
 pub(crate) struct SpillFile {
     file: Mutex<File>,
+    path: PathBuf,
 }
 
 impl SpillFile {
-    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) {
-        let mut f = self.file.lock().expect("spill file lock");
-        f.seek(SeekFrom::Start(offset)).expect("seek spill file");
-        f.read_exact(buf).expect("read spill file");
+    /// One read attempt. Lock poisoning is survivable: the guarded `File` is
+    /// repositioned by every operation, so a panic mid-operation leaves no
+    /// state a later seek+read would trust.
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), std::io::Error> {
+        let mut f = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
     }
 
-    fn append(&self, offset: u64, bytes: &[u8]) {
-        let mut f = self.file.lock().expect("spill file lock");
-        f.seek(SeekFrom::Start(offset)).expect("seek spill file");
-        f.write_all(bytes).expect("write spill file");
+    fn append_once(&self, offset: u64, bytes: &[u8]) -> Result<(), std::io::Error> {
+        let mut f = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(bytes)
+    }
+
+    /// Append with injection, bounded retry and backoff — one logical chunk
+    /// write.
+    fn append(&self, offset: u64, bytes: &[u8]) -> Result<(), StorageError> {
+        let injected = fault::chunk_op_fault();
+        if let Injected::Delay(us) = injected {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let r = match injected {
+                Injected::FailHard => Err(injected_io_error()),
+                Injected::FailTransient if attempt == 1 => Err(injected_io_error()),
+                _ => self.append_once(offset, bytes),
+            };
+            match r {
+                Ok(()) => return Ok(()),
+                Err(_) if attempt < MAX_IO_ATTEMPTS => {
+                    fault::note_io_retry();
+                    retry_backoff(attempt);
+                }
+                Err(e) => {
+                    return Err(StorageError::io("append chunk", &self.path, &e, attempt));
+                }
+            }
+        }
+    }
+}
+
+fn injected_io_error() -> std::io::Error {
+    std::io::Error::other("injected chunk I/O fault")
+}
+
+/// One logical chunk read: the injection decision is drawn once, then up to
+/// [`MAX_IO_ATTEMPTS`] seek+read+verify attempts run with backoff. A read
+/// that keeps failing its checksum after every retry is reported corrupt —
+/// re-reading distinguishes a transient torn read from rotten bytes at rest.
+fn read_chunk_verified(
+    file: &SpillFile,
+    offset: u64,
+    buf: &mut [u8],
+    chunk: usize,
+    expected: u64,
+) -> Result<(), StorageError> {
+    let injected = fault::chunk_op_fault();
+    if let Injected::Delay(us) = injected {
+        std::thread::sleep(std::time::Duration::from_micros(us));
+    }
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        let r = match injected {
+            Injected::FailHard => Err(injected_io_error()),
+            Injected::FailTransient if attempt == 1 => Err(injected_io_error()),
+            _ => file.read_exact_at(offset, buf),
+        };
+        match r {
+            Ok(()) => {
+                if injected == Injected::Corrupt && !buf.is_empty() {
+                    buf[0] ^= 0xA5;
+                }
+                let actual = fnv1a64(buf);
+                if actual == expected {
+                    return Ok(());
+                }
+                if attempt < MAX_IO_ATTEMPTS {
+                    fault::note_io_retry();
+                    retry_backoff(attempt);
+                    continue;
+                }
+                fault::note_corrupt_chunk();
+                return Err(StorageError::Corrupt {
+                    path: file.path.display().to_string(),
+                    chunk,
+                    expected,
+                    actual,
+                });
+            }
+            Err(_) if attempt < MAX_IO_ATTEMPTS => {
+                fault::note_io_retry();
+                retry_backoff(attempt);
+            }
+            Err(e) => return Err(StorageError::io("read chunk", &file.path, &e, attempt)),
+        }
     }
 }
 
@@ -300,6 +468,8 @@ pub(crate) struct ChunkMeta {
     rows: usize,
     first_row: Vec<u32>,
     last_row: Vec<u32>,
+    /// FNV-1a over the chunk's encoded bytes, verified on every fault-in.
+    checksum: u64,
 }
 
 /// One faulted listing chunk: decoded rows and values, gauge-accounted while
@@ -402,7 +572,14 @@ impl<E> FileChunkedColumns<E> {
 
     pub(crate) fn stats(&self) -> SpillStats {
         let i = &self.inner;
-        let resident = i.cache.lock().expect("cache lock").map.values().map(|(_, c)| c.bytes).sum();
+        let resident = i
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .values()
+            .map(|(_, c)| c.bytes)
+            .sum();
         let row_bytes = i.arity * 4 + i.width;
         SpillStats {
             chunks: i.chunks.len(),
@@ -417,17 +594,22 @@ impl<E> FileChunkedColumns<E> {
         self.inner.row_starts.partition_point(|&s| s <= i) - 1
     }
 
-    fn pin(&self, k: usize) -> Arc<DataChunk<E>> {
+    /// Fault in chunk `k` or surface a typed storage error: one logical read
+    /// with injection, checksum verification, bounded retry and a deadline
+    /// checkpoint (a chunk fault is the natural cancellation point of an
+    /// out-of-core scan).
+    fn try_pin(&self, k: usize) -> Result<Arc<DataChunk<E>>, StorageError> {
+        fault::checkpoint();
         let inner = &self.inner;
-        let mut cache = inner.cache.lock().expect("cache lock");
+        let mut cache = inner.cache.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(c) = cache.get(k) {
-            return c;
+            return Ok(c);
         }
         let meta = &inner.chunks[k];
         let row_bytes = meta.rows * inner.arity * 4;
         let val_bytes = meta.rows * inner.width;
         let mut buf = vec![0u8; row_bytes + val_bytes];
-        meta.file.read_exact_at(meta.offset, &mut buf);
+        read_chunk_verified(&meta.file, meta.offset, &mut buf, k, meta.checksum)?;
         let rows: Vec<u32> = buf[..row_bytes]
             .chunks_exact(4)
             .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
@@ -440,7 +622,11 @@ impl<E> FileChunkedColumns<E> {
         CHUNK_READS.fetch_add(1, Ordering::Relaxed);
         let chunk = Arc::new(DataChunk { rows, vals, bytes });
         cache.insert(k, Arc::clone(&chunk));
-        chunk
+        Ok(chunk)
+    }
+
+    fn pin(&self, k: usize) -> Arc<DataChunk<E>> {
+        ok_or_raise(self.try_pin(k))
     }
 
     /// Key value of row `i`, column `d`.
@@ -630,9 +816,14 @@ static FILE_N: AtomicU64 = AtomicU64::new(0);
 
 impl<E: FixedBytes> SpillWriter<E> {
     /// A writer over a fresh spill directory.
+    ///
+    /// Raises a [`QueryAbort::Storage`] (caught at the evaluation boundary)
+    /// if the directory or file cannot be created.
     pub fn new(arity: usize, config: SpillConfig) -> SpillWriter<E> {
-        let dir = SpillDir::create(config.dir.as_ref());
-        let file = dir.new_file(&format!("cols-{}.bin", FILE_N.fetch_add(1, Ordering::Relaxed)));
+        let dir = ok_or_raise(SpillDir::create(config.dir.as_ref()));
+        let file = ok_or_raise(
+            dir.new_file(&format!("cols-{}.bin", FILE_N.fetch_add(1, Ordering::Relaxed))),
+        );
         SpillWriter {
             dir,
             file,
@@ -659,7 +850,9 @@ impl<E> SpillWriter<E> {
     /// `base` was built.
     pub(crate) fn new_like(base: &FileChunkedColumns<E>) -> SpillWriter<E> {
         let dir = Arc::clone(&base.inner.dir);
-        let file = dir.new_file(&format!("cols-{}.bin", FILE_N.fetch_add(1, Ordering::Relaxed)));
+        let file = ok_or_raise(
+            dir.new_file(&format!("cols-{}.bin", FILE_N.fetch_add(1, Ordering::Relaxed))),
+        );
         let arity = base.inner.arity;
         SpillWriter {
             dir,
@@ -701,7 +894,8 @@ impl<E> SpillWriter<E> {
     }
 
     /// Append the next row (strictly ascending; debug-asserted by the
-    /// builder driving this writer).
+    /// builder driving this writer). A failed chunk write (after retries)
+    /// raises a [`QueryAbort::Storage`] caught at the evaluation boundary.
     pub fn push(&mut self, row: &[u32], val: E) {
         debug_assert_eq!(row.len(), self.arity);
         for (m, &v) in self.col_maxes.iter_mut().zip(row) {
@@ -711,14 +905,14 @@ impl<E> SpillWriter<E> {
         self.buf_vals.push(val);
         self.len += 1;
         if self.buf_vals.len() >= self.config.chunk_rows.max(1) {
-            self.flush();
+            ok_or_raise(self.flush());
         }
     }
 
-    fn flush(&mut self) {
+    fn flush(&mut self) -> Result<(), StorageError> {
         let n = self.buf_vals.len();
         if n == 0 {
-            return;
+            return Ok(());
         }
         let mut bytes = Vec::with_capacity(n * (self.arity * 4 + self.width));
         for &k in &self.buf_rows {
@@ -727,25 +921,27 @@ impl<E> SpillWriter<E> {
         for v in &self.buf_vals {
             (self.encode)(v, &mut bytes);
         }
-        self.file.append(self.offset, &bytes);
+        self.file.append(self.offset, &bytes)?;
         self.chunks.push(ChunkMeta {
             file: Arc::clone(&self.file),
             offset: self.offset,
             rows: n,
             first_row: self.buf_rows[..self.arity].to_vec(),
             last_row: self.buf_rows[(n - 1) * self.arity..].to_vec(),
+            checksum: fnv1a64(&bytes),
         });
         self.offset += bytes.len() as u64;
         self.row_starts.push(self.len);
         self.buf_rows.clear();
         self.buf_vals.clear();
+        Ok(())
     }
 
     /// Adopt an untouched chunk of an existing spilled listing by reference:
     /// its rows slot in after everything written so far without any I/O.
     /// Pending buffered rows are flushed first (chunk row counts may vary).
     pub(crate) fn adopt_chunk(&mut self, meta: &ChunkMeta) {
-        self.flush();
+        ok_or_raise(self.flush());
         for (m, &v) in self.col_maxes.iter_mut().zip(&meta.first_row) {
             *m = (*m).max(v);
         }
@@ -768,7 +964,7 @@ impl<E> SpillWriter<E> {
 
     /// Seal the listing.
     pub(crate) fn finish_cols(mut self) -> FileChunkedColumns<E> {
-        self.flush();
+        ok_or_raise(self.flush());
         let window = self.config.window_chunks;
         FileChunkedColumns {
             inner: Arc::new(ColsInner {
@@ -822,6 +1018,8 @@ struct LevelInner {
     /// Resident end sentinels (`child[len]` / `rows[len]` are never on disk).
     child_end: usize,
     rows_end: usize,
+    /// Per-chunk checksums, verified on fault-in.
+    checksums: Vec<u64>,
     cache: Mutex<Lru<LevelChunk>>,
 }
 
@@ -839,16 +1037,25 @@ pub struct FileChunkedLevel {
 const LEVEL_ENTRY_BYTES: usize = 4 + 8 + 8;
 
 impl FileChunkedLevel {
-    fn pin(&self, k: usize) -> Arc<LevelChunk> {
+    /// Fault in level chunk `k` or surface a typed storage error — same
+    /// injection/retry/checksum/deadline discipline as the listing path.
+    fn try_pin(&self, k: usize) -> Result<Arc<LevelChunk>, StorageError> {
+        fault::checkpoint();
         let inner = &self.inner;
-        let mut cache = inner.cache.lock().expect("level cache lock");
+        let mut cache = inner.cache.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(c) = cache.get(k) {
-            return c;
+            return Ok(c);
         }
         let start = k * inner.entries;
         let n = inner.entries.min(inner.len - start);
         let mut buf = vec![0u8; n * LEVEL_ENTRY_BYTES];
-        inner.file.read_exact_at((start * LEVEL_ENTRY_BYTES) as u64, &mut buf);
+        read_chunk_verified(
+            &inner.file,
+            (start * LEVEL_ENTRY_BYTES) as u64,
+            &mut buf,
+            k,
+            inner.checksums[k],
+        )?;
         let (vb, rest) = buf.split_at(n * 4);
         let (cb, rb) = rest.split_at(n * 8);
         let values =
@@ -866,7 +1073,11 @@ impl FileChunkedLevel {
         CHUNK_READS.fetch_add(1, Ordering::Relaxed);
         let chunk = Arc::new(LevelChunk { values, child, rows, bytes });
         cache.insert(k, Arc::clone(&chunk));
-        chunk
+        Ok(chunk)
+    }
+
+    fn pin(&self, k: usize) -> Arc<LevelChunk> {
+        ok_or_raise(self.try_pin(k))
     }
 
     fn with_entry<R>(&self, j: usize, f: impl FnOnce(&LevelChunk, usize) -> R) -> R {
@@ -1057,6 +1268,7 @@ struct LevelSpill {
     buf_rows: Vec<usize>,
     total: usize,
     heads: Vec<u32>,
+    checksums: Vec<u64>,
 }
 
 impl LevelSpill {
@@ -1069,14 +1281,14 @@ impl LevelSpill {
         self.buf_rows.push(row_start);
         self.total += 1;
         if self.buf_values.len() >= entries {
-            self.flush();
+            ok_or_raise(self.flush());
         }
     }
 
-    fn flush(&mut self) {
+    fn flush(&mut self) -> Result<(), StorageError> {
         let n = self.buf_values.len();
         if n == 0 {
-            return;
+            return Ok(());
         }
         let mut bytes = Vec::with_capacity(n * LEVEL_ENTRY_BYTES);
         for &v in &self.buf_values {
@@ -1088,11 +1300,13 @@ impl LevelSpill {
         for &r in &self.buf_rows {
             bytes.extend_from_slice(&(r as u64).to_le_bytes());
         }
-        self.file.append(self.offset, &bytes);
+        self.file.append(self.offset, &bytes)?;
+        self.checksums.push(fnv1a64(&bytes));
         self.offset += bytes.len() as u64;
         self.buf_values.clear();
         self.buf_child.clear();
         self.buf_rows.clear();
+        Ok(())
     }
 }
 
@@ -1118,16 +1332,17 @@ impl SpillTrieBuilder {
         static LEVEL_N: AtomicU64 = AtomicU64::new(0);
         let levels = (0..arity)
             .map(|d| LevelSpill {
-                file: dir.new_file(&format!(
+                file: ok_or_raise(dir.new_file(&format!(
                     "trie-{}-l{d}.bin",
                     LEVEL_N.fetch_add(1, Ordering::Relaxed)
-                )),
+                ))),
                 offset: 0,
                 buf_values: Vec::new(),
                 buf_child: Vec::new(),
                 buf_rows: Vec::new(),
                 total: 0,
                 heads: Vec::new(),
+                checksums: Vec::new(),
             })
             .collect();
         SpillTrieBuilder { levels, num_rows: 0, dir, entries, window_chunks }
@@ -1167,7 +1382,7 @@ impl SpillTrieBuilder {
             .into_iter()
             .zip(next_len)
             .map(|(mut ls, end)| {
-                ls.flush();
+                ok_or_raise(ls.flush());
                 let storage = FactorLevel::Disk(FileChunkedLevel {
                     inner: Arc::new(LevelInner {
                         len: ls.total,
@@ -1177,6 +1392,7 @@ impl SpillTrieBuilder {
                         heads: ls.heads,
                         child_end: end,
                         rows_end: num_rows,
+                        checksums: ls.checksums,
                         cache: Mutex::new(Lru::new(self.window_chunks)),
                     }),
                 });
@@ -1271,6 +1487,99 @@ mod tests {
                 "cut {hi} not on a chunk boundary"
             );
         }
+    }
+
+    #[test]
+    fn injected_transient_fault_is_retried_and_absorbed() {
+        let cfg = SpillConfig { chunk_rows: 4, window_chunks: 1, ..SpillConfig::default() };
+        let mut w: SpillWriter<u64> = SpillWriter::new(1, cfg);
+        for i in 0..8u32 {
+            w.push(&[i], u64::from(i));
+        }
+        let cols = w.finish_cols();
+        let retries_before = fault::io_retries();
+        let _g = fault::FaultPlan::seeded(5).fail_transient(1.0).install_local();
+        for i in 0..8usize {
+            assert_eq!(cols.value_owned(i), i as u64, "retry absorbs the transient failure");
+        }
+        assert!(fault::io_retries() > retries_before, "each faulted read counted a retry");
+    }
+
+    #[test]
+    fn injected_corruption_surfaces_typed_error() {
+        let cfg = SpillConfig { chunk_rows: 4, window_chunks: 1, ..SpillConfig::default() };
+        let mut w: SpillWriter<u64> = SpillWriter::new(1, cfg);
+        for i in 0..4u32 {
+            w.push(&[i], 7);
+        }
+        let cols = w.finish_cols();
+        let corrupt_before = fault::corrupt_chunks();
+        let _g = fault::FaultPlan::seeded(5).corrupt(1.0).install_local();
+        let r = fault::catch_abort(|| cols.value_owned(0));
+        match r {
+            Err(QueryAbort::Storage(StorageError::Corrupt { chunk: 0, .. })) => {}
+            other => panic!("expected a corrupt-chunk abort, got {other:?}"),
+        }
+        assert!(fault::corrupt_chunks() > corrupt_before);
+        drop(_g);
+        assert_eq!(cols.value_owned(0), 7, "the data at rest was never harmed");
+    }
+
+    #[test]
+    fn injected_hard_failure_surfaces_typed_io_error() {
+        let cfg = SpillConfig { chunk_rows: 4, window_chunks: 1, ..SpillConfig::default() };
+        let mut w: SpillWriter<u64> = SpillWriter::new(1, cfg);
+        for i in 0..4u32 {
+            w.push(&[i], 7);
+        }
+        let cols = w.finish_cols();
+        let _g = fault::FaultPlan::seeded(5).fail_hard(1.0).install_local();
+        match fault::catch_abort(|| cols.value_owned(0)) {
+            Err(QueryAbort::Storage(StorageError::Io { op: "read chunk", attempts, .. })) => {
+                assert_eq!(attempts, MAX_IO_ATTEMPTS);
+            }
+            other => panic!("expected a hard I/O abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_checkpoint_fires_at_chunk_fault_in() {
+        let cfg = SpillConfig { chunk_rows: 2, window_chunks: 1, ..SpillConfig::default() };
+        let mut w: SpillWriter<u64> = SpillWriter::new(1, cfg);
+        for i in 0..4u32 {
+            w.push(&[i], 1);
+        }
+        let cols = w.finish_cols();
+        let ctl = fault::AbortCtl {
+            deadline: Some(fault::Deadline::at(std::time::Instant::now())),
+            cancel: None,
+        };
+        let _g = fault::install_ctl(ctl);
+        assert_eq!(
+            fault::catch_abort(|| cols.value_owned(0)),
+            Err(QueryAbort::DeadlineExceeded),
+            "an expired deadline aborts at the fault-in checkpoint"
+        );
+    }
+
+    #[test]
+    fn gc_sweeps_dead_pid_spill_dirs_only() {
+        let base = std::env::temp_dir().join(format!("faq-gc-test-{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        // A pid far above any real one (the kernel's default pid_max is far
+        // below u32::MAX), so /proc/<pid> cannot exist.
+        let dead = base.join("faq-spill-4294967294-0");
+        let mine = base.join(format!("faq-spill-{}-999", std::process::id()));
+        let noise = base.join("unrelated-dir");
+        for d in [&dead, &mine, &noise] {
+            std::fs::create_dir_all(d).unwrap();
+        }
+        let removed = gc_stale_spill_dirs(Some(&base));
+        assert_eq!(removed, 1, "exactly the dead process's directory is swept");
+        assert!(!dead.exists());
+        assert!(mine.exists(), "the current process's spill dirs survive");
+        assert!(noise.exists(), "non-spill directories are never touched");
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

@@ -1,0 +1,612 @@
+//! Typed storage failures, cooperative deadlines and deterministic fault
+//! injection.
+//!
+//! The out-of-core backing ([`crate::colstore`]) turns every chunk I/O
+//! failure into a [`StorageError`] instead of panicking: transient errors are
+//! retried a bounded number of times with backoff, and every chunk carries a
+//! checksum verified on fault-in, so a torn or bit-flipped chunk surfaces as
+//! [`StorageError::Corrupt`] rather than silently wrong answers.
+//!
+//! # The abort transport
+//!
+//! The hot accessor APIs (`Factor::get`, trie cursors, `LevelStorage`) are
+//! deliberately infallible — threading `Result` through every seek would tax
+//! the in-memory fast path that never touches a disk. Instead, a failed
+//! chunk operation *raises* a [`QueryAbort`] by unwinding ([`raise`]), and
+//! the evaluation entry points catch it ([`catch_abort`]) and convert it
+//! into a typed error. Deadlines and cancellation ride the same transport:
+//! [`checkpoint`] is called every few thousand seeks in the join loop and at
+//! every chunk fault-in, and raises [`QueryAbort::DeadlineExceeded`] /
+//! [`QueryAbort::Cancelled`] when the installed [`AbortCtl`] says so.
+//! Unwinding only crosses frames owned by the evaluation itself (builders,
+//! cursors, pinned-chunk guards — all with sound `Drop`s), never user code.
+//!
+//! # Fault injection
+//!
+//! A seeded [`FaultPlan`] decides, per *logical* chunk operation, whether to
+//! inject a transient failure (first attempt only — the retry succeeds), a
+//! hard failure (every attempt — the typed error surfaces), a corruption
+//! (a flipped byte the checksum catches) or a delay. Decisions are a pure
+//! hash of `(seed, operation sequence number)`, so a single-threaded run
+//! replays exactly and a concurrent run draws from the same fault
+//! distribution. Plans install globally (chaos suites) or thread-locally
+//! (unit tests that must not disturb concurrent tests in the same process).
+
+use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Typed storage errors
+// ---------------------------------------------------------------------------
+
+/// A typed failure of the out-of-core chunk store.
+///
+/// Carries enough to diagnose the failing operation without holding the
+/// (non-`Clone`) `std::io::Error` itself, so it can travel inside `Clone`
+/// + `PartialEq` error enums up the stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// An I/O operation on a spill file failed after every retry attempt.
+    Io {
+        /// What was being done ("read chunk", "append chunk", …).
+        op: &'static str,
+        /// Path of the spill file or directory involved.
+        path: String,
+        /// Kind of the final underlying `std::io::Error`.
+        kind: std::io::ErrorKind,
+        /// Attempts made (1 = no retries were possible).
+        attempts: u32,
+    },
+    /// A chunk read back from disk failed its checksum on every attempt.
+    Corrupt {
+        /// Path of the spill file.
+        path: String,
+        /// Index of the corrupt chunk within its file-chunked container.
+        chunk: usize,
+        /// Checksum recorded when the chunk was written.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
+}
+
+impl StorageError {
+    pub(crate) fn io(
+        op: &'static str,
+        path: &std::path::Path,
+        err: &std::io::Error,
+        attempts: u32,
+    ) -> StorageError {
+        StorageError::Io { op, path: path.display().to_string(), kind: err.kind(), attempts }
+    }
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io { op, path, kind, attempts } => {
+                write!(f, "storage error: {op} on {path} failed with {kind:?} after {attempts} attempt(s)")
+            }
+            StorageError::Corrupt { path, chunk, expected, actual } => write!(
+                f,
+                "storage error: chunk {chunk} of {path} is corrupt \
+                 (checksum {actual:#018x}, expected {expected:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+// ---------------------------------------------------------------------------
+// The abort transport
+// ---------------------------------------------------------------------------
+
+/// Why an in-flight evaluation was aborted.
+///
+/// Raised by [`raise`] from infallible accessor code, caught by
+/// [`catch_abort`] at evaluation entry points and converted into the
+/// caller-facing error type there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryAbort {
+    /// A chunk read/write failed with a typed [`StorageError`].
+    Storage(StorageError),
+    /// The installed [`Deadline`] passed.
+    DeadlineExceeded,
+    /// The installed [`CancelToken`] was triggered.
+    Cancelled,
+}
+
+impl From<StorageError> for QueryAbort {
+    fn from(e: StorageError) -> QueryAbort {
+        QueryAbort::Storage(e)
+    }
+}
+
+impl std::fmt::Display for QueryAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryAbort::Storage(e) => write!(f, "{e}"),
+            QueryAbort::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            QueryAbort::Cancelled => write!(f, "query cancelled"),
+        }
+    }
+}
+
+/// Payload of a deliberately injected panic (chaos testing). The quiet
+/// panic hook installed by [`install_quiet_hook`] suppresses its report,
+/// exactly like a [`QueryAbort`]'s.
+#[derive(Debug)]
+pub struct InjectedPanic(pub &'static str);
+
+/// Install (once, process-wide) a forwarding panic hook that stays silent
+/// for [`QueryAbort`] and [`InjectedPanic`] payloads — they are control
+/// flow, not bugs — and delegates every other panic to the previous hook.
+pub fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            if p.downcast_ref::<QueryAbort>().is_none()
+                && p.downcast_ref::<InjectedPanic>().is_none()
+            {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Abort the in-flight evaluation by unwinding with `abort` as payload.
+///
+/// Must only be called under a [`catch_abort`] boundary — every public
+/// evaluation entry point installs one. Unwinds with the quiet hook in
+/// place, so no spurious panic report is printed.
+pub fn raise(abort: QueryAbort) -> ! {
+    install_quiet_hook();
+    std::panic::panic_any(abort)
+}
+
+/// Run `f`, catching a [`raise`]d [`QueryAbort`] (any other panic resumes
+/// unwinding untouched).
+pub fn catch_abort<R>(f: impl FnOnce() -> R) -> Result<R, QueryAbort> {
+    install_quiet_hook();
+    match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => Ok(r),
+        Err(payload) => match payload.downcast::<QueryAbort>() {
+            Ok(abort) => Err(*abort),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and cancellation
+// ---------------------------------------------------------------------------
+
+/// A wall-clock point after which an evaluation should abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline { at: Instant::now() + budget }
+    }
+
+    /// A deadline at an explicit instant.
+    pub fn at(at: Instant) -> Deadline {
+        Deadline { at }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// The earlier of two optional deadlines.
+    pub fn earliest(a: Option<Deadline>, b: Option<Deadline>) -> Option<Deadline> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+}
+
+/// A cooperative cancellation token; clones share the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, untriggered token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trigger cancellation: evaluations carrying this token abort at their
+    /// next [`checkpoint`].
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for CancelToken {}
+
+/// The abort controls of one evaluation: an optional deadline and an
+/// optional cancel token. Installed thread-locally for the duration of an
+/// evaluation ([`install_ctl`]) and propagated by hand into its scoped
+/// worker threads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AbortCtl {
+    /// Abort when this instant passes.
+    pub deadline: Option<Deadline>,
+    /// Abort when this token is triggered.
+    pub cancel: Option<CancelToken>,
+}
+
+impl AbortCtl {
+    fn armed(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
+    }
+}
+
+thread_local! {
+    static CURRENT_CTL: RefCell<AbortCtl> = RefCell::new(AbortCtl::default());
+}
+
+/// The [`AbortCtl`] currently installed on this thread (empty if none) —
+/// capture it before spawning scoped workers and [`install_ctl`] it inside
+/// them.
+pub fn current_ctl() -> AbortCtl {
+    CURRENT_CTL.with(|c| c.borrow().clone())
+}
+
+/// Restores the previously installed [`AbortCtl`] on drop.
+#[must_use = "dropping the guard immediately uninstalls the controls"]
+pub struct CtlGuard {
+    prev: AbortCtl,
+}
+
+/// Install `ctl` as this thread's abort controls until the guard drops
+/// (the previous controls are restored — installs nest).
+pub fn install_ctl(ctl: AbortCtl) -> CtlGuard {
+    let prev = CURRENT_CTL.with(|c| c.replace(ctl));
+    CtlGuard { prev }
+}
+
+impl Drop for CtlGuard {
+    fn drop(&mut self) {
+        let prev = std::mem::take(&mut self.prev);
+        CURRENT_CTL.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Abort the evaluation if its installed deadline has passed or its cancel
+/// token fired; no-op (two thread-local reads) otherwise.
+///
+/// Called every few thousand seeks by the leapfrog join and at every chunk
+/// fault-in by the out-of-core store.
+pub fn checkpoint() {
+    let abort = CURRENT_CTL.with(|c| {
+        let ctl = c.borrow();
+        if !ctl.armed() {
+            return None;
+        }
+        if ctl.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(QueryAbort::Cancelled);
+        }
+        if ctl.deadline.as_ref().is_some_and(Deadline::expired) {
+            return Some(QueryAbort::DeadlineExceeded);
+        }
+        None
+    });
+    if let Some(a) = abort {
+        raise(a);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failure counters
+// ---------------------------------------------------------------------------
+
+static IO_RETRIES: AtomicU64 = AtomicU64::new(0);
+static CORRUPT_CHUNKS: AtomicU64 = AtomicU64::new(0);
+
+/// Chunk I/O attempts retried after a (transient or injected) failure since
+/// process start.
+pub fn io_retries() -> u64 {
+    IO_RETRIES.load(Ordering::Relaxed)
+}
+
+/// Chunk reads that exhausted their retries with a checksum mismatch since
+/// process start.
+pub fn corrupt_chunks() -> u64 {
+    CORRUPT_CHUNKS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn note_io_retry() {
+    IO_RETRIES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_corrupt_chunk() {
+    CORRUPT_CHUNKS.fetch_add(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// A seeded plan of injected chunk-store faults.
+///
+/// Each *logical* chunk operation (one read or append, however many retry
+/// attempts it takes) draws one uniform variate from
+/// [`seeded_unit`]`(seed, seq)` and the cumulative probability bands decide
+/// its fate — so the k-th operation's fault is a pure function of the seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the per-operation hash.
+    pub seed: u64,
+    /// Probability of a transient failure (first attempt only; the retry
+    /// succeeds and counts in [`io_retries`]).
+    pub fail_transient: f64,
+    /// Probability of a hard failure (every attempt; surfaces as
+    /// [`StorageError::Io`]).
+    pub fail_hard: f64,
+    /// Probability of corrupting a read (every attempt; the checksum catches
+    /// it and it surfaces as [`StorageError::Corrupt`]).
+    pub corrupt: f64,
+    /// Probability of delaying the operation by [`FaultPlan::delay_micros`].
+    pub delay: f64,
+    /// Injected delay duration, microseconds.
+    pub delay_micros: u64,
+}
+
+impl FaultPlan {
+    /// A plan with `seed` and all fault probabilities zero.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            fail_transient: 0.0,
+            fail_hard: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+            delay_micros: 50,
+        }
+    }
+
+    /// This plan with a transient-failure probability.
+    pub fn fail_transient(mut self, p: f64) -> FaultPlan {
+        self.fail_transient = p;
+        self
+    }
+
+    /// This plan with a hard-failure probability.
+    pub fn fail_hard(mut self, p: f64) -> FaultPlan {
+        self.fail_hard = p;
+        self
+    }
+
+    /// This plan with a corruption probability.
+    pub fn corrupt(mut self, p: f64) -> FaultPlan {
+        self.corrupt = p;
+        self
+    }
+
+    /// This plan with a delay probability.
+    pub fn delay(mut self, p: f64, micros: u64) -> FaultPlan {
+        self.delay = p;
+        self.delay_micros = micros;
+        self
+    }
+
+    /// Install this plan process-wide until the guard drops. Concurrent
+    /// global installs serialize on an internal lock, so independent chaos
+    /// tests in one binary cannot overlap.
+    pub fn install_global(self) -> FaultGuard {
+        install_quiet_hook();
+        let lock = INSTALL_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        *global_plan().lock().unwrap_or_else(PoisonError::into_inner) =
+            Some((self, Arc::new(AtomicU64::new(0))));
+        GLOBAL_ACTIVE.store(true, Ordering::SeqCst);
+        FaultGuard { global_lock: Some(lock) }
+    }
+
+    /// Install this plan for the current thread only, until the guard
+    /// drops. Chunk operations of other threads are unaffected.
+    pub fn install_local(self) -> FaultGuard {
+        install_quiet_hook();
+        LOCAL_PLAN.with(|p| *p.borrow_mut() = Some((self, 0)));
+        FaultGuard { global_lock: None }
+    }
+
+    fn decide(&self, seq: u64) -> Injected {
+        let u = seeded_unit(self.seed, seq);
+        let mut edge = self.fail_transient;
+        if u < edge {
+            return Injected::FailTransient;
+        }
+        edge += self.fail_hard;
+        if u < edge {
+            return Injected::FailHard;
+        }
+        edge += self.corrupt;
+        if u < edge {
+            return Injected::Corrupt;
+        }
+        edge += self.delay;
+        if u < edge {
+            return Injected::Delay(self.delay_micros);
+        }
+        Injected::None
+    }
+}
+
+static GLOBAL_ACTIVE: AtomicBool = AtomicBool::new(false);
+static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+#[allow(clippy::type_complexity)]
+fn global_plan() -> &'static Mutex<Option<(FaultPlan, Arc<AtomicU64>)>> {
+    static PLAN: OnceLock<Mutex<Option<(FaultPlan, Arc<AtomicU64>)>>> = OnceLock::new();
+    PLAN.get_or_init(|| Mutex::new(None))
+}
+
+thread_local! {
+    static LOCAL_PLAN: RefCell<Option<(FaultPlan, u64)>> = const { RefCell::new(None) };
+}
+
+/// Uninstalls a [`FaultPlan`] on drop.
+#[must_use = "dropping the guard immediately uninstalls the plan"]
+pub struct FaultGuard {
+    global_lock: Option<MutexGuard<'static, ()>>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        if self.global_lock.is_some() {
+            GLOBAL_ACTIVE.store(false, Ordering::SeqCst);
+            *global_plan().lock().unwrap_or_else(PoisonError::into_inner) = None;
+        } else {
+            LOCAL_PLAN.with(|p| *p.borrow_mut() = None);
+        }
+    }
+}
+
+/// The fate of one logical chunk operation under the installed plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Injected {
+    None,
+    FailTransient,
+    FailHard,
+    Corrupt,
+    Delay(u64),
+}
+
+/// Draw the installed plan's decision for the next logical chunk operation
+/// ([`Injected::None`] when no plan is installed). The thread-local plan
+/// takes precedence over the global one.
+pub(crate) fn chunk_op_fault() -> Injected {
+    let local = LOCAL_PLAN.with(|p| {
+        p.borrow_mut().as_mut().map(|(plan, seq)| {
+            let s = *seq;
+            *seq += 1;
+            plan.decide(s)
+        })
+    });
+    if let Some(d) = local {
+        return d;
+    }
+    if !GLOBAL_ACTIVE.load(Ordering::Relaxed) {
+        return Injected::None;
+    }
+    let plan = global_plan().lock().unwrap_or_else(PoisonError::into_inner);
+    match plan.as_ref() {
+        Some((plan, seq)) => plan.decide(seq.fetch_add(1, Ordering::Relaxed)),
+        None => Injected::None,
+    }
+}
+
+/// A uniform variate in `[0, 1)` as a pure function of `(seed, n)`
+/// (splitmix64 finalizer). Shared by [`FaultPlan`] and the serving layer's
+/// panic-injection plan so both replay from their seeds.
+pub fn seeded_unit(seed: u64, n: u64) -> f64 {
+    let mut z = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catch_abort_roundtrips_payload() {
+        let r: Result<(), QueryAbort> = catch_abort(|| raise(QueryAbort::DeadlineExceeded));
+        assert_eq!(r, Err(QueryAbort::DeadlineExceeded));
+        let e = StorageError::Io {
+            op: "read chunk",
+            path: "x".into(),
+            kind: std::io::ErrorKind::Other,
+            attempts: 3,
+        };
+        let r: Result<(), QueryAbort> = catch_abort(|| raise(QueryAbort::Storage(e.clone())));
+        assert_eq!(r, Err(QueryAbort::Storage(e)));
+        assert_eq!(catch_abort(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn checkpoint_honours_deadline_and_cancel() {
+        // No controls installed: free pass.
+        checkpoint();
+        let expired = AbortCtl { deadline: Some(Deadline::at(Instant::now())), cancel: None };
+        let g = install_ctl(expired);
+        assert_eq!(catch_abort(checkpoint), Err(QueryAbort::DeadlineExceeded));
+        drop(g);
+        let token = CancelToken::new();
+        let g = install_ctl(AbortCtl { deadline: None, cancel: Some(token.clone()) });
+        checkpoint(); // not yet cancelled
+        token.cancel();
+        assert_eq!(catch_abort(checkpoint), Err(QueryAbort::Cancelled));
+        drop(g);
+        checkpoint(); // controls uninstalled again
+    }
+
+    #[test]
+    fn ctl_installs_nest() {
+        let outer =
+            AbortCtl { deadline: Some(Deadline::after(Duration::from_secs(60))), cancel: None };
+        let g1 = install_ctl(outer.clone());
+        assert_eq!(current_ctl(), outer);
+        {
+            let inner = AbortCtl::default();
+            let _g2 = install_ctl(inner.clone());
+            assert_eq!(current_ctl(), inner);
+        }
+        assert_eq!(current_ctl(), outer);
+        drop(g1);
+        assert_eq!(current_ctl(), AbortCtl::default());
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_banded() {
+        let plan = FaultPlan::seeded(7).fail_transient(0.25).fail_hard(0.25).corrupt(0.25);
+        let a: Vec<_> = (0..256).map(|s| plan.decide(s)).collect();
+        let b: Vec<_> = (0..256).map(|s| plan.decide(s)).collect();
+        assert_eq!(a, b, "decisions are a pure function of (seed, seq)");
+        let faults = a.iter().filter(|d| **d != Injected::None).count();
+        assert!(faults > 128, "three 25% bands should fault most operations, got {faults}/256");
+        let none = FaultPlan::seeded(7);
+        assert!((0..256).all(|s| none.decide(s) == Injected::None));
+    }
+
+    #[test]
+    fn local_plan_scopes_to_installing_thread() {
+        let plan = FaultPlan::seeded(3).fail_hard(1.0);
+        let _g = plan.install_local();
+        assert_eq!(chunk_op_fault(), Injected::FailHard);
+        std::thread::scope(|s| {
+            s.spawn(|| assert_eq!(chunk_op_fault(), Injected::None)).join().unwrap();
+        });
+        drop(_g);
+        assert_eq!(chunk_op_fault(), Injected::None);
+    }
+}

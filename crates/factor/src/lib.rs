@@ -27,7 +27,11 @@
 //! * [`colstore`] — the file-chunked out-of-core backing: spilled listings
 //!   ([`colstore::FileChunkedColumns`]), spilled trie levels
 //!   ([`colstore::FileChunkedLevel`]) and the [`FactorLevel`] enum the
-//!   default trie is stored in, plus the process-wide pinned-chunk gauges.
+//!   default trie is stored in, plus the process-wide pinned-chunk gauges;
+//! * [`fault`] — typed storage errors ([`StorageError`]), the
+//!   [`QueryAbort`] unwinding transport that carries them (and deadlines /
+//!   cancellation) out of infallible accessor code, and the seeded
+//!   [`FaultPlan`] injection hook behind the chaos suite.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,15 +40,17 @@ pub mod colstore;
 pub mod delta;
 pub mod domains;
 pub mod factor;
+pub mod fault;
 pub mod storage;
 pub mod trie;
 
 pub use colstore::{
-    chunk_reads, peak_pinned_bytes, pinned_bytes, reset_peak_pinned_bytes, FactorLevel,
-    FileChunkedLevel, FixedBytes, SpillConfig, SpillStats,
+    chunk_reads, gc_stale_spill_dirs, peak_pinned_bytes, pinned_bytes, reset_peak_pinned_bytes,
+    FactorLevel, FileChunkedLevel, FixedBytes, SpillConfig, SpillStats,
 };
 pub use delta::{DeltaFactor, DeltaOp};
 pub use domains::{AssignmentIter, Domains};
 pub use factor::{merge_sorted_rows, Factor, FactorBuilder, FactorError, FactorStats, ValRef};
+pub use fault::{AbortCtl, CancelToken, Deadline, FaultPlan, QueryAbort, StorageError};
 pub use storage::{LevelStorage, VecStorage};
 pub use trie::{FactorTrie, TrieCursor, TrieLevel, TrieView};

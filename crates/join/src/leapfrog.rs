@@ -416,6 +416,12 @@ fn search<E: SemiringElem>(
             stable = true;
             for &ci in parts {
                 stats.seeks += 1;
+                // Cooperative deadline/cancel poll, amortized to one check per
+                // 1024 seeks. Reads the counter without perturbing it, so the
+                // bit-identical seek statistics pinned by tests are untouched.
+                if stats.seeks & 0x3FF == 0 {
+                    faq_factor::fault::checkpoint();
+                }
                 match cursors[ci].seek(candidate) {
                     None => break 'candidates,
                     Some(v) if v > candidate => {

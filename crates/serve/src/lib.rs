@@ -16,7 +16,13 @@
 //! * **cross-query sharing** — identical registrations dedupe to one
 //!   [`QueryId`], plans are shared through `faq_core`'s `PlanCache`, and
 //!   computed results are cached per epoch so one tenant's work answers
-//!   another tenant's identical query.
+//!   another tenant's identical query;
+//! * **fault tolerance** — evaluation panics are contained per worker
+//!   ([`ServeError::QueryPanicked`]; the pool never shrinks), storage
+//!   faults and overrun deadlines surface as typed errors
+//!   ([`ServeError::Faq`], [`ServeError::DeadlineExceeded`]), delta
+//!   publishes are atomic (a mid-apply failure leaves the previous epoch
+//!   fully intact), and a seeded [`PanicPlan`] drives the chaos suite.
 //!
 //! # Epoch lifecycle
 //!
@@ -87,6 +93,7 @@ pub mod server;
 pub mod snapshot;
 
 pub use server::{
-    CacheMode, FaqServer, ServeConfig, ServeError, ServeOutput, ServeStats, Tenant, Ticket,
+    CacheMode, FaqServer, PanicPlan, ServeConfig, ServeError, ServeOutput, ServeStats, Tenant,
+    Ticket,
 };
 pub use snapshot::{QueryId, QuerySpec, Snapshot};

@@ -35,14 +35,63 @@
 
 use crate::snapshot::{QueryId, QuerySpec, Snapshot};
 use faq_core::{Engine, ExecPolicy, FaqError, FaqQuery, PlanCache, Planner, PreparedQuery};
+use faq_factor::fault::{self, InjectedPanic};
 use faq_factor::{DeltaFactor, Domains, Factor};
 use faq_semiring::{AggDomain, AggId, SemiringElem};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Poison-proof lock acquisition: a worker that panicked while holding a
+/// serving lock must not wedge the rest of the pool — the protected state is
+/// either atomic-per-entry (in-flight table) or rebuilt wholesale on the next
+/// publish, so recovering the guard is sound.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Deterministic, seeded worker-panic injection — the serve-side half of the
+/// chaos harness (the storage half is [`faq_factor::FaultPlan`]).
+///
+/// Each job draws one hash of `(seed, sequence)` ([`fault::seeded_unit`])
+/// before evaluation; a draw under `probability` raises an [`InjectedPanic`]
+/// inside the worker's `catch_unwind` perimeter, which must surface as
+/// [`ServeError::QueryPanicked`] without shrinking the pool. Clones share the
+/// sequence counter and the enable flag, so a plan handle kept by a test can
+/// switch injection off on a running server.
+#[derive(Debug, Clone)]
+pub struct PanicPlan {
+    seed: u64,
+    probability: f64,
+    seq: Arc<AtomicU64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl PanicPlan {
+    /// A plan panicking each job independently with `probability`, decided by
+    /// a deterministic hash of `seed` and the job sequence number.
+    pub fn seeded(seed: u64, probability: f64) -> PanicPlan {
+        PanicPlan {
+            seed,
+            probability,
+            seq: Arc::new(AtomicU64::new(0)),
+            enabled: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// Switch injection on or off across every clone of this plan.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    fn should_panic(&self) -> bool {
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.enabled.load(Ordering::SeqCst) && fault::seeded_unit(self.seed, n) < self.probability
+    }
+}
 
 /// Configuration for a [`FaqServer`].
 ///
@@ -69,6 +118,9 @@ pub struct ServeConfig {
     /// cost-based planner at hardware parallelism — plans record their best
     /// per-step policies and each submission's budget caps them down.
     pub planner: Planner,
+    /// Chaos-testing hook: inject deterministic worker panics. `None` (the
+    /// default) injects nothing.
+    pub panic_plan: Option<PanicPlan>,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +132,7 @@ impl Default for ServeConfig {
             max_in_flight: hw * 4,
             share_results: true,
             planner: Planner::default(),
+            panic_plan: None,
         }
     }
 }
@@ -114,6 +167,13 @@ impl ServeConfig {
         self.planner = planner;
         self
     }
+
+    /// This config injecting deterministic worker panics per `plan` — for
+    /// chaos testing only.
+    pub fn panic_plan(mut self, plan: PanicPlan) -> ServeConfig {
+        self.panic_plan = Some(plan);
+        self
+    }
 }
 
 /// Errors surfaced by the serving runtime.
@@ -137,7 +197,17 @@ pub enum ServeError {
     UnknownSlot(usize),
     /// The server is shutting down; the submission was dropped.
     ShuttingDown,
-    /// The underlying engine failed (invalid spec, schema mismatch, …).
+    /// Evaluation overran the submission's deadline (carried on its budget
+    /// [`ExecPolicy`]) and was abandoned at a cooperative checkpoint. The
+    /// worker and its snapshot are unharmed; resubmitting with a larger
+    /// budget is always safe.
+    DeadlineExceeded,
+    /// The evaluation panicked inside the worker. The panic was contained:
+    /// the worker recovered in place (the pool never shrinks), admission
+    /// permits were released, and only this submission observes the error.
+    QueryPanicked,
+    /// The underlying engine failed (invalid spec, schema mismatch, storage
+    /// fault, …).
     Faq(FaqError),
 }
 
@@ -150,6 +220,8 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownQuery(id) => write!(f, "query #{} is not registered", id.0),
             ServeError::UnknownSlot(s) => write!(f, "catalog slot {s} is out of range"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::DeadlineExceeded => write!(f, "submission deadline exceeded"),
+            ServeError::QueryPanicked => write!(f, "query evaluation panicked in its worker"),
             ServeError::Faq(e) => write!(f, "engine error: {e}"),
         }
     }
@@ -159,7 +231,10 @@ impl std::error::Error for ServeError {}
 
 impl From<FaqError> for ServeError {
     fn from(e: FaqError) -> ServeError {
-        ServeError::Faq(e)
+        match e {
+            FaqError::DeadlineExceeded => ServeError::DeadlineExceeded,
+            e => ServeError::Faq(e),
+        }
     }
 }
 
@@ -247,6 +322,17 @@ pub struct ServeStats {
     pub completed: u64,
     /// Submissions rejected by admission control.
     pub rejected: u64,
+    /// Submissions answered with [`ServeError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Submissions answered with [`ServeError::QueryPanicked`].
+    pub panicked: u64,
+    /// Transparently retried chunk I/O operations, process-wide
+    /// ([`fault::io_retries`]) — retries absorbed by the storage layer that
+    /// no submission ever observed.
+    pub io_retries: u64,
+    /// Chunk reads that failed checksum verification on every attempt,
+    /// process-wide ([`fault::corrupt_chunks`]).
+    pub corrupt_chunks: u64,
     /// Answers served from a cache (shared or worker-local).
     pub cache_hits: u64,
     /// Answers that ran a fresh evaluation.
@@ -272,6 +358,8 @@ struct Counters {
     submitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    panicked: AtomicU64,
     cache_hits: AtomicU64,
     evaluated: AtomicU64,
     coalesced: AtomicU64,
@@ -399,6 +487,11 @@ where
         domains: Domains,
         catalog: Vec<Factor<D::E>>,
     ) -> FaqServer<D> {
+        // A recovered worker panic must not spray a report per injected fault,
+        // and spill dirs orphaned by a previous crashed process are reclaimed
+        // before this one starts writing its own.
+        fault::install_quiet_hook();
+        let _ = faq_factor::gc_stale_spill_dirs(None);
         let stats = Arc::new(Counters::default());
         let inflight: Arc<Inflight<D>> = Arc::new(Mutex::new(HashMap::new()));
         let (feedback_tx, feedback_rx) = channel::<Feedback<D::E>>();
@@ -414,9 +507,10 @@ where
             let st = Arc::clone(&stats);
             let infl = Arc::clone(&inflight);
             let share = config.share_results;
+            let plan = config.panic_plan.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("faq-serve-{i}"))
-                .spawn(move || worker_loop::<D>(rx, fb, st, infl, share))
+                .spawn(move || worker_loop::<D>(rx, fb, st, infl, share, plan))
                 .expect("spawning a serving worker thread failed");
             worker_txs.push(tx);
             handles.push(handle);
@@ -463,27 +557,30 @@ where
 
     /// The most recently published snapshot.
     pub fn snapshot(&self) -> Arc<Snapshot<D>> {
-        Arc::clone(&self.latest.lock().expect("serving snapshot lock poisoned"))
+        Arc::clone(&lock_unpoisoned(&self.latest))
     }
 
     /// Runtime counters (monotonic since construction) and memory gauges
     /// (instantaneous).
     pub fn stats(&self) -> ServeStats {
         let live_epochs = {
-            let mut epochs = self.epochs.lock().expect("serving epoch registry poisoned");
+            let mut epochs = lock_unpoisoned(&self.epochs);
             epochs.retain(|w| w.strong_count() > 0);
             epochs.len()
         };
-        let cache_entries =
-            self.latest.lock().expect("serving snapshot lock poisoned").results.len();
+        let cache_entries = lock_unpoisoned(&self.latest).results.len();
         let resident_bytes = {
-            let w = self.writer.lock().expect("serving writer lock poisoned");
+            let w = lock_unpoisoned(&self.writer);
             w.catalog.iter().map(|f| f.resident_bytes()).sum()
         };
         ServeStats {
             submitted: self.stats.submitted.load(Ordering::SeqCst),
             completed: self.stats.completed.load(Ordering::SeqCst),
             rejected: self.stats.rejected.load(Ordering::SeqCst),
+            deadline_exceeded: self.stats.deadline_exceeded.load(Ordering::SeqCst),
+            panicked: self.stats.panicked.load(Ordering::SeqCst),
+            io_retries: fault::io_retries(),
+            corrupt_chunks: fault::corrupt_chunks(),
             cache_hits: self.stats.cache_hits.load(Ordering::SeqCst),
             evaluated: self.stats.evaluated.load(Ordering::SeqCst),
             coalesced: self.stats.coalesced.load(Ordering::SeqCst),
@@ -511,7 +608,7 @@ where
     /// results. Errors if a slot is out of range or the spec fails
     /// [`FaqQuery`] validation; the server is left unchanged.
     pub fn register(&self, spec: QuerySpec) -> Result<QueryId, ServeError> {
-        let mut w = self.writer.lock().expect("serving writer lock poisoned");
+        let mut w = lock_unpoisoned(&self.writer);
         if let Some(i) = w.specs.iter().position(|s| *s == spec) {
             return Ok(QueryId(i));
         }
@@ -551,7 +648,7 @@ where
     /// epoch they started under; submissions after this returns see the new
     /// data.
     pub fn publish_delta(&self, slot: usize, delta: &DeltaFactor<D::E>) -> Result<u64, ServeError> {
-        let mut w = self.writer.lock().expect("serving writer lock poisoned");
+        let mut w = lock_unpoisoned(&self.writer);
         let base = w.catalog.get(slot).ok_or(ServeError::UnknownSlot(slot))?;
         // Validate schema + domains upfront: the per-master applications
         // below must not fail halfway (each errors without touching its
@@ -578,17 +675,30 @@ where
             return Err(ServeError::Faq(FaqError::UnknownAggregate(AggId(0))));
         }
 
-        // Merge into the catalog master copy.
+        // Merge into a staged catalog copy — NOT installed yet. The spilled
+        // splice path does chunk I/O on this thread, so a storage fault can
+        // abort mid-merge; catching it here surfaces a typed error with the
+        // catalog untouched.
         let aligned = delta.align_to(base.schema());
         let dom = w.domain.clone();
-        let (merged, _ranges) =
-            aligned.apply_to(base, |a, b| dom.add(AggId(0), a, b), |e| dom.is_zero(e));
-        w.catalog[slot] = merged;
+        let merged = match fault::catch_abort(|| {
+            aligned.apply_to(base, |a, b| dom.add(AggId(0), a, b), |e| dom.is_zero(e))
+        }) {
+            Ok((merged, _ranges)) => merged,
+            Err(abort) => return Err(ServeError::Faq(abort.into())),
+        };
 
-        // Incrementally refresh every query reading the slot; publish fresh
-        // reader replicas (Clone drops the writer's replay cache) and seed
-        // the result cache with the incremental outputs.
+        // Incrementally refresh every query reading the slot, atomically:
+        // outputs are staged and each touched master's pre-state is kept, so
+        // any mid-apply failure (a fault on a spilled replay, say) rolls the
+        // already-advanced masters back and leaves the previous epoch fully
+        // intact — readers never observe a half-applied delta. The rollback
+        // clones carry no replay cache ([`PreparedQuery`]'s `Clone` drops
+        // it), so a failed publish costs the touched queries their warm
+        // caches; the next successful delta re-primes them.
         let next = w.epoch + 1;
+        let mut undo: Vec<(usize, PreparedQuery<D>)> = Vec::new();
+        let mut staged: Vec<(usize, Arc<Factor<D::E>>)> = Vec::new();
         for qi in 0..w.specs.len() {
             let locals: Vec<usize> = w.specs[qi]
                 .slots
@@ -599,12 +709,28 @@ where
             if locals.is_empty() {
                 continue;
             }
+            undo.push((qi, w.masters[qi].clone()));
             let mut out = None;
             for l in locals {
-                out = Some(w.masters[qi].apply_delta(l, delta)?);
+                match w.masters[qi].apply_delta(l, delta) {
+                    Ok(o) => out = Some(o),
+                    Err(e) => {
+                        for (uqi, prev) in undo {
+                            w.masters[uqi] = prev;
+                        }
+                        return Err(e.into());
+                    }
+                }
             }
             let out = out.expect("at least one local slot matched");
-            w.results[qi] = Some(Arc::new(out.factor));
+            staged.push((qi, Arc::new(out.factor)));
+        }
+
+        // Commit point: every master advanced cleanly — install the merged
+        // catalog slot and the staged results, then publish.
+        w.catalog[slot] = merged;
+        for (qi, factor) in staged {
+            w.results[qi] = Some(factor);
             w.valid_from[qi] = next;
             w.published[qi] = Arc::new(w.masters[qi].clone());
         }
@@ -632,14 +758,14 @@ where
         };
         let snap = Arc::new(Snapshot { epoch: w.epoch, queries: w.published.clone(), results });
         {
-            let mut epochs = self.epochs.lock().expect("serving epoch registry poisoned");
+            let mut epochs = lock_unpoisoned(&self.epochs);
             epochs.retain(|w| w.strong_count() > 0);
             epochs.push(Arc::downgrade(&snap));
         }
         for tx in &self.worker_txs {
             let _ = tx.send(Msg::Epoch(Arc::clone(&snap)));
         }
-        *self.latest.lock().expect("serving snapshot lock poisoned") = snap;
+        *lock_unpoisoned(&self.latest) = snap;
         self.published_epoch.store(w.epoch, Ordering::SeqCst);
     }
 
@@ -694,7 +820,7 @@ where
         let coalesce = (cache == CacheMode::Shared)
             .then(|| (query.0, self.published_epoch.load(Ordering::SeqCst)));
         if let Some(key) = coalesce {
-            let mut infl = self.inflight.lock().expect("serving in-flight table poisoned");
+            let mut infl = lock_unpoisoned(&self.inflight);
             if let Some(followers) = infl.get_mut(&key) {
                 followers.push(Follower {
                     reply: reply_tx,
@@ -720,7 +846,7 @@ where
             // Retire the leader entry so later submissions don't enqueue
             // behind a job that will never be answered.
             if let Some(key) = coalesce {
-                self.inflight.lock().expect("serving in-flight table poisoned").remove(&key);
+                lock_unpoisoned(&self.inflight).remove(&key);
             }
             drop(e);
             return Err(ServeError::ShuttingDown);
@@ -755,6 +881,7 @@ fn worker_loop<D>(
     stats: Arc<Counters>,
     inflight: Arc<Inflight<D>>,
     share: bool,
+    panic_plan: Option<PanicPlan>,
 ) where
     D: AggDomain + Clone + Sync,
 {
@@ -766,16 +893,42 @@ fn worker_loop<D>(
             Msg::Epoch(snap) => current = Some(snap),
             Msg::Shutdown => break,
             Msg::Job(job) => {
-                let reply = answer(&job, current.as_deref(), &mut memo, &feedback, &stats, share);
+                // Panic perimeter: a poisoned evaluation (or an injected
+                // chaos panic) is contained here — the worker recovers in
+                // place, so the pool never shrinks and the submitter gets
+                // `QueryPanicked` instead of a hung ticket. A `QueryAbort`
+                // that escaped evaluation's own catch (e.g. raised from a
+                // memo'd factor accessor) is converted back to its typed
+                // error rather than reported as a panic.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if let Some(plan) = &panic_plan {
+                        if plan.should_panic() {
+                            std::panic::panic_any(InjectedPanic("injected worker panic"));
+                        }
+                    }
+                    answer(&job, current.as_deref(), &mut memo, &feedback, &stats, share)
+                }));
+                let reply = match caught {
+                    Ok(r) => r,
+                    Err(payload) => {
+                        if let Some(abort) = payload.downcast_ref::<fault::QueryAbort>() {
+                            Err(ServeError::from(FaqError::from(abort.clone())))
+                        } else {
+                            stats.panicked.fetch_add(1, Ordering::SeqCst);
+                            Err(ServeError::QueryPanicked)
+                        }
+                    }
+                };
+                if matches!(reply, Err(ServeError::DeadlineExceeded)) {
+                    stats.deadline_exceeded.fetch_add(1, Ordering::SeqCst);
+                }
                 stats.completed.fetch_add(1, Ordering::SeqCst);
                 // Retire the coalescing group *before* replying: once the
                 // leader's answer is observable, an identical new submission
                 // must start a fresh group, not attach to a finished one.
                 let Job { reply: tx, coalesce, _permit: permit, .. } = job;
                 let followers = coalesce
-                    .and_then(|key| {
-                        inflight.lock().expect("serving in-flight table poisoned").remove(&key)
-                    })
+                    .and_then(|key| lock_unpoisoned(&inflight).remove(&key))
                     .unwrap_or_default();
                 // Release the admission slots before replying, so a caller
                 // returning from `Ticket::wait` observes its permits freed.
@@ -1140,5 +1293,137 @@ mod tests {
         assert_eq!(snap.epoch(), epoch);
         assert_eq!(snap.query_count(), 1);
         assert_eq!(snap.cached_result(q).map(|f| (**f).clone()), Some((*fresh.factor).clone()));
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_pool_recovers() {
+        let plan = PanicPlan::seeded(3, 1.0);
+        let s = FaqServer::with_config(
+            ServeConfig::default().workers(2).panic_plan(plan.clone()),
+            CountDomain,
+            Domains::uniform(3, D),
+            edge_catalog(7, 60),
+        );
+        let q = s.register(triangle_spec()).unwrap();
+        let t = s.tenant("t", 8);
+        let err = s.submit_with(&t, q, None, CacheMode::Bypass).unwrap().wait().unwrap_err();
+        assert_eq!(err, ServeError::QueryPanicked);
+        assert_eq!(t.in_flight(), 0, "panicked submission released its permits");
+        assert!(s.stats().panicked >= 1);
+
+        // Both workers survive the panic: with injection off, a concurrent
+        // burst twice the pool size drains cleanly and agrees on the answer.
+        plan.set_enabled(false);
+        let tickets: Vec<_> =
+            (0..4).map(|_| s.submit_with(&t, q, None, CacheMode::Bypass).unwrap()).collect();
+        let outs: Vec<_> = tickets.into_iter().map(|tk| tk.wait().unwrap()).collect();
+        for o in &outs {
+            assert_eq!(*o.factor, *outs[0].factor);
+        }
+        assert_eq!(s.worker_count(), 2);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn panicked_leader_fans_error_to_followers() {
+        // Injection fires on the first job only (sequence 0 panics under
+        // p=1.0, then the plan is disabled by the leader's own failure
+        // observation below). A coalescing group whose leader panics must
+        // fan the typed error out — followers would otherwise hang forever.
+        let plan = PanicPlan::seeded(5, 1.0);
+        let s = FaqServer::with_config(
+            ServeConfig::default().workers(1).panic_plan(plan.clone()),
+            SlowDomain,
+            Domains::uniform(3, 6),
+            complete_edges(6),
+        );
+        let q = s.register(triangle_spec()).unwrap();
+        let t = s.tenant("t", 16);
+        let mut tickets: Vec<_> = (0..3).map(|_| s.submit(&t, q).unwrap()).collect();
+        // The single worker processes the first submission first; p = 1.0
+        // guarantees it panics while injection is on.
+        let first = tickets.remove(0).wait();
+        assert_eq!(first.unwrap_err(), ServeError::QueryPanicked);
+        plan.set_enabled(false);
+        // Every remaining ticket resolves — no follower hangs on a panicked
+        // leader: each gets the fanned panic error, or (for a group formed
+        // after the failed leader's reply, or a job processed after the
+        // disable above) a successful evaluation.
+        for r in tickets.into_iter().map(|tk| tk.wait()) {
+            match r {
+                Ok(out) => assert_eq!(*out.factor.get(&[]).unwrap(), 216),
+                Err(e) => assert_eq!(e, ServeError::QueryPanicked),
+            }
+        }
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_typed_error() {
+        use faq_core::Deadline;
+        // Complete d=12 relations: ≥ 1024 leapfrog seeks, so the amortized
+        // checkpoint fires even though every factor is in memory.
+        let s = FaqServer::with_config(
+            ServeConfig::default().workers(1),
+            CountDomain,
+            Domains::uniform(3, 12),
+            complete_edges(12),
+        );
+        let q = s.register(triangle_spec()).unwrap();
+        let t = s.tenant("t", 4);
+        let expired = ExecPolicy::sequential().deadline(Deadline::after(Duration::ZERO));
+        let err =
+            s.submit_with(&t, q, Some(&expired), CacheMode::Bypass).unwrap().wait().unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        assert_eq!(t.in_flight(), 0, "deadline abort released its permits");
+        assert!(s.stats().deadline_exceeded >= 1);
+        // The worker and its snapshot are unharmed: an unbounded retry of
+        // the same query succeeds.
+        let ok = s.submit_with(&t, q, None, CacheMode::Bypass).unwrap().wait().unwrap();
+        assert_eq!(*ok.factor.get(&[]).unwrap(), 12u64 * 12 * 12);
+    }
+
+    #[test]
+    fn failed_publish_leaves_previous_epoch_intact() {
+        use faq_factor::{FaultPlan, SpillConfig};
+        // Spilled catalog: the delta splice and the masters' replay do chunk
+        // I/O on the publishing thread, where a thread-local fault plan can
+        // fail them deterministically.
+        let spill =
+            SpillConfig { dir: None, chunk_rows: 8, level_chunk_entries: 64, window_chunks: 2 };
+        let catalog: Vec<Factor<u64>> =
+            edge_catalog(7, 60).iter().map(|f| f.to_spilled(spill.clone())).collect();
+        let s = FaqServer::with_config(
+            ServeConfig::default().workers(1),
+            CountDomain,
+            Domains::uniform(3, D),
+            catalog,
+        );
+        let q = s.register(triangle_spec()).unwrap();
+        let t = s.tenant("t", 4);
+        let before = s.submit_with(&t, q, None, CacheMode::Bypass).unwrap().wait().unwrap();
+        let epoch_before = s.current_epoch();
+
+        let delta =
+            DeltaFactor::inserts(vec![v(0), v(1)], vec![(vec![3, 4], 2u64), (vec![5, 6], 1u64)])
+                .unwrap();
+        {
+            let _g = FaultPlan::seeded(11).fail_hard(1.0).install_local();
+            let err = s.publish_delta(0, &delta).unwrap_err();
+            assert!(
+                matches!(err, ServeError::Faq(FaqError::Storage(_))),
+                "expected a typed storage error, got {err:?}"
+            );
+        }
+        assert_eq!(s.current_epoch(), epoch_before, "failed publish must not advance the epoch");
+        // The previous epoch still serves, bit-identically.
+        let after = s.submit_with(&t, q, None, CacheMode::Bypass).unwrap().wait().unwrap();
+        assert_eq!(*after.factor, *before.factor);
+        // And with the faults gone, the same delta publishes cleanly and
+        // matches a from-scratch evaluation of the updated catalog.
+        let epoch = s.publish_delta(0, &delta).unwrap();
+        assert!(epoch > epoch_before);
+        let refreshed = s.submit_with(&t, q, None, CacheMode::Bypass).unwrap().wait().unwrap();
+        assert_eq!(refreshed.epoch, epoch);
     }
 }

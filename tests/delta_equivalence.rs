@@ -470,3 +470,91 @@ fn spilled_base_delta_splices_only_touched_chunks() {
     .unwrap();
     check_delta_family(&q_spilled, 0, entries);
 }
+
+/// A storage fault during the spilled splice of `apply_delta` surfaces as a
+/// typed [`FaqError::Storage`] with the handle untouched: the factor is not
+/// mutated and the cached trace survives (no re-prime I/O on the next call).
+/// Validation failures on a spilled slot are equally non-mutating.
+#[test]
+fn failed_apply_delta_on_spilled_slot_preserves_factor_and_trace() {
+    use faq::factor::fault::FaultPlan;
+
+    let q = counting_triangle();
+    let config = SpillConfig {
+        chunk_rows: 3,
+        level_chunk_entries: 3,
+        window_chunks: 2,
+        ..SpillConfig::default()
+    };
+    // `prepare` re-aligns misaligned factors into in-memory copies, which
+    // would silently de-spill the slot under test: probe the plan order
+    // first, then spill the already-aligned factor so the prepared handle
+    // keeps the file-chunked listing.
+    let planner = Planner::sequential();
+    let probe = planner.prepare(&q).unwrap();
+    let mut q_spilled = probe.query().clone();
+    q_spilled.factors[0] = q_spilled.factors[0].to_spilled(config);
+
+    // Sequential planner: the splice (and its chunk I/O) stays on this
+    // thread, where the thread-local fault plan is installed.
+    let mut prepared = planner.prepare(&q_spilled).unwrap();
+    let mut oracle = planner.prepare(&q_spilled).unwrap();
+    assert!(
+        prepared.query().factors[0].is_spilled(),
+        "the slot under test must stay file-chunked through prepare"
+    );
+
+    // Prime the cached trace: an empty delta primes without splicing.
+    let empty: DeltaFactor<u64> = DeltaFactor::new(vec![Var(0), Var(1)], vec![]).unwrap();
+    let baseline = prepared.apply_delta(0, &empty).unwrap().factor;
+
+    let entries: DeltaEntries = vec![
+        (vec![0, 0], DeltaOp::Merge(7)),
+        (vec![0, 1], DeltaOp::Put(9)),
+        (vec![0, 3], DeltaOp::Delete),
+    ];
+    let delta = DeltaFactor::new(vec![Var(0), Var(1)], entries).unwrap();
+
+    // Every chunk op fails hard: the splice must rewrite the touched chunk,
+    // so the apply aborts before anything is installed and surfaces the
+    // typed storage error.
+    {
+        let _g = FaultPlan::seeded(11).fail_hard(1.0).install_local();
+        match prepared.apply_delta(0, &delta) {
+            Err(FaqError::Storage(_)) => {}
+            other => panic!("expected FaqError::Storage, got {other:?}"),
+        }
+    }
+
+    // Not mutated: the slot still serves the pre-failure output...
+    assert_eq!(prepared.evaluate().unwrap().factor, baseline);
+    // ...and the cached trace survived: a no-op delta is served from the
+    // cache without a single chunk fault. (A dropped cache would re-prime
+    // here with a full traced evaluation over the spilled slot.)
+    let reads_before = prepared.query().factors[0].spill_stats().unwrap().reads;
+    assert_eq!(prepared.apply_delta(0, &empty).unwrap().factor, baseline);
+    assert_eq!(
+        prepared.query().factors[0].spill_stats().unwrap().reads,
+        reads_before,
+        "cached trace must survive the failed apply without re-prime I/O"
+    );
+
+    // Validation failures on the spilled slot leave the handle equally
+    // undisturbed.
+    let oob =
+        DeltaFactor::new(vec![Var(0), Var(1)], vec![(vec![DOM, 0], DeltaOp::Put(1u64))]).unwrap();
+    assert!(matches!(
+        prepared.apply_delta(0, &oob),
+        Err(FaqError::ValueOutOfDomain { var: Var(0), value }) if value == DOM
+    ));
+    let bad = DeltaFactor::new(vec![Var(0), Var(2)], vec![(vec![0, 0], DeltaOp::Delete)]).unwrap();
+    assert!(matches!(
+        prepared.apply_delta(0, &bad),
+        Err(FaqError::FactorSchemaMismatch { slot: 0, .. })
+    ));
+    assert_eq!(prepared.evaluate().unwrap().factor, baseline);
+
+    // The handle keeps working: the same delta now applies cleanly and
+    // matches the scratch recompute.
+    assert_delta_matches(&mut prepared, &mut oracle, 0, &delta);
+}

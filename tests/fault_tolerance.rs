@@ -1,0 +1,115 @@
+//! Deadline-bounded queries over the out-of-core workload: an expiring
+//! budget must surface as a typed [`ServeError::DeadlineExceeded`] promptly
+//! (within 2× the requested budget) and leave the serving gauges — pinned
+//! chunk bytes, admission permits — exactly where they were before the
+//! submission.
+
+use faq::factor::fault::Deadline;
+use faq::factor::SpillConfig;
+use faq::serve::{CacheMode, FaqServer, QuerySpec, ServeConfig, ServeError};
+use faq::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+const DOM: u32 = 64;
+
+fn edge(seed: u64, rows: usize, a: u32, b: u32) -> Factor<u64> {
+    let mut r = StdRng::seed_from_u64(seed);
+    let mut tuples = std::collections::BTreeMap::new();
+    for _ in 0..rows {
+        tuples.insert(vec![r.gen_range(0..DOM), r.gen_range(0..DOM)], r.gen_range(1..4u64));
+    }
+    Factor::new(vec![Var(a), Var(b)], tuples.into_iter().collect()).unwrap()
+}
+
+fn spec() -> QuerySpec {
+    QuerySpec::new(
+        vec![Var(0)],
+        vec![
+            (Var(1), VarAgg::Semiring(CountDomain::SUM)),
+            (Var(2), VarAgg::Semiring(CountDomain::SUM)),
+        ],
+        vec![0, 1, 2],
+    )
+}
+
+#[test]
+fn deadline_bounded_out_of_core_query_cleans_up() {
+    let spill =
+        SpillConfig { dir: None, chunk_rows: 64, level_chunk_entries: 64, window_chunks: 2 };
+    let catalog: Vec<Factor<u64>> = [edge(3, 3000, 0, 1), edge(4, 3000, 1, 2), edge(5, 3000, 0, 2)]
+        .iter()
+        .map(|f| f.to_spilled(spill.clone()))
+        .collect();
+    let server = FaqServer::with_config(
+        ServeConfig::default().workers(1),
+        CountDomain,
+        Domains::uniform(3, DOM),
+        catalog,
+    );
+    let q = server.register(spec()).unwrap();
+    let tenant = server.tenant("t", 4);
+
+    // Warmup: one full unbounded evaluation fills every chunk window to its
+    // (deterministic) end-of-evaluation state, giving the reference values
+    // for the pinned-bytes gauge and its peak.
+    faq::factor::reset_peak_pinned_bytes();
+    let warm_start = Instant::now();
+    let warm = server.submit_with(&tenant, q, None, CacheMode::Bypass).unwrap().wait().unwrap();
+    let full_eval = warm_start.elapsed();
+    let pinned_before = faq::factor::pinned_bytes();
+    let peak_full = faq::factor::peak_pinned_bytes();
+    assert_eq!(tenant.in_flight(), 0);
+
+    // The budget must genuinely truncate the evaluation: take a fraction of
+    // the measured full evaluation, floored high enough that scheduling
+    // noise cannot dominate the 2× bound.
+    let budget = (full_eval / 8).max(Duration::from_millis(25));
+    if budget * 2 >= full_eval {
+        // Machine too fast for this workload to outlast any meaningful
+        // budget — the deadline path is still covered by the serve unit
+        // tests and the chaos suite.
+        eprintln!("full evaluation took {full_eval:?}; skipping timing assertions");
+        return;
+    }
+    let policy = ExecPolicy::sequential().deadline(Deadline::after(budget));
+    faq::factor::reset_peak_pinned_bytes();
+    let start = Instant::now();
+    let err = server
+        .submit_with(&tenant, q, Some(&policy), CacheMode::Bypass)
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    let elapsed = start.elapsed();
+    assert_eq!(err, ServeError::DeadlineExceeded);
+    assert!(
+        elapsed <= budget * 2,
+        "deadline must abort within 2x the budget: budget {budget:?}, took {elapsed:?}"
+    );
+
+    // Partial-work cleanup: permits released, and the aborted run (a prefix
+    // of the deterministic full evaluation) never pinned more than the full
+    // evaluation's high-water mark — the abort dropped its pins instead of
+    // leaking them past the LRU window policy.
+    assert_eq!(tenant.in_flight(), 0, "aborted submission released its permits");
+    assert!(
+        faq::factor::peak_pinned_bytes() <= peak_full,
+        "aborted evaluation must stay within the full evaluation's pin high-water mark: \
+         peak {} vs full-eval peak {}",
+        faq::factor::peak_pinned_bytes(),
+        peak_full
+    );
+
+    // The same query, unbounded, still completes, matches the warmup, and —
+    // because both the evaluation and the LRU replacement are deterministic —
+    // returns the pinned-chunk gauge to exactly its pre-query value. The
+    // abort left no stray pins behind.
+    let again = server.submit_with(&tenant, q, None, CacheMode::Bypass).unwrap().wait().unwrap();
+    assert_eq!(*again.factor, *warm.factor);
+    assert_eq!(
+        faq::factor::pinned_bytes(),
+        pinned_before,
+        "gauge must return to its pre-query value once the windows requiesce"
+    );
+    assert!(server.stats().deadline_exceeded >= 1);
+}
